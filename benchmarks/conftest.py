@@ -1,0 +1,25 @@
+"""Shared helpers for the benchmark harness.
+
+Every bench regenerates one table/figure of the paper (or one ablation
+from DESIGN.md), prints it, and archives it under ``benchmarks/out/`` so
+the numbers survive the pytest capture.
+"""
+
+import pathlib
+
+import pytest
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+
+@pytest.fixture
+def report():
+    """Print a report block and archive it to benchmarks/out/<name>.txt."""
+
+    def _report(name, text):
+        OUT_DIR.mkdir(exist_ok=True)
+        (OUT_DIR / f"{name}.txt").write_text(text + "\n")
+        print(f"\n===== {name} =====")
+        print(text)
+
+    return _report

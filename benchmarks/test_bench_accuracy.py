@@ -1,0 +1,89 @@
+"""Ablation: architecture-model accuracy vs the implementation model.
+
+How well does the abstract RTOS model predict the implementation's
+timing? We compare per-frame vocoder transcoding delays between the
+architecture model and the ISS-based implementation model, and show how
+the architecture model's prediction error relates to the delay
+annotation granularity the paper calls out as the accuracy limit.
+"""
+
+from repro.apps.vocoder import run_architecture, run_implementation
+
+N_FRAMES = 6
+
+
+def compare():
+    arch = run_architecture(n_frames=N_FRAMES)
+    impl = run_implementation(n_frames=N_FRAMES)
+    pairs = list(zip(arch.delays_ns, impl.delays_ns))
+    errors_ms = [abs(a - i) / 1e6 for a, i in pairs]
+    return arch, impl, errors_ms
+
+
+def test_architecture_predicts_implementation(report, benchmark):
+    arch, impl, errors_ms = benchmark.pedantic(compare, rounds=1)
+    lines = [
+        "Model accuracy: per-frame transcoding delay, architecture vs "
+        "implementation (ms)",
+        f"{'frame':>6}{'arch':>10}{'impl':>10}{'error':>10}",
+    ]
+    for k, (a, i) in enumerate(zip(arch.delays_ns, impl.delays_ns)):
+        lines.append(
+            f"{k:>6}{a / 1e6:>10.2f}{i / 1e6:>10.2f}"
+            f"{abs(a - i) / 1e6:>10.2f}"
+        )
+    mean_err = sum(errors_ms) / len(errors_ms)
+    rel = mean_err / arch.mean_delay_ms * 100
+    lines.append("")
+    lines.append(
+        f"mean absolute error {mean_err:.2f} ms ({rel:.1f}% of the "
+        "architecture-model delay)"
+    )
+    lines.append(
+        "error sources: RTOS kernel overhead (ticks, syscalls, context "
+        "switches) and the tick-quantized phase alignment — effects below "
+        "the abstraction level of the architecture model"
+    )
+    report("ablation_accuracy", "\n".join(lines))
+    # the abstract model predicts the implementation within ~10%
+    assert rel < 10.0
+    assert arch.context_switches <= impl.context_switches
+
+
+def test_overhead_calibration_mechanism(report, benchmark):
+    """The switch-overhead extension: the architecture model can charge
+    a calibrated per-switch kernel cost. On workloads whose critical
+    path crosses context switches this closes the gap to the
+    implementation; in the vocoder the decoder is phase-aligned, so the
+    shift is small — both facts are visible here."""
+
+    def run_all():
+        impl = run_implementation(n_frames=N_FRAMES)
+        plain = run_architecture(n_frames=N_FRAMES)
+        # calibrate: ~120 cycles of kernel work per switch at 250 ns
+        calibrated = run_architecture(n_frames=N_FRAMES,
+                                      switch_overhead=30_000)
+        return impl, plain, calibrated
+
+    impl, plain, calibrated = benchmark.pedantic(run_all, rounds=1)
+    gap_plain = abs(plain.mean_delay_ms - impl.mean_delay_ms)
+    gap_cal = abs(calibrated.mean_delay_ms - impl.mean_delay_ms)
+    lines = [
+        "Switch-overhead extension (vocoder mean transcoding delay, ms)",
+        f"implementation model       : {impl.mean_delay_ms:.3f}",
+        f"architecture, free kernel  : {plain.mean_delay_ms:.3f} "
+        f"(gap {gap_plain:.3f})",
+        f"architecture, 30 us/switch : {calibrated.mean_delay_ms:.3f} "
+        f"(gap {gap_cal:.3f})",
+        "",
+        "the vocoder's decoder is phase-aligned to the output clock, so",
+        "kernel cost barely moves its completion; workloads with switches",
+        "on the critical path (see tests/rtos/test_overhead_modeling.py)",
+        "shift by switches x overhead",
+    ]
+    report("ablation_overhead_calibration", "\n".join(lines))
+    overhead = calibrated.extra["os_metrics"]["overhead_time"]
+    assert overhead > 0
+    # the charged cost is visible but bounded for this workload
+    assert calibrated.mean_delay_ms >= plain.mean_delay_ms
+    assert gap_cal < 1.0

@@ -1,0 +1,63 @@
+"""Figure 8: simulation traces of the example of Figure 3.
+
+Regenerates both panels — the unscheduled model (8(a): B2 and B3 truly
+parallel) and the architecture model under priority scheduling (8(b):
+interleaved execution, interrupt at t4 with the switch deferred to t4')
+— as t1..t7 tables and ASCII Gantt charts.
+"""
+
+from repro.analysis import overlap_exists, render_gantt, serialized
+from repro.apps.fig3 import run_architecture, run_unscheduled
+
+
+def _times_row(label, times):
+    cells = "".join(f"{times[k]:>8}" for k in sorted(times))
+    return f"{label:<12}{cells}"
+
+
+def _figure8_text():
+    unsched = run_unscheduled()
+    arch = run_architecture()
+    header = f"{'model':<12}" + "".join(
+        f"{k:>8}" for k in sorted(unsched.times())
+    )
+    lines = [
+        "Figure 8: simulation trace for the model example (times in ns)",
+        header,
+        _times_row("unscheduled", unsched.times()),
+        _times_row("architecture", arch.times()),
+        "",
+        "(a) unscheduled model — B2/B3 truly parallel:",
+        render_gantt(unsched.trace, actors=["B1", "B3", "B2"], width=65,
+                     markers={"t4": unsched.times()["t4"]}),
+        "",
+        "(b) architecture model — priority scheduling, B3 high:",
+        render_gantt(arch.trace, actors=["Task_PE", "B3", "B2"], width=65,
+                     markers={"t4": arch.times()["t4"], "t4'": 500}),
+        "",
+        f"architecture context switches: {arch.context_switches}",
+    ]
+    return "\n".join(lines), unsched, arch
+
+
+def test_figure8_reproduction(report, benchmark):
+    text, unsched, arch = benchmark.pedantic(_figure8_text, rounds=1)
+    report("figure8", text)
+    # the properties the figure demonstrates:
+    assert overlap_exists(unsched.trace, "B2", "B3")
+    assert serialized(arch.trace, ["Task_PE", "B2", "B3"])
+    assert arch.times()["t4"] == 450
+    b3_resume = [
+        s for s in arch.trace.segments("B3") if s[2] > s[1] and s[1] >= 450
+    ]
+    assert b3_resume[0][1] == 500  # t4' switch
+
+
+def test_bench_architecture_model(benchmark):
+    result = benchmark(run_architecture)
+    assert result.end_time == 850
+
+
+def test_bench_unscheduled_model(benchmark):
+    result = benchmark(run_unscheduled)
+    assert result.end_time == 650

@@ -1,0 +1,74 @@
+"""Table 1: vocoder experimental results at three abstraction levels.
+
+Regenerates the paper's four rows — lines of code, execution (host)
+time, context switches, transcoding delay — for the unscheduled,
+architecture and implementation models of the vocoder.
+"""
+
+import pytest
+
+from repro.apps.vocoder import (
+    run_architecture,
+    run_implementation,
+    run_specification,
+)
+from repro.apps.vocoder.table1 import format_table1, generate_table1
+
+N_FRAMES = 10
+
+
+def test_table1_reproduction(report, benchmark):
+    rows, runs = benchmark.pedantic(
+        generate_table1, kwargs={"n_frames": N_FRAMES}, rounds=1
+    )
+    text = [
+        f"Table 1: vocoder experimental results ({N_FRAMES} frames)",
+        format_table1(rows),
+        "",
+        "paper reference: LoC 13,475 / 15,552 / 79,096; "
+        "time 24.0 s / 24.4 s / 5 h;",
+        "transcoding delay 9.7 / 12.5 / 11.7 ms",
+    ]
+    report("table1", "\n".join(text))
+
+    by_name = {r.name: r for r in rows}
+    loc = by_name["Lines of Code"]
+    assert loc.unscheduled < loc.architecture < loc.implementation
+
+    delay = by_name["Transcoding delay (ms)"]
+    assert delay.unscheduled == pytest.approx(9.7)
+    assert delay.unscheduled < delay.implementation
+    assert delay.unscheduled < delay.architecture
+    assert abs(delay.architecture - delay.implementation) < 1.5
+
+    switches = by_name["Context switches"]
+    assert switches.unscheduled == 0
+    assert 0 < switches.architecture <= switches.implementation
+
+    times = by_name["Execution Time (s)"]
+    # the RTOS model's overhead over the unscheduled model is small,
+    # the ISS is at least several times slower (paper: 24.0/24.4 s vs 5 h)
+    assert times.implementation > 3 * times.architecture
+
+
+def test_bench_specification_model(benchmark):
+    result = benchmark.pedantic(
+        run_specification, kwargs={"n_frames": N_FRAMES}, rounds=3,
+        warmup_rounds=1,
+    )
+    assert len(result.delays_ns) == N_FRAMES
+
+
+def test_bench_architecture_model(benchmark):
+    result = benchmark.pedantic(
+        run_architecture, kwargs={"n_frames": N_FRAMES}, rounds=3,
+        warmup_rounds=1,
+    )
+    assert len(result.delays_ns) == N_FRAMES
+
+
+def test_bench_implementation_model(benchmark):
+    result = benchmark.pedantic(
+        run_implementation, kwargs={"n_frames": 4}, rounds=1, warmup_rounds=0,
+    )
+    assert len(result.delays_ns) == 4

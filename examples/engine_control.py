@@ -1,0 +1,41 @@
+#!/usr/bin/env python
+"""Engine-control ECU: sporadic + periodic hard real time.
+
+An injection task released by the crank-shaft interrupt (whose rate
+follows an RPM profile), a 10 ms control loop, and background
+diagnostics share one ECU. The RTOS model answers the early design
+questions: does injection meet its crank-angle deadline across the RPM
+range, and what does a wrong priority assignment cost?
+
+Run:  python examples/engine_control.py
+"""
+
+from repro.apps.engine import MS, EngineConfig, run_engine
+
+
+def describe(tag, result):
+    worst = result.worst_injection_latency / MS
+    print(f"{tag:<34} worst injection latency {worst:6.2f} ms, "
+          f"misses {result.injection_deadline_misses:>2}/"
+          f"{result.crank_events}, "
+          f"ctx switches {result.extra['metrics']['context_switches']}")
+
+
+def main():
+    print("RPM profile: 1500 -> 4500 -> 3000 (100 ms each); injection "
+          "deadline = 30% of crank period\n")
+    describe("correct priorities (inj > ctl)", run_engine())
+    describe("wrong priorities (ctl > inj)",
+             run_engine(priorities=(5, 1, 9)))
+    describe("immediate preemption",
+             run_engine(EngineConfig(preemption="immediate")))
+    coarse = EngineConfig(control_granularity=3 * MS)
+    describe("coarse control timing (3 ms)", run_engine(coarse))
+    print()
+    print("the wrong assignment misses deadlines at high RPM; coarser")
+    print("delay annotations inflate the observed latency by up to one")
+    print("step — the granularity/accuracy trade-off of Section 4.3.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+#!/usr/bin/env python
+"""The paper's running example (Figures 3 and 8), end to end.
+
+Runs the unscheduled specification model and the automatically refined
+architecture model of the B1/B2/B3 system and prints both Figure-8
+traces plus the t1..t7 instants.
+
+Run:  python examples/fig3_example.py
+"""
+
+from repro.analysis import render_gantt
+from repro.apps.fig3 import run_architecture, run_unscheduled
+
+
+def show(result, title, actors):
+    times = result.times()
+    print(title)
+    print("  " + "  ".join(f"{k}={times[k]}" for k in sorted(times)))
+    print(render_gantt(result.trace, actors=actors, width=66,
+                       markers={"t4": times["t4"]}))
+    print()
+
+
+def main():
+    unsched = run_unscheduled()
+    show(unsched, "Figure 8(a) — unscheduled model (B2 and B3 in "
+                  "parallel):", ["B1", "B3", "B2"])
+
+    arch = run_architecture()
+    show(arch, "Figure 8(b) — architecture model (priority scheduling, "
+               "Task_B3 high):", ["Task_PE", "B3", "B2"])
+
+    print("the paper's key observation:")
+    print(f"  interrupt at t4 = {arch.times()['t4']} wakes Task_B3, but "
+          "the switch is deferred")
+    print("  to the end of Task_B2's current delay step (t4' = 500) — "
+          "the accuracy of")
+    print("  preemption is bounded by the delay-model granularity.")
+    print()
+    print(f"architecture context switches: {arch.context_switches}, "
+          f"interrupts: {arch.os.metrics.interrupts}")
+
+    imm = run_architecture(preemption="immediate")
+    b3 = [s for s in imm.trace.segments("B3") if s[2] > s[1] and s[1] >= 450]
+    print(f"with the immediate-preemption extension the switch happens "
+          f"at t = {b3[0][1]} instead.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,118 @@
+#!/usr/bin/env python
+"""Design-space exploration: scheduling policies and priority inversion.
+
+Part 1 runs one periodic task set under every scheduling policy of the
+RTOS model and tabulates deadline misses / response times — the early
+exploration the paper's flow is built for.
+
+Part 2 demonstrates priority inversion with a shared resource and how
+the priority-inheritance mutex bounds it.
+
+Run:  python examples/scheduler_comparison.py
+"""
+
+from repro.channels import RTOSMutex
+from repro.kernel import Simulator, WaitFor
+from repro.rtos import APERIODIC, PERIODIC, RTOSModel
+
+TASK_SET = (("t1", 400_000, 100_000), ("t2", 500_000, 100_000),
+            ("t3", 750_000, 370_000))
+
+
+def run_policy(policy, horizon=6_000_000):
+    sim = Simulator()
+    sim.trace.enabled = False
+    os_ = RTOSModel(sim, sched=policy)
+    tasks = []
+    for index, (name, period, exec_time) in enumerate(TASK_SET):
+        task = os_.task_create(name, PERIODIC, period, exec_time,
+                               priority=index + 1)
+        tasks.append(task)
+
+        def body(task=task, exec_time=exec_time):
+            while True:
+                remaining = exec_time
+                while remaining > 0:
+                    step = min(10_000, remaining)
+                    yield from os_.time_wait(step)
+                    remaining -= step
+                yield from os_.task_endcycle()
+
+        sim.spawn(os_.task_body(task, body()), name=task.name)
+
+    def boot():
+        yield WaitFor(0)
+        os_.start()
+
+    sim.spawn(boot())
+    sim.run(until=horizon)
+    return os_, tasks
+
+
+def priority_inversion(inheritance):
+    sim = Simulator()
+    os_ = RTOSModel(sim)
+    mtx = RTOSMutex(os_, name="resource", priority_inheritance=inheritance)
+    evt = os_.event_new()
+    finish = {}
+
+    def low_body():
+        yield from mtx.lock()
+        for _ in range(10):
+            yield from os_.time_wait(10_000)
+        yield from mtx.unlock()
+
+    def medium_body():
+        yield from os_.event_wait(evt)
+        for _ in range(20):
+            yield from os_.time_wait(10_000)
+
+    def high_body():
+        yield from os_.event_wait(evt)
+        yield from mtx.lock()
+        yield from os_.time_wait(10_000)
+        yield from mtx.unlock()
+        finish["high"] = sim.now
+
+    for name, prio, body in (("high", 1, high_body), ("medium", 5, medium_body),
+                             ("low", 9, low_body)):
+        task = os_.task_create(name, APERIODIC, 0, 0, priority=prio)
+        sim.spawn(os_.task_body(task, body()), name=name)
+
+    def isr():
+        yield WaitFor(30_000)
+        yield from os_.event_notify(evt)
+        os_.interrupt_return()
+
+    sim.spawn(isr(), name="isr")
+
+    def boot():
+        yield WaitFor(0)
+        os_.start()
+
+    sim.spawn(boot())
+    sim.run()
+    return finish["high"]
+
+
+def main():
+    print("Part 1 — scheduling policies on a U=0.94 periodic set")
+    print(f"{'policy':<14}{'misses':>8}{'switches':>10}"
+          f"{'worst t3 response (us)':>24}")
+    for policy in ("priority", "priority_np", "rr", "fifo", "edf", "rms"):
+        os_, tasks = run_policy(policy)
+        worst = tasks[2].stats.worst_response or 0
+        print(f"{policy:<14}{os_.metrics.deadline_misses:>8}"
+              f"{os_.metrics.context_switches:>10}{worst / 1000:>24.0f}")
+    print()
+    print("Part 2 — priority inversion on a shared resource")
+    without = priority_inversion(False)
+    with_pi = priority_inversion(True)
+    print(f"high task completion without inheritance: {without / 1000:.0f} us")
+    print(f"high task completion with inheritance   : {with_pi / 1000:.0f} us")
+    print("priority inheritance bounds the inversion to the length of "
+          "low's critical section.")
+
+
+if __name__ == "__main__":
+    main()

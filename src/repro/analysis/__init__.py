@@ -1,0 +1,48 @@
+"""Analysis: trace queries, Gantt rendering, validation, LoC metrics."""
+
+from repro.analysis import gantt, loc, report, trace_analysis, validate, vcd
+from repro.analysis.gantt import render as render_gantt
+from repro.analysis.report import schedule_report, task_table
+from repro.analysis.vcd import to_vcd, write_vcd
+from repro.analysis.trace_analysis import (
+    completion_time,
+    context_switch_times,
+    exec_segments,
+    exec_time_per_actor,
+    first_start,
+    mark_time,
+    marks,
+    overlap_exists,
+    response_latencies,
+)
+from repro.analysis.validate import (
+    exec_time_preserved,
+    same_functional_marks,
+    serialized,
+)
+
+__all__ = [
+    "completion_time",
+    "context_switch_times",
+    "exec_segments",
+    "exec_time_per_actor",
+    "exec_time_preserved",
+    "first_start",
+    "gantt",
+    "loc",
+    "mark_time",
+    "marks",
+    "overlap_exists",
+    "render_gantt",
+    "response_latencies",
+    "report",
+    "same_functional_marks",
+    "schedule_report",
+    "serialized",
+    "task_table",
+    "to_vcd",
+    "trace_analysis",
+    "validate",
+    "vcd",
+    "write_vcd",
+]

@@ -1,0 +1,63 @@
+"""Schedule reports: per-task tables from an RTOS model run.
+
+Turns one :class:`~repro.rtos.model.RTOSModel` (plus its simulator) into
+the textual summary a designer wants after a design-space-exploration
+run: per-task execution/response statistics and the global scheduler
+counters.
+"""
+
+
+def task_table(os_model):
+    """Per-task statistics as a list of dict rows."""
+    rows = []
+    for task in os_model.tasks:
+        stats = task.stats
+        rows.append(
+            {
+                "task": task.name,
+                "type": "periodic" if task.is_periodic else "aperiodic",
+                "priority": task.priority,
+                "state": task.state.value,
+                "activations": stats.activations,
+                "cycles": stats.cycles_completed,
+                "exec_time": stats.exec_time,
+                "dispatches": stats.dispatches,
+                "preemptions": stats.preemptions,
+                "misses": stats.deadline_misses,
+                "worst_response": stats.worst_response,
+                "avg_response": stats.avg_response,
+            }
+        )
+    return rows
+
+
+def schedule_report(os_model, sim, title="schedule report"):
+    """A printable report for one PE's RTOS model."""
+    total = sim.now
+    metrics = os_model.metrics
+    lines = [
+        title,
+        "=" * len(title),
+        f"simulated time      : {total}",
+        f"scheduler           : {type(os_model.scheduler).__name__}",
+        f"preemption mode     : {os_model.preemption}",
+        f"CPU utilization     : {metrics.utilization(total):.1%}"
+        f" (busy {metrics.busy_time}, idle {metrics.idle_time(total) - metrics.overhead_time})",
+        f"context switches    : {metrics.context_switches}"
+        + (f" (overhead {metrics.overhead_time})" if metrics.overhead_time else ""),
+        f"preemptions         : {metrics.preemptions}",
+        f"interrupts serviced : {metrics.interrupts}",
+        f"deadline misses     : {metrics.deadline_misses}",
+        "",
+        f"{'task':<14}{'prio':>5}{'state':>12}{'act':>5}{'exec':>10}"
+        f"{'disp':>6}{'preempt':>8}{'worst resp':>12}",
+    ]
+    for row in task_table(os_model):
+        worst = row["worst_response"]
+        lines.append(
+            f"{row['task']:<14}{row['priority']:>5}{row['state']:>12}"
+            f"{row['activations']:>5}{row['exec_time']:>10}"
+            f"{row['dispatches']:>6}{row['preemptions']:>8}"
+            f"{worst if worst is not None else '-':>12}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,105 @@
+"""Trace queries used by the experiments.
+
+Works on the :class:`~repro.kernel.trace.Trace` records emitted by the
+kernel, the RTOS model and the applications.
+"""
+
+
+def exec_segments(trace, actor=None, merge=False):
+    """Execution segments ``(actor, start, end, info)``; optionally merge
+    back-to-back segments of the same actor."""
+    segments = [s for s in trace.segments(actor) if s[2] > s[1]]
+    if not merge:
+        return segments
+    merged = []
+    for seg in segments:
+        if merged and merged[-1][0] == seg[0] and merged[-1][2] == seg[1]:
+            prev = merged.pop()
+            merged.append((prev[0], prev[1], seg[2], prev[3]))
+        else:
+            merged.append(seg)
+    return merged
+
+
+def exec_time_per_actor(trace):
+    """Total execution time accumulated by each actor."""
+    totals = {}
+    for actor, start, end, _ in trace.segments():
+        totals[actor] = totals.get(actor, 0) + (end - start)
+    return totals
+
+
+def completion_time(trace, actor):
+    """End of the last execution segment of ``actor`` (None if absent)."""
+    segs = trace.segments(actor)
+    return segs[-1][2] if segs else None
+
+
+def first_start(trace, actor):
+    """Start of the first non-empty execution segment of ``actor``."""
+    for _, start, end, _ in trace.segments(actor):
+        if end > start:
+            return start
+    return None
+
+
+def marks(trace, actor=None):
+    """Application 'user' records as ``(time, actor, info)`` tuples."""
+    return [
+        (r.time, r.actor, r.info)
+        for r in trace.by_category("user")
+        if actor is None or r.actor == actor
+    ]
+
+
+def mark_time(trace, info, actor=None, occurrence=0):
+    """Time of the n-th 'user' mark with the given info label."""
+    found = [m for m in marks(trace, actor) if m[2] == info]
+    if occurrence >= len(found):
+        raise ValueError(f"mark {info!r} occurrence {occurrence} not found")
+    return found[occurrence][0]
+
+
+def response_latencies(trace, stimulus_actor, completion_info, actor=None):
+    """Pair each IRQ raise of ``stimulus_actor`` with the next user mark
+    ``completion_info`` and return the latency list.
+
+    Measures interrupt-to-completion response times (the property the
+    paper's preemption modeling exists to estimate).
+    """
+    raises = [
+        r.time
+        for r in trace.by_category("irq")
+        if r.actor == stimulus_actor and r.info == "raise"
+    ]
+    completions = [m[0] for m in marks(trace, actor) if m[2] == completion_info]
+    latencies = []
+    for t_raise in raises:
+        after = [t for t in completions if t >= t_raise]
+        if after:
+            latencies.append(after[0] - t_raise)
+    return latencies
+
+
+def context_switch_times(trace, os_name=None):
+    """Times of scheduler 'switch' records."""
+    return [
+        r.time
+        for r in trace.by_category("sched")
+        if r.info == "switch" and (os_name is None or r.actor == os_name)
+    ]
+
+
+def overlap_exists(trace, actor_a, actor_b):
+    """True if any execution segments of the two actors overlap in time.
+
+    Distinguishes the unscheduled model (true parallelism — Figure 8(a))
+    from the serialized architecture model (Figure 8(b): never overlaps).
+    """
+    segs_a = exec_segments(trace, actor_a)
+    segs_b = exec_segments(trace, actor_b)
+    for _, sa, ea, _ in segs_a:
+        for _, sb, eb, _ in segs_b:
+            if sa < eb and sb < ea:
+                return True
+    return False

@@ -1,0 +1,44 @@
+"""Cross-model validation helpers.
+
+Refinement must preserve functionality and total computation while
+changing only the schedule; these checks formalize that.
+"""
+
+from repro.analysis.trace_analysis import exec_time_per_actor, marks
+
+
+def same_functional_marks(trace_a, trace_b, actors=None):
+    """True if both traces contain the same user marks per actor, in the
+    same per-actor order (timestamps are allowed to differ — scheduling
+    moves work in time, never changes it)."""
+    return _marks_by_actor(trace_a, actors) == _marks_by_actor(trace_b, actors)
+
+
+def _marks_by_actor(trace, actors):
+    by_actor = {}
+    for _, actor, info in marks(trace):
+        if actors is not None and actor not in actors:
+            continue
+        by_actor.setdefault(actor, []).append(info)
+    return by_actor
+
+
+def exec_time_preserved(trace_a, trace_b, actors):
+    """True if each actor accumulated identical execution time in both
+    traces (delays are annotated per behavior, so serialization must not
+    change totals)."""
+    totals_a = exec_time_per_actor(trace_a)
+    totals_b = exec_time_per_actor(trace_b)
+    return all(totals_a.get(a, 0) == totals_b.get(a, 0) for a in actors)
+
+
+def serialized(trace, actors):
+    """True if no two actors' execution segments ever overlap — the
+    defining property of the RTOS-scheduled architecture model."""
+    from repro.analysis.trace_analysis import overlap_exists
+
+    for i, a in enumerate(actors):
+        for b in actors[i + 1:]:
+            if overlap_exists(trace, a, b):
+                return False
+    return True

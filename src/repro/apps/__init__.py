@@ -1,0 +1,1 @@
+"""Applications: the Figure-3 example and the Table-1 vocoder."""

@@ -1,0 +1,24 @@
+"""The GSM-style vocoder case study of Table 1.
+
+Three abstraction levels of the same two-task codec:
+
+* :func:`~repro.apps.vocoder.models.run_specification` — unscheduled.
+* :func:`~repro.apps.vocoder.models.run_architecture` — RTOS model.
+* :func:`~repro.apps.vocoder.impl.run_implementation` — generated code
+  + custom RTOS kernel on the ISS.
+"""
+
+from repro.apps.vocoder.impl import build_vocoder_program, run_implementation
+from repro.apps.vocoder.models import (
+    VocoderRun,
+    run_architecture,
+    run_specification,
+)
+
+__all__ = [
+    "VocoderRun",
+    "build_vocoder_program",
+    "run_architecture",
+    "run_implementation",
+    "run_specification",
+]

@@ -1,0 +1,74 @@
+"""Vocoder decoder: functional core + per-stage timing annotations.
+
+Stage budgets total 2.2 ms per frame (decoder share of the 9.7 ms
+back-to-back delay). See :mod:`repro.apps.vocoder.encoder` for how the
+stage list is used across abstraction levels.
+"""
+
+import numpy as np
+
+from repro.apps.vocoder import dsp
+
+#: (stage name, WCET in ns)
+DECODER_STAGES = (
+    ("unpack", 200_000),
+    ("synthesis", 1_500_000),
+    ("postfilter", 500_000),
+)
+
+DECODER_WCET_NS = sum(t for _, t in DECODER_STAGES)
+
+
+class DecoderCore:
+    """Stateful decoder mirroring the encoder's filter state."""
+
+    def __init__(self):
+        self.history = np.zeros(dsp.LPC_ORDER)
+        self.past_excitation = np.zeros(dsp.MAX_LAG + dsp.FRAME_LEN)
+        self._scratch = {}
+
+    def stages(self, encoded):
+        scratch = {}
+
+        def unpack():
+            scratch["encoded"] = encoded
+
+        def synthesis():
+            enc = scratch["encoded"]
+            excitation = dsp.build_excitation(
+                enc.n, enc.lag, enc.pitch_gain, self.past_excitation,
+                enc.positions, enc.signs, enc.gain,
+            )
+            scratch["raw"] = dsp.synthesis_filter(
+                excitation, enc.lpc, self.history
+            )
+            self.past_excitation = np.concatenate(
+                [self.past_excitation, excitation]
+            )[-len(self.past_excitation):]
+
+        def postfilter():
+            raw = scratch["raw"]
+            # mild smoothing post-filter
+            smoothed = np.copy(raw)
+            smoothed[1:] += 0.25 * raw[:-1]
+            smoothed /= 1.25
+            self.history = smoothed[-dsp.LPC_ORDER:].copy()
+            scratch["pcm"] = smoothed
+
+        fns = {
+            "unpack": unpack,
+            "synthesis": synthesis,
+            "postfilter": postfilter,
+        }
+        for name, budget in DECODER_STAGES:
+            yield name, budget, fns[name]
+        self._scratch = scratch
+
+    def result(self):
+        return self._scratch["pcm"]
+
+    def decode(self, encoded):
+        """Pure functional decode (no timing)."""
+        for _, _, fn in self.stages(encoded):
+            fn()
+        return self.result()

@@ -1,0 +1,175 @@
+"""Signal-processing kernels of the vocoder.
+
+A compact analysis-by-synthesis speech codec in the GSM style the
+paper's vocoder case study uses ([9]: GSM vocoder on a DSP56600): LPC
+short-term prediction (autocorrelation + Levinson–Durbin), long-term
+(pitch) prediction against the past excitation, and a sparse
+multi-pulse fixed codebook — plus the matching decoder. Real numerics
+(numpy), deterministic, frame-by-frame with carried filter state.
+
+This is not a bit-exact GSM EFR implementation (see DESIGN.md,
+substitutions): the *task topology and timing structure* is what Table 1
+measures; the DSP here exists so the specification and architecture
+models compute something real and testable (prediction gain, SNR).
+"""
+
+from dataclasses import dataclass
+
+import numpy as np
+
+FRAME_LEN = 160  # 20 ms at 8 kHz
+LPC_ORDER = 10
+MIN_LAG = 20
+MAX_LAG = 140
+N_PULSES = 10
+
+
+def autocorrelation(frame, order=LPC_ORDER):
+    """First ``order + 1`` autocorrelation lags of the frame."""
+    frame = np.asarray(frame, dtype=np.float64)
+    n = len(frame)
+    return np.array(
+        [np.dot(frame[: n - lag], frame[lag:]) for lag in range(order + 1)]
+    )
+
+
+def levinson_durbin(r, order=LPC_ORDER):
+    """Solve the normal equations by Levinson–Durbin recursion.
+
+    Returns ``(a, k, err)``: prediction coefficients ``a`` (length
+    ``order``, sign convention ``x[n] ~ sum a[i] x[n-1-i]``), reflection
+    coefficients ``k`` and the final prediction error energy.
+    """
+    r = np.asarray(r, dtype=np.float64)
+    if r[0] <= 0:
+        return np.zeros(order), np.zeros(order), 0.0
+    a = np.zeros(order)
+    k = np.zeros(order)
+    err = r[0]
+    for i in range(order):
+        acc = r[i + 1] - np.dot(a[:i], r[i::-1][:i])
+        ki = acc / err
+        k[i] = ki
+        a_new = a.copy()
+        a_new[i] = ki
+        a_new[:i] = a[:i] - ki * a[i - 1 :: -1][:i]
+        a = a_new
+        err *= 1.0 - ki * ki
+        if err <= 0:
+            err = 1e-9
+    return a, k, err
+
+
+def lpc_residual(frame, a, history):
+    """Inverse-filter the frame: residual e[n] = x[n] - sum a[i] x[n-1-i].
+
+    ``history`` holds the last ``len(a)`` samples of the previous frame.
+    """
+    order = len(a)
+    extended = np.concatenate([history[-order:], frame])
+    residual = np.empty(len(frame))
+    for n in range(len(frame)):
+        past = extended[n : n + order][::-1]
+        residual[n] = frame[n] - np.dot(a, past)
+    return residual
+
+
+def synthesis_filter(excitation, a, history):
+    """All-pole synthesis 1/A(z): x[n] = e[n] + sum a[i] x[n-1-i]."""
+    order = len(a)
+    out = np.empty(len(excitation))
+    state = list(history[-order:])
+    for n in range(len(excitation)):
+        past = np.array(state[::-1])
+        out[n] = excitation[n] + np.dot(a, past)
+        state.pop(0)
+        state.append(out[n])
+    return out
+
+
+def pitch_search(residual, past_excitation, min_lag=MIN_LAG, max_lag=MAX_LAG):
+    """Long-term predictor: best integer lag + gain against the adaptive
+    codebook (past excitation)."""
+    target = np.asarray(residual, dtype=np.float64)
+    n = len(target)
+    best_lag, best_gain, best_score = min_lag, 0.0, -np.inf
+    for lag in range(min_lag, max_lag + 1):
+        segment = _delayed_excitation(past_excitation, lag, n)
+        energy = np.dot(segment, segment)
+        if energy <= 0:
+            continue
+        corr = np.dot(target, segment)
+        score = corr * corr / energy
+        if score > best_score:
+            best_score = score
+            best_lag = lag
+            best_gain = corr / energy
+    best_gain = float(np.clip(best_gain, -1.2, 1.2))
+    return best_lag, best_gain
+
+
+def _delayed_excitation(past_excitation, lag, n):
+    """The adaptive-codebook vector for ``lag``, repeating short lags."""
+    past = np.asarray(past_excitation, dtype=np.float64)
+    segment = past[-lag:].copy()
+    while len(segment) < n:
+        segment = np.concatenate([segment, segment[-lag:]])
+    return segment[:n]
+
+
+def codebook_search(target, n_pulses=N_PULSES):
+    """Sparse multi-pulse fixed codebook: greedy pulse placement.
+
+    Returns ``(positions, signs, gain)`` approximating ``target`` by
+    ``gain * sum_i signs[i] * delta[positions[i]]``.
+    """
+    target = np.asarray(target, dtype=np.float64)
+    order = np.argsort(-np.abs(target))
+    positions = np.sort(order[:n_pulses])
+    signs = np.sign(target[positions])
+    signs[signs == 0] = 1.0
+    magnitude = np.abs(target[positions]).mean() if n_pulses else 0.0
+    return positions, signs, float(magnitude)
+
+
+def build_excitation(n, lag, pitch_gain, past_excitation, positions, signs, gain):
+    """Decoder-side excitation: adaptive + fixed codebook contributions."""
+    excitation = pitch_gain * _delayed_excitation(past_excitation, lag, n)
+    excitation[positions] += gain * signs
+    return excitation
+
+
+def quantize(values, step):
+    """Uniform scalar quantization (what the bitstream would carry)."""
+    return np.round(np.asarray(values, dtype=np.float64) / step) * step
+
+
+@dataclass
+class EncodedFrame:
+    """The 'bitstream' of one frame (quantized parameters)."""
+
+    index: int
+    lpc: np.ndarray
+    lag: int
+    pitch_gain: float
+    positions: np.ndarray
+    signs: np.ndarray
+    gain: float
+
+    @property
+    def n(self):
+        return FRAME_LEN
+
+
+def snr_db(reference, reconstructed):
+    """Segmental signal-to-noise ratio of the reconstruction."""
+    reference = np.asarray(reference, dtype=np.float64)
+    reconstructed = np.asarray(reconstructed, dtype=np.float64)
+    noise = reference - reconstructed
+    signal_energy = np.dot(reference, reference)
+    noise_energy = np.dot(noise, noise)
+    if noise_energy == 0:
+        return np.inf
+    if signal_energy == 0:
+        return -np.inf
+    return 10.0 * np.log10(signal_energy / noise_energy)

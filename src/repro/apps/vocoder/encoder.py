@@ -1,0 +1,114 @@
+"""Vocoder encoder: functional core + per-stage timing annotations.
+
+The encoder is structured as named stages, each with a worst-case
+execution-time budget (nanoseconds on the target DSP). The same stage
+list drives every abstraction level:
+
+* specification model — run the stage function, ``waitfor(budget)``;
+* architecture model — run the stage function, ``os.time_wait(budget)``
+  (the refined form of the same code);
+* implementation model — the stage budgets (in cycles) parameterize the
+  generated target code (see :mod:`repro.apps.vocoder.impl`).
+
+Stage budgets total 7.5 ms per 20 ms frame — the encoder share of the
+paper's 9.7 ms back-to-back transcoding delay.
+"""
+
+import numpy as np
+
+from repro.apps.vocoder import dsp
+
+#: (stage name, WCET in ns)
+ENCODER_STAGES = (
+    ("lpc_analysis", 2_000_000),
+    ("pitch_search", 3_000_000),
+    ("codebook_search", 2_000_000),
+    ("pack", 500_000),
+)
+
+ENCODER_WCET_NS = sum(t for _, t in ENCODER_STAGES)
+
+
+class EncoderCore:
+    """Stateful analysis-by-synthesis encoder (one instance per stream)."""
+
+    def __init__(self):
+        self.history = np.zeros(dsp.LPC_ORDER)
+        self.past_excitation = np.zeros(dsp.MAX_LAG + dsp.FRAME_LEN)
+        self._scratch = {}
+
+    def stages(self, index, frame):
+        """Yield ``(name, budget_ns, fn)`` for one frame; calling every
+        ``fn()`` in order produces the :class:`~repro.apps.vocoder.dsp.
+        EncodedFrame` from the last one."""
+        scratch = {}
+
+        def lpc_analysis():
+            r = dsp.autocorrelation(frame)
+            a, _, _ = dsp.levinson_durbin(r)
+            scratch["a"] = dsp.quantize(a, 1 / 512)
+            scratch["residual"] = dsp.lpc_residual(
+                frame, scratch["a"], self.history
+            )
+
+        def pitch_search():
+            lag, gain = dsp.pitch_search(
+                scratch["residual"], self.past_excitation
+            )
+            scratch["lag"] = lag
+            scratch["pitch_gain"] = float(dsp.quantize([gain], 1 / 64)[0])
+            adaptive = scratch["pitch_gain"] * dsp._delayed_excitation(
+                self.past_excitation, lag, len(frame)
+            )
+            scratch["target"] = scratch["residual"] - adaptive
+            scratch["adaptive"] = adaptive
+
+        def codebook_search():
+            positions, signs, gain = dsp.codebook_search(scratch["target"])
+            scratch["positions"] = positions
+            scratch["signs"] = signs
+            scratch["gain"] = float(dsp.quantize([gain], 1 / 128)[0])
+
+        def pack():
+            encoded = dsp.EncodedFrame(
+                index=index,
+                lpc=scratch["a"],
+                lag=scratch["lag"],
+                pitch_gain=scratch["pitch_gain"],
+                positions=scratch["positions"],
+                signs=scratch["signs"],
+                gain=scratch["gain"],
+            )
+            # local decode to keep the adaptive codebook in sync with
+            # the decoder (closed-loop structure)
+            excitation = dsp.build_excitation(
+                len(frame), encoded.lag, encoded.pitch_gain,
+                self.past_excitation, encoded.positions, encoded.signs,
+                encoded.gain,
+            )
+            self.past_excitation = np.concatenate(
+                [self.past_excitation, excitation]
+            )[-len(self.past_excitation):]
+            self.history = frame[-dsp.LPC_ORDER:].copy()
+            scratch["encoded"] = encoded
+
+        fns = {
+            "lpc_analysis": lpc_analysis,
+            "pitch_search": pitch_search,
+            "codebook_search": codebook_search,
+            "pack": pack,
+        }
+        for name, budget in ENCODER_STAGES:
+            yield name, budget, fns[name]
+        self._scratch = scratch
+
+    def result(self):
+        """EncodedFrame produced by the last completed stage sequence."""
+        return self._scratch["encoded"]
+
+    def encode(self, index, frame):
+        """Pure functional encode (no timing) — for tests and the
+        implementation model's reference data."""
+        for _, _, fn in self.stages(index, frame):
+            fn()
+        return self.result()

@@ -1,0 +1,40 @@
+"""Communication library: channels in specification and refined flavors.
+
+Specification-model channels (SLDL events): :class:`Semaphore`,
+:class:`Mutex`, :class:`Queue`, :class:`Handshake`, :class:`Mailbox`.
+
+Architecture-model channels (RTOS calls): :class:`RTOSSemaphore`,
+:class:`RTOSMutex`, :class:`RTOSQueue`, :class:`RTOSHandshake`,
+:class:`RTOSMailbox` — what the paper's synchronization refinement
+(Figure 7) produces.
+
+All potentially blocking channel methods are generators invoked with
+``yield from`` inside behaviors/tasks.
+"""
+
+from repro.channels.handshake import Handshake, HandshakeBase, RTOSHandshake
+from repro.channels.mailbox import Mailbox, MailboxBase, RTOSMailbox
+from repro.channels.mutex import Mutex, MutexBase, RTOSMutex
+from repro.channels.queue import Queue, QueueBase, RTOSQueue
+from repro.channels.semaphore import RTOSSemaphore, Semaphore, SemaphoreBase
+from repro.channels.sync import RTOSSync, SpecSync
+
+__all__ = [
+    "Handshake",
+    "HandshakeBase",
+    "Mailbox",
+    "MailboxBase",
+    "Mutex",
+    "MutexBase",
+    "Queue",
+    "QueueBase",
+    "RTOSHandshake",
+    "RTOSMailbox",
+    "RTOSMutex",
+    "RTOSQueue",
+    "RTOSSemaphore",
+    "RTOSSync",
+    "Semaphore",
+    "SemaphoreBase",
+    "SpecSync",
+]

@@ -1,0 +1,59 @@
+"""Double-handshake rendezvous channel.
+
+A ``send`` completes only after the matching ``recv`` consumed the item
+(sender and receiver rendezvous), modeling unbuffered synchronous
+communication between behaviors — the blocking channel semantics of the
+paper's Figure 8 example (B3 "waits until it receives a message from B2
+through the channel c1").
+"""
+
+from repro.kernel.channel import Channel
+from repro.channels.sync import RTOSSync, SpecSync
+
+
+class HandshakeBase(Channel):
+    """Unbuffered rendezvous over a pluggable synchronization backend."""
+
+    def __init__(self, sync, name=None):
+        super().__init__(name)
+        self._sync = sync
+        self._item = None
+        self._full = False
+        self.erdy = sync.new_event(f"{self.name}.erdy")
+        self.eack = sync.new_event(f"{self.name}.eack")
+        self.transfers = 0
+
+    def send(self, item=None):
+        """Offer ``item`` and block until a receiver took it (generator)."""
+        while self._full:
+            yield from self._sync.wait(self.eack)
+        self._item = item
+        self._full = True
+        yield from self._sync.signal(self.erdy)
+        while self._full:
+            yield from self._sync.wait(self.eack)
+
+    def recv(self):
+        """Block for an offered item and consume it (generator)."""
+        while not self._full:
+            yield from self._sync.wait(self.erdy)
+        item = self._item
+        self._item = None
+        self._full = False
+        self.transfers += 1
+        yield from self._sync.signal(self.eack)
+        return item
+
+
+class Handshake(HandshakeBase):
+    """Specification-model rendezvous (SLDL events)."""
+
+    def __init__(self, name=None):
+        super().__init__(SpecSync(), name)
+
+
+class RTOSHandshake(HandshakeBase):
+    """Architecture-model rendezvous (RTOS events)."""
+
+    def __init__(self, os_model, name=None):
+        super().__init__(RTOSSync(os_model), name)

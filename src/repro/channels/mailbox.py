@@ -1,0 +1,54 @@
+"""Unbounded mailbox channel.
+
+Non-blocking ``post`` (usable from ISR context in the refined flavor,
+where it degenerates to an event notify) plus blocking ``collect``.
+"""
+
+from collections import deque
+
+from repro.kernel.channel import Channel
+from repro.channels.sync import RTOSSync, SpecSync
+
+
+class MailboxBase(Channel):
+    """Unbounded message box over a pluggable synchronization backend."""
+
+    def __init__(self, sync, name=None):
+        super().__init__(name)
+        self._sync = sync
+        self.messages = deque()
+        self.erdy = sync.new_event(f"{self.name}.erdy")
+
+    def post(self, message):
+        """Deposit a message; never blocks (generator for the notify)."""
+        self.messages.append(message)
+        yield from self._sync.signal(self.erdy)
+
+    def collect(self):
+        """Block until a message is available, then take it (generator)."""
+        while not self.messages:
+            yield from self._sync.wait(self.erdy)
+        return self.messages.popleft()
+
+    def try_collect(self):
+        """Non-blocking collect; returns the message or None."""
+        if self.messages:
+            return self.messages.popleft()
+        return None
+
+    def __len__(self):
+        return len(self.messages)
+
+
+class Mailbox(MailboxBase):
+    """Specification-model mailbox (SLDL events)."""
+
+    def __init__(self, name=None):
+        super().__init__(SpecSync(), name)
+
+
+class RTOSMailbox(MailboxBase):
+    """Architecture-model mailbox (RTOS events)."""
+
+    def __init__(self, os_model, name=None):
+        super().__init__(RTOSSync(os_model), name)

@@ -1,0 +1,90 @@
+"""Mutual-exclusion locks, with optional priority inheritance.
+
+The refined flavor can apply the priority-inheritance protocol: while a
+task holds the lock and a more urgent task blocks on it, the holder
+inherits the blocker's priority. This works naturally with the RTOS
+model's schedulers because they evaluate priorities at scheduling points
+rather than caching queue positions. Priority inversion (and its fix) is
+demonstrated in ``examples/scheduler_comparison.py`` and tested in
+``tests/channels/test_mutex.py``.
+"""
+
+from repro.kernel.channel import Channel
+from repro.channels.sync import RTOSSync, SpecSync
+
+
+class MutexBase(Channel):
+    """Lock over a pluggable synchronization backend."""
+
+    def __init__(self, sync, name=None):
+        super().__init__(name)
+        self._sync = sync
+        self.owner = None
+        self.evt = sync.new_event(f"{self.name}.evt")
+
+    def lock(self, who=None):
+        """Acquire the lock (generator). ``who`` labels the owner."""
+        while self.owner is not None:
+            yield from self._blocked_on(self.owner, who)
+            yield from self._sync.wait(self.evt)
+        self.owner = who if who is not None else True
+
+    def unlock(self, who=None):
+        """Release the lock and wake waiters (generator)."""
+        if self.owner is None:
+            raise RuntimeError(f"unlock of unlocked mutex {self.name!r}")
+        self._restore_owner()
+        self.owner = None
+        yield from self._sync.signal(self.evt)
+
+    def locked(self):
+        return self.owner is not None
+
+    # hooks for priority inheritance -----------------------------------
+
+    def _blocked_on(self, owner, who):
+        return iter(())  # no-op generator
+
+    def _restore_owner(self):
+        pass
+
+
+class Mutex(MutexBase):
+    """Specification-model mutex (SLDL events)."""
+
+    def __init__(self, name=None):
+        super().__init__(SpecSync(), name)
+
+
+class RTOSMutex(MutexBase):
+    """Architecture-model mutex (RTOS events).
+
+    With ``priority_inheritance=True`` the owning task inherits the
+    priority of the most urgent task blocked on the lock, bounding
+    priority inversion.
+    """
+
+    def __init__(self, os_model, name=None, priority_inheritance=False):
+        super().__init__(RTOSSync(os_model), name)
+        self.os = os_model
+        self.priority_inheritance = priority_inheritance
+        self._owner_task = None
+        self._base_priority = None
+
+    def lock(self, who=None):
+        task = self.os.self_task()
+        while self.owner is not None:
+            if self.priority_inheritance and self._owner_task is not None:
+                if task is not None and task.priority < self._owner_task.priority:
+                    self._owner_task.priority = task.priority
+            yield from self._sync.wait(self.evt)
+        self.owner = who if who is not None else (task.name if task else True)
+        self._owner_task = task
+        if task is not None:
+            self._base_priority = task.priority
+
+    def _restore_owner(self):
+        if self._owner_task is not None and self._base_priority is not None:
+            self._owner_task.priority = self._base_priority
+        self._owner_task = None
+        self._base_priority = None

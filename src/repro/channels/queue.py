@@ -1,0 +1,64 @@
+"""Bounded FIFO queue channel — the paper's ``c_queue`` (Figure 7).
+
+``send`` blocks while the buffer is full; ``recv`` blocks while it is
+empty. Synchronization uses a data-ready and a space-ready event, exactly
+the ``erdy``/``eack`` pair of the paper's example.
+"""
+
+from collections import deque
+
+from repro.kernel.channel import Channel
+from repro.channels.sync import RTOSSync, SpecSync
+
+
+class QueueBase(Channel):
+    """Bounded FIFO over a pluggable synchronization backend."""
+
+    def __init__(self, sync, capacity=1, name=None):
+        super().__init__(name)
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self._sync = sync
+        self.capacity = capacity
+        self.buffer = deque()
+        self.erdy = sync.new_event(f"{self.name}.erdy")
+        self.eack = sync.new_event(f"{self.name}.eack")
+        self.sent = 0
+        self.received = 0
+
+    def send(self, item):
+        """Enqueue ``item``, blocking while the queue is full (generator)."""
+        while len(self.buffer) >= self.capacity:
+            yield from self._sync.wait(self.eack)
+        self.buffer.append(item)
+        self.sent += 1
+        yield from self._sync.signal(self.erdy)
+
+    def recv(self):
+        """Dequeue one item, blocking while empty (generator).
+
+        Evaluates to the item: ``item = yield from q.recv()``.
+        """
+        while not self.buffer:
+            yield from self._sync.wait(self.erdy)
+        item = self.buffer.popleft()
+        self.received += 1
+        yield from self._sync.signal(self.eack)
+        return item
+
+    def __len__(self):
+        return len(self.buffer)
+
+
+class Queue(QueueBase):
+    """Specification-model bounded queue (SLDL events)."""
+
+    def __init__(self, capacity=1, name=None):
+        super().__init__(SpecSync(), capacity, name)
+
+
+class RTOSQueue(QueueBase):
+    """Architecture-model bounded queue (RTOS events, Figure 7)."""
+
+    def __init__(self, os_model, capacity=1, name=None):
+        super().__init__(RTOSSync(os_model), capacity, name)

@@ -1,0 +1,53 @@
+"""Synchronization backends shared by all channel implementations.
+
+Every channel in this library exists in two flavors, mirroring the
+paper's design flow:
+
+* the **specification** flavor synchronizes through SLDL events
+  (``wait``/``notify`` kernel commands) and is used in the unscheduled
+  model (Figure 2(a));
+* the **refined** flavor synchronizes through RTOS-model calls
+  (``event_wait``/``event_notify``) and is what synchronization
+  refinement produces for the architecture model (Figures 2(b), 7).
+
+The channel logic (buffering, counting, rendezvous) is identical in both
+flavors, so it is written once against the two tiny backends below. Each
+backend exposes generator methods ``wait(evt)`` and ``signal(evt)`` plus
+an event factory, and the channel code delegates with ``yield from``.
+"""
+
+from repro.kernel.commands import Notify, Wait
+from repro.kernel.events import Event
+
+
+class SpecSync:
+    """SLDL-event backend (specification model)."""
+
+    flavor = "spec"
+
+    def new_event(self, name):
+        return Event(name)
+
+    def wait(self, evt):
+        yield Wait(evt)
+
+    def signal(self, evt):
+        yield Notify(evt)
+
+
+class RTOSSync:
+    """RTOS-model backend (architecture model)."""
+
+    flavor = "rtos"
+
+    def __init__(self, os_model):
+        self.os = os_model
+
+    def new_event(self, name):
+        return self.os.event_new(name)
+
+    def wait(self, evt):
+        yield from self.os.event_wait(evt)
+
+    def signal(self, evt):
+        yield from self.os.event_notify(evt)

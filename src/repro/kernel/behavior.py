@@ -1,0 +1,63 @@
+"""Behaviors: the structural modeling unit of the SLDL (SpecC ``behavior``).
+
+A behavior encapsulates computation with a ``main()`` generator method and
+communicates through ports bound to channels. Specification models are
+serial-parallel compositions of behaviors (paper Figure 2(a)); the
+refinement layer converts behaviors into RTOS tasks (Figures 5/6).
+
+Behaviors deliberately stay thin: they are regular Python objects whose
+``main()`` yields kernel commands, so the same behavior code runs
+unmodified in the specification model and — via
+:mod:`repro.refinement.auto` — inside the RTOS-based architecture model.
+"""
+
+from repro.kernel.commands import Par
+
+
+class Behavior:
+    """Base class for SLDL behaviors.
+
+    Subclasses implement :meth:`main` as a generator yielding kernel
+    commands. The ``sim`` attribute is injected by the model top-level (or
+    by :func:`bind`) so behaviors can read the current time for tracing.
+    """
+
+    def __init__(self, name=None, sim=None):
+        self.name = name or type(self).__name__
+        self.sim = sim
+
+    def main(self):
+        """Body of the behavior; must be a generator."""
+        raise NotImplementedError
+        yield  # pragma: no cover
+
+    def bind(self, sim):
+        """Attach the simulator; returns self for chaining."""
+        self.sim = sim
+        return self
+
+    def __repr__(self):
+        return f"{type(self).__name__}({self.name!r})"
+
+
+def seq(*behaviors):
+    """Sequential composition: run each behavior's main() in order.
+
+    SpecC sequential statement composition. Accepts behaviors or raw
+    generators.
+    """
+
+    def _seq():
+        for b in behaviors:
+            gen = b.main() if hasattr(b, "main") else b
+            yield from gen
+
+    return _seq()
+
+
+def par(*behaviors):
+    """Parallel composition command (SpecC ``par { ... }``).
+
+    Usage inside a behavior: ``yield par(b1, b2)``.
+    """
+    return Par(*behaviors)

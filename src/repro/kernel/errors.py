@@ -1,0 +1,30 @@
+"""Exception hierarchy of the SLDL kernel."""
+
+
+class KernelError(Exception):
+    """Base class for all kernel-level errors."""
+
+
+class SimulationError(KernelError):
+    """An error occurred inside a simulated process.
+
+    Wraps the original exception so the failing process can be identified.
+    """
+
+    def __init__(self, process_name, original):
+        super().__init__(f"process {process_name!r} raised {original!r}")
+        self.process_name = process_name
+        self.original = original
+
+
+class DeadlockError(KernelError):
+    """Simulation ended with processes still blocked and no pending events."""
+
+    def __init__(self, blocked):
+        names = ", ".join(sorted(p.name for p in blocked))
+        super().__init__(f"deadlock: processes still blocked: {names}")
+        self.blocked = tuple(blocked)
+
+
+class UnboundPortError(KernelError):
+    """A behavior accessed a port that was never bound to a channel."""

@@ -1,0 +1,56 @@
+"""Ports: typed connection points between behaviors and channels.
+
+SpecC behaviors access channels exclusively through ports bound at
+instantiation. We model this with a small descriptor that raises
+:class:`~repro.kernel.errors.UnboundPortError` when a behavior uses a port
+that was never connected — catching a class of wiring bugs that silent
+``None`` attributes would hide.
+"""
+
+from repro.kernel.errors import UnboundPortError
+
+
+class Port:
+    """Descriptor for a named port on a behavior class.
+
+    Usage::
+
+        class B2(Behavior):
+            c1 = Port("c1")
+
+            def main(self):
+                yield from self.c1.send(data)
+
+        b2 = B2()
+        B2.c1.bind(b2, channel)    # or: b2.c1 = channel
+    """
+
+    def __init__(self, name, interface=None):
+        self.name = name
+        #: optional interface class the bound channel must provide
+        self.interface = interface
+        self._attr = f"_port_{name}"
+
+    def __set_name__(self, owner, attr):
+        self._attr = f"_port_{attr}"
+
+    def __get__(self, obj, objtype=None):
+        if obj is None:
+            return self
+        try:
+            return getattr(obj, self._attr)
+        except AttributeError:
+            raise UnboundPortError(
+                f"port {self.name!r} of {obj!r} is not bound to a channel"
+            ) from None
+
+    def __set__(self, obj, channel):
+        if self.interface is not None and not isinstance(channel, self.interface):
+            raise TypeError(
+                f"port {self.name!r} requires {self.interface.__name__}, "
+                f"got {type(channel).__name__}"
+            )
+        setattr(obj, self._attr, channel)
+
+    def bind(self, obj, channel):
+        self.__set__(obj, channel)

@@ -1,0 +1,359 @@
+"""The discrete-event simulation engine.
+
+The :class:`Simulator` executes processes under SpecC-like semantics:
+
+* Simulated time is a non-negative integer; it only moves forward.
+* Within one timestep, execution proceeds in *delta cycles*: all runnable
+  processes execute until they block; processes woken by event
+  notifications run in the next delta of the same timestep; when no
+  process is runnable, time advances to the earliest pending timer.
+* Scheduling is deterministic: processes run in the order they became
+  ready (FIFO per delta), and timers fire in (time, insertion) order.
+"""
+
+import heapq
+import itertools
+from collections import deque
+
+from repro.kernel.commands import (
+    TIMEOUT,
+    Fork,
+    Join,
+    Notify,
+    Par,
+    Wait,
+    WaitFor,
+)
+from repro.kernel.errors import DeadlockError, KernelError, SimulationError
+from repro.kernel.process import Process, ProcessState
+from repro.kernel.trace import Trace
+
+
+class _Timer:
+    """One entry in the timer heap. Cancellation is lazy."""
+
+    __slots__ = ("time", "seq", "action", "cancelled")
+
+    def __init__(self, time, seq, action):
+        self.time = time
+        self.seq = seq
+        self.action = action
+        self.cancelled = False
+
+    def cancel(self):
+        self.cancelled = True
+
+    def __lt__(self, other):
+        return (self.time, self.seq) < (other.time, other.seq)
+
+
+class Simulator:
+    """Discrete-event simulator with delta-cycle semantics.
+
+    Parameters
+    ----------
+    trace:
+        Optional :class:`~repro.kernel.trace.Trace` recorder. If omitted,
+        a fresh one is created; pass ``trace=None`` explicitly to share a
+        recorder between models.
+    delta_limit:
+        Safety bound on the number of delta cycles within a single
+        timestep; exceeding it raises :class:`KernelError` (catches
+        zero-delay notify loops).
+    """
+
+    def __init__(self, trace=None, delta_limit=100_000):
+        self.now = 0
+        self.delta = 0
+        self.trace = trace if trace is not None else Trace()
+        self._delta_limit = delta_limit
+        self._run_queue = deque()  # processes runnable in current delta
+        self._next_delta = deque()  # processes woken for the next delta
+        self._timers = []  # heap of _Timer
+        self._timer_seq = itertools.count()
+        self._live = set()  # non-terminated processes
+        self._current = None  # process currently executing a step
+        self._started = False
+        self.stats = {
+            "spawned": 0,
+            "steps": 0,
+            "notifications": 0,
+            "timer_fires": 0,
+            "deltas": 0,
+            "timesteps": 0,
+        }
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+
+    def spawn(self, runnable, name=None):
+        """Create a process from ``runnable`` and schedule it.
+
+        ``runnable`` may be a generator, an object with a ``main()``
+        generator method (a :class:`~repro.kernel.behavior.Behavior`), or
+        a zero-argument callable returning a generator.
+        """
+        gen = _as_generator(runnable)
+        if name is None:
+            name = getattr(runnable, "name", None)
+        process = Process(gen, name, self)
+        self._live.add(process)
+        self._run_queue.append(process)
+        self.stats["spawned"] += 1
+        return process
+
+    def schedule_at(self, time, callback):
+        """Run ``callback()`` when simulated time reaches ``time``.
+
+        Used by hardware models (interrupt sources, timers). The callback
+        executes before the processes of that timestep and may notify
+        events or spawn processes; it must not block.
+        """
+        time = int(time)
+        if time < self.now:
+            raise ValueError(f"cannot schedule at {time} < now {self.now}")
+        return self._schedule_timer(time, callback)
+
+    def schedule_after(self, delay, callback):
+        """Run ``callback()`` after ``delay`` time units."""
+        return self.schedule_at(self.now + int(delay), callback)
+
+    def run(self, until=None, check_deadlock=False):
+        """Execute the simulation.
+
+        Runs until no activity remains, or until simulated time would
+        exceed ``until`` (in which case ``now`` is set to ``until``).
+
+        With ``check_deadlock=True``, raises :class:`DeadlockError` if the
+        simulation ends (without ``until`` being the cause) while
+        processes are still blocked.
+        """
+        self._started = True
+        deltas_this_step = 0
+        while True:
+            if self._run_queue:
+                process = self._run_queue.popleft()
+                if not process.terminated:
+                    self._step(process)
+                continue
+            if self._next_delta:
+                self.delta += 1
+                self.stats["deltas"] += 1
+                deltas_this_step += 1
+                if deltas_this_step > self._delta_limit:
+                    raise KernelError(
+                        f"delta limit exceeded at t={self.now} "
+                        "(zero-delay notification loop?)"
+                    )
+                self._run_queue, self._next_delta = (
+                    self._next_delta,
+                    self._run_queue,
+                )
+                continue
+            next_time = self._next_timer_time()
+            if next_time is None:
+                break
+            if until is not None and next_time > until:
+                self.now = until
+                return
+            self.now = next_time
+            # the delta counter is monotonic across the whole run (never
+            # reset) so (time, delta) stamps of event notifications are
+            # globally unique — a zero-delay re-entry at the same time
+            # must not match a stale pending stamp
+            self.delta += 1
+            deltas_this_step = 0
+            self.stats["timesteps"] += 1
+            self._fire_timers(next_time)
+        if until is not None and self.now < until:
+            self.now = until
+        if check_deadlock:
+            blocked = self.blocked_processes()
+            if blocked:
+                raise DeadlockError(blocked)
+
+    def blocked_processes(self):
+        """Processes that are alive but permanently blocked right now."""
+        return [
+            p
+            for p in self._live
+            if p.state in (ProcessState.WAITING, ProcessState.TIMED)
+        ]
+
+    @property
+    def live_process_count(self):
+        return len(self._live)
+
+    # ------------------------------------------------------------------
+    # stepping
+    # ------------------------------------------------------------------
+
+    def _step(self, process):
+        """Resume ``process`` and execute commands until it blocks."""
+        self._current = process
+        process.state = ProcessState.RUNNING
+        value = process.send_value
+        process.send_value = None
+        try:
+            while True:
+                process.step_count += 1
+                self.stats["steps"] += 1
+                try:
+                    command = process.gen.send(value)
+                except StopIteration:
+                    self._terminate(process)
+                    return
+                value = None
+                blocked = self._execute(process, command)
+                if blocked:
+                    return
+                value = process.send_value
+                process.send_value = None
+        except SimulationError:
+            raise
+        except Exception as exc:  # surface model bugs with context
+            self._terminate(process)
+            raise SimulationError(process.name, exc) from exc
+        finally:
+            self._current = None
+
+    def _execute(self, process, command):
+        """Execute one command; return True if the process blocked."""
+        if isinstance(command, WaitFor):
+            process.state = ProcessState.TIMED
+            process.timer = self._schedule_timer(
+                self.now + command.delay, ("resume", process, None)
+            )
+            return True
+        if isinstance(command, Notify):
+            self.stats["notifications"] += len(command.events)
+            for event in command.events:
+                event._notify(self)
+            return False
+        if isinstance(command, Wait):
+            for event in command.events:
+                if (
+                    event._is_pending(self)
+                    and process.consumed_stamps.get(event.uid)
+                    != event._pending_stamp
+                ):
+                    process.consumed_stamps[event.uid] = event._pending_stamp
+                    process.send_value = event
+                    return False
+            if command.timeout == 0:
+                process.send_value = TIMEOUT
+                return False
+            process.state = ProcessState.WAITING
+            process.waiting_events = tuple(command.events)
+            for event in command.events:
+                event._add_waiter(process)
+            if command.timeout is not None:
+                process.state = ProcessState.TIMED
+                process.timer = self._schedule_timer(
+                    self.now + command.timeout, ("resume", process, TIMEOUT)
+                )
+            return True
+        if isinstance(command, Par):
+            children = [
+                self.spawn(child, name=_child_name(process, child, i))
+                for i, child in enumerate(command.children)
+            ]
+            for child in children:
+                child.par_parent = process
+            process.pending_children = len(children)
+            process.state = ProcessState.WAITING
+            return True
+        if isinstance(command, Fork):
+            child = self.spawn(command.child, name=command.name)
+            process.send_value = child
+            return False
+        if isinstance(command, Join):
+            target = command.process
+            if target.terminated:
+                return False
+            target.joiners.append(process)
+            process.state = ProcessState.WAITING
+            return True
+        raise KernelError(
+            f"process {process.name!r} yielded a non-command: {command!r}"
+        )
+
+    def _terminate(self, process):
+        process.state = ProcessState.TERMINATED
+        process._clear_waits()
+        self._live.discard(process)
+        parent = process.par_parent
+        if parent is not None and not parent.terminated:
+            parent.pending_children -= 1
+            if parent.pending_children == 0:
+                parent.state = ProcessState.READY
+                self._next_delta.append(parent)
+        for joiner in process.joiners:
+            if not joiner.terminated:
+                joiner.state = ProcessState.READY
+                self._next_delta.append(joiner)
+        process.joiners = []
+
+    # ------------------------------------------------------------------
+    # wakeups
+    # ------------------------------------------------------------------
+
+    def _wake_from_event(self, process, event):
+        """Called by Event._notify for each waiter; resumes next delta."""
+        process._clear_waits()
+        process.state = ProcessState.READY
+        process.send_value = event
+        self._next_delta.append(process)
+
+    def _schedule_timer(self, time, action):
+        timer = _Timer(time, next(self._timer_seq), action)
+        heapq.heappush(self._timers, timer)
+        return timer
+
+    def _next_timer_time(self):
+        while self._timers and self._timers[0].cancelled:
+            heapq.heappop(self._timers)
+        if not self._timers:
+            return None
+        return self._timers[0].time
+
+    def _fire_timers(self, time):
+        while self._timers and (
+            self._timers[0].cancelled or self._timers[0].time == time
+        ):
+            timer = heapq.heappop(self._timers)
+            if timer.cancelled:
+                continue
+            self.stats["timer_fires"] += 1
+            action = timer.action
+            if isinstance(action, tuple) and action[0] == "resume":
+                _, process, value = action
+                if process.terminated:
+                    continue
+                process.timer = None
+                process._clear_waits()
+                process.state = ProcessState.READY
+                process.send_value = value
+                self._run_queue.append(process)
+            else:
+                action()
+
+
+def _as_generator(runnable):
+    """Normalize the accepted runnable forms into a generator."""
+    if hasattr(runnable, "send") and hasattr(runnable, "throw"):
+        return runnable
+    main = getattr(runnable, "main", None)
+    if main is not None:
+        return _as_generator(main())
+    if callable(runnable):
+        return _as_generator(runnable())
+    raise TypeError(f"cannot run {runnable!r} as a process")
+
+
+def _child_name(parent, child, index):
+    name = getattr(child, "name", None)
+    if name:
+        return name
+    return f"{parent.name}.child{index}"

@@ -1,0 +1,97 @@
+"""Trace recording.
+
+All layers of the reproduction (kernel, RTOS model, platform, ISS) emit
+:class:`TraceRecord` entries into a shared :class:`Trace`. The analysis
+package (:mod:`repro.analysis`) turns these records into Gantt charts,
+response times and the transcoding-delay metric of Table 1.
+
+Record categories used across the project:
+
+``exec``
+    a named actor executed for a time segment (``data`` holds ``start``
+    and ``end``); emitted by behaviors and RTOS tasks.
+``task``
+    an RTOS task state transition (``data["state"]``).
+``sched``
+    scheduler activity: ``dispatch``, ``preempt``, ``switch``.
+``irq``
+    interrupt raised / serviced.
+``chan``
+    channel send/receive.
+``user``
+    free-form application markers.
+"""
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One timestamped trace entry."""
+
+    time: int
+    category: str
+    actor: str
+    info: str = ""
+    data: dict = field(default_factory=dict)
+
+    def __str__(self):
+        extra = f" {self.data}" if self.data else ""
+        return f"[{self.time:>10}] {self.category:<6} {self.actor:<16} {self.info}{extra}"
+
+
+class Trace:
+    """An append-only list of trace records with query helpers."""
+
+    def __init__(self):
+        self.records = []
+        self.enabled = True
+
+    def record(self, time, category, actor, info="", **data):
+        if self.enabled:
+            self.records.append(TraceRecord(time, category, actor, info, data))
+
+    def segment(self, actor, start, end, info="run"):
+        """Record one contiguous execution segment of ``actor``."""
+        self.record(end, "exec", actor, info, start=start, end=end)
+
+    # -- queries -----------------------------------------------------------
+
+    def by_category(self, category):
+        return [r for r in self.records if r.category == category]
+
+    def by_actor(self, actor):
+        return [r for r in self.records if r.actor == actor]
+
+    def segments(self, actor=None):
+        """All ``exec`` segments as (actor, start, end, info) tuples."""
+        result = []
+        for r in self.records:
+            if r.category != "exec":
+                continue
+            if actor is not None and r.actor != actor:
+                continue
+            result.append((r.actor, r.data["start"], r.data["end"], r.info))
+        result.sort(key=lambda s: (s[1], s[2]))
+        return result
+
+    def count(self, category, info=None):
+        return sum(
+            1
+            for r in self.records
+            if r.category == category and (info is None or r.info == info)
+        )
+
+    def clear(self):
+        self.records.clear()
+
+    def __len__(self):
+        return len(self.records)
+
+    def __iter__(self):
+        return iter(self.records)
+
+    def dump(self, limit=None):
+        """Human-readable rendering of the trace (for examples/benches)."""
+        records = self.records if limit is None else self.records[:limit]
+        return "\n".join(str(r) for r in records)

@@ -1,0 +1,18 @@
+"""Platform modeling: PEs, busses, drivers and interrupts (Figure 3)."""
+
+from repro.platform.architecture import Architecture
+from repro.platform.bus import Bus
+from repro.platform.driver import BusLink, InterruptDriver
+from repro.platform.interrupt import InterruptController, InterruptSource, IrqLine
+from repro.platform.pe import ProcessingElement
+
+__all__ = [
+    "Architecture",
+    "Bus",
+    "BusLink",
+    "InterruptController",
+    "InterruptDriver",
+    "InterruptSource",
+    "IrqLine",
+    "ProcessingElement",
+]

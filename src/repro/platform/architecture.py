@@ -1,0 +1,50 @@
+"""System architecture: PEs + busses + boot protocol."""
+
+from repro.kernel.commands import WaitFor
+from repro.kernel.simulator import Simulator
+from repro.platform.bus import Bus
+from repro.platform.pe import ProcessingElement
+
+
+class Architecture:
+    """A multi-PE system model.
+
+    Owns the simulator, the PEs and the busses; ``run`` boots every PE
+    (unlocking each local RTOS after all initial task activations of
+    t=0, the standard boot pattern) and executes the simulation.
+    """
+
+    def __init__(self, sim=None, name="system"):
+        self.sim = sim if sim is not None else Simulator()
+        self.name = name
+        self.pes = {}
+        self.buses = {}
+
+    def add_pe(self, name, sched=None, preemption="step"):
+        if name in self.pes:
+            raise ValueError(f"duplicate PE name {name!r}")
+        pe = ProcessingElement(self.sim, name, sched=sched, preemption=preemption)
+        self.pes[name] = pe
+        return pe
+
+    def add_bus(self, name, width=4, cycle_time=10):
+        if name in self.buses:
+            raise ValueError(f"duplicate bus name {name!r}")
+        bus = Bus(self.sim, name=name, width=width, cycle_time=cycle_time)
+        self.buses[name] = bus
+        return bus
+
+    def run(self, until=None):
+        """Boot all PEs and run the simulation."""
+
+        def _boot():
+            yield WaitFor(0)
+            for pe in self.pes.values():
+                pe.boot()
+
+        self.sim.spawn(_boot(), name=f"{self.name}.boot")
+        self.sim.run(until=until)
+
+    @property
+    def trace(self):
+        return self.sim.trace

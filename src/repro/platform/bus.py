@@ -1,0 +1,62 @@
+"""Shared system bus with arbitration and transfer timing.
+
+Communication synthesis (paper Figure 1) maps inter-PE channels onto a
+bus; the bus model here provides occupancy arbitration and a transfer
+delay of ``ceil(nbytes / width) * cycle_time``, enough to give inter-PE
+messages realistic, contention-dependent latency.
+"""
+
+from repro.kernel.channel import Channel
+from repro.kernel.commands import Notify, Wait, WaitFor
+from repro.kernel.events import Event
+
+
+class Bus(Channel):
+    """A single-master-at-a-time bus.
+
+    Arbitration: requesters queue; the release wakes all of them and the
+    most urgent request (lowest ``priority`` value, FIFO among equals)
+    re-acquires first. Acquisition order is tracked explicitly so the
+    policy is deterministic.
+    """
+
+    def __init__(self, sim, name="bus", width=4, cycle_time=10):
+        super().__init__(name)
+        if width < 1 or cycle_time < 0:
+            raise ValueError("bus width must be >=1 and cycle_time >= 0")
+        self.sim = sim
+        self.width = width
+        self.cycle_time = cycle_time
+        self.busy = False
+        self._free_evt = Event(f"{name}.free")
+        self._requests = []  # (priority, seq, master) of pending requests
+        self._seq = 0
+        self.transfer_count = 0
+        self.busy_time = 0
+
+    def transfer_cycles(self, nbytes):
+        return -(-nbytes // self.width)  # ceil division
+
+    def transfer(self, nbytes, master="?", priority=0):
+        """Occupy the bus for one message of ``nbytes`` (generator)."""
+        if nbytes <= 0:
+            raise ValueError(f"transfer of {nbytes} bytes")
+        request = (priority, self._seq, master)
+        self._seq += 1
+        self._requests.append(request)
+        while self.busy or min(self._requests) != request:
+            yield Wait(self._free_evt)
+        self._requests.remove(request)
+        self.busy = True
+        duration = self.transfer_cycles(nbytes) * self.cycle_time
+        started = self.sim.now
+        if duration:
+            yield WaitFor(duration)
+        self.busy = False
+        self.transfer_count += 1
+        self.busy_time += self.sim.now - started
+        self.sim.trace.record(
+            self.sim.now, "chan", self.name, "transfer",
+            master=master, nbytes=nbytes, start=started,
+        )
+        yield Notify(self._free_evt)

@@ -1,0 +1,89 @@
+"""Bus drivers: message transport between PEs with interrupt signaling.
+
+This is the Figure-3 communication structure: a sender on one PE pushes a
+message across the bus; delivery raises an interrupt at the receiving PE,
+whose ISR releases a semaphore; the receiving driver (called from a task
+or behavior) blocks on that semaphore and then collects the data.
+
+The driver is flavor-agnostic: give it a specification-model
+:class:`~repro.channels.semaphore.Semaphore` for the unscheduled model,
+or an :class:`~repro.channels.semaphore.RTOSSemaphore` plus the PE's
+:class:`~repro.rtos.model.RTOSModel` for the architecture model.
+"""
+
+from collections import deque
+
+from repro.kernel.channel import Channel
+
+
+class BusLink(Channel):
+    """One directed message link mapped onto a shared bus.
+
+    ``send`` occupies the bus for the message size and then raises the
+    receiver's IRQ line. Payload delivery is modeled by a FIFO mailbox
+    the receiving driver drains.
+    """
+
+    def __init__(self, sim, bus, irq_line, name=None, priority=0):
+        super().__init__(name)
+        self.sim = sim
+        self.bus = bus
+        self.irq_line = irq_line
+        self.priority = priority
+        self.pending = deque()
+
+    def send(self, data, nbytes=4, master=None):
+        """Transfer ``data`` over the bus and interrupt the receiver."""
+        yield from self.bus.transfer(
+            nbytes, master=master or self.name, priority=self.priority
+        )
+        self.pending.append(data)
+        self.irq_line.raise_irq()
+
+    def take(self):
+        """Pop the oldest delivered message (driver-side, non-blocking)."""
+        if not self.pending:
+            raise RuntimeError(f"link {self.name!r} has no pending message")
+        return self.pending.popleft()
+
+
+class InterruptDriver(Channel):
+    """Receiving-side bus driver of Figure 3.
+
+    Parameters
+    ----------
+    link:
+        The :class:`BusLink` delivering messages to this PE.
+    semaphore:
+        ``Semaphore`` (spec flavor) or ``RTOSSemaphore`` (refined
+        flavor) used by the ISR to signal the driver.
+    os_model:
+        The PE's RTOS model; when given, the ISR ends with
+        ``interrupt_return`` (architecture model). Omit in the
+        unscheduled model.
+    """
+
+    def __init__(self, link, semaphore, os_model=None, name=None):
+        super().__init__(name)
+        self.link = link
+        self.semaphore = semaphore
+        self.os = os_model
+        self.received = 0
+
+    def isr(self):
+        """Interrupt service routine (generator) — register this with the
+        PE's interrupt controller for the link's IRQ line."""
+        yield from self.semaphore.release()
+        if self.os is not None:
+            self.os.interrupt_return()
+
+    def recv(self):
+        """Block until a message arrived, then return it (generator).
+
+        Called from behaviors (spec model) or tasks (architecture
+        model); the blocking goes through the semaphore, so the refined
+        flavor is fully under RTOS control.
+        """
+        yield from self.semaphore.acquire()
+        self.received += 1
+        return self.link.take()

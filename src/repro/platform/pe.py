@@ -1,0 +1,81 @@
+"""Processing elements.
+
+A :class:`ProcessingElement` groups what one PE of the architecture model
+contains (paper Figure 3(b)): an optional local RTOS model instance, an
+interrupt controller, the tasks/behaviors mapped to it, and bookkeeping
+for its drivers.
+"""
+
+from repro.platform.interrupt import InterruptController
+from repro.rtos.model import RTOSModel
+
+
+class ProcessingElement:
+    """One PE of the system architecture.
+
+    With ``sched`` given, the PE carries a local RTOS model (dynamic
+    scheduling); without it the PE runs its behaviors directly on the
+    SLDL kernel (purely static scheduling / unscheduled).
+    """
+
+    def __init__(self, sim, name, sched=None, preemption="step"):
+        self.sim = sim
+        self.name = name
+        self.os = (
+            RTOSModel(sim, sched=sched, preemption=preemption, name=f"{name}.os")
+            if sched is not None
+            else None
+        )
+        self.pic = InterruptController(sim, name=f"{name}.pic")
+        self.tasks = []
+        self.drivers = []
+        self._boot_actions = []
+
+    # -- construction API ----------------------------------------------
+
+    def add_task(self, name, body, tasktype=None, period=0, wcet=0,
+                 priority=None, rel_deadline=None):
+        """Create an RTOS task running ``body`` (a generator) on this PE.
+
+        Only valid on PEs with an RTOS model. Returns the task handle.
+        """
+        if self.os is None:
+            raise RuntimeError(f"PE {self.name!r} has no RTOS model")
+        from repro.rtos.task import APERIODIC
+
+        if tasktype is None:
+            tasktype = APERIODIC
+        task = self.os.task_create(
+            name, tasktype, period, wcet,
+            priority=priority, rel_deadline=rel_deadline,
+        )
+        self.tasks.append(task)
+        self.sim.spawn(self.os.task_body(task, body), name=f"{self.name}.{name}")
+        return task
+
+    def add_process(self, runnable, name=None):
+        """Run a plain SLDL process on this PE (unscheduled model)."""
+        return self.sim.spawn(runnable, name=f"{self.name}.{name or 'proc'}")
+
+    def add_driver(self, driver, irq_line, isr_name=None):
+        """Attach a receiving bus driver: registers its ISR on the PIC."""
+        self.drivers.append(driver)
+        self.pic.register(irq_line, driver.isr, name=isr_name)
+        return driver
+
+    def on_boot(self, action):
+        """Register a callable executed when the architecture boots."""
+        self._boot_actions.append(action)
+
+    def boot(self):
+        """Start this PE's RTOS (called by the architecture bootstrap)."""
+        for action in self._boot_actions:
+            action()
+        if self.os is not None:
+            self.os.start()
+
+    # -- results ---------------------------------------------------------
+
+    @property
+    def metrics(self):
+        return self.os.metrics if self.os is not None else None

@@ -1,0 +1,21 @@
+"""Dynamic-scheduling refinement: unscheduled model → architecture model.
+
+* :class:`~repro.refinement.auto.DynamicSchedulingRefinement` — the
+  automatic tool (command-level translation of unchanged behaviors).
+* :mod:`repro.refinement.manual` — the Figure 5–7 steps as helpers.
+* :class:`~repro.refinement.spec.RefinementSpec` — per-task parameters.
+"""
+
+from repro.refinement.auto import DynamicSchedulingRefinement, RefinementError
+from repro.refinement.manual import par_tasks, refine_channel, task_frame
+from repro.refinement.spec import RefinementSpec, TaskParams
+
+__all__ = [
+    "DynamicSchedulingRefinement",
+    "RefinementError",
+    "RefinementSpec",
+    "TaskParams",
+    "par_tasks",
+    "refine_channel",
+    "task_frame",
+]

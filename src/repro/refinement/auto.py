@@ -1,0 +1,197 @@
+"""Automatic dynamic-scheduling refinement (paper Section 4.2).
+
+The paper refines the unscheduled specification model into the
+architecture model by replacing SLDL primitives with RTOS-model calls
+(Figures 5–7) and reports "a tool that performs the refinement of
+unscheduled specification models into RTOS-based architecture models
+automatically".
+
+This module is the executable analog of that tool. Instead of rewriting
+source text, it interprets the *same* application generators and
+translates every SLDL command they yield into the corresponding RTOS
+call, at run time:
+
+====================  ==========================================
+specification yields  architecture model executes
+====================  ==========================================
+``WaitFor(d)``        ``os.time_wait(d)``
+``Wait(e)``           ``os.event_wait(map(e))``
+``Notify(e, ...)``    ``os.event_notify(map(e))`` for each event
+``Par(c1, c2)``       ``os.par_start()``; children refined into
+                      tasks and forked; ``os.par_end()``
+====================  ==========================================
+
+SLDL events are mapped one-to-one onto RTOS events (``event_new``),
+shared across all tasks and ISRs refined by the same instance — so
+specification channels (which synchronize through events) work
+unchanged inside the refined model.
+
+Unsupported constructs (``Fork``/``Join``, wait-any over several
+events, waits with timeouts) raise :class:`RefinementError`: the RTOS
+interface of Figure 4 has no counterpart for them, exactly as in the
+paper — such specs must be restructured or refined manually.
+"""
+
+from repro.kernel.commands import Fork, Join, Notify, Par, Wait, WaitFor
+from repro.rtos.errors import RTOSError
+
+
+class RefinementError(RTOSError):
+    """The specification uses a construct the RTOS interface lacks."""
+
+
+class DynamicSchedulingRefinement:
+    """Refines behaviors of one PE onto that PE's RTOS model.
+
+    One instance per PE; it owns the SLDL-event → RTOS-event mapping so
+    tasks and ISRs of the PE agree on the refined events.
+    """
+
+    def __init__(self, os_model, spec=None):
+        from repro.refinement.spec import RefinementSpec
+
+        self.os = os_model
+        self.spec = spec if spec is not None else RefinementSpec()
+        self.event_map = {}
+        self.tasks = []
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+
+    def refine_task(self, runnable, name=None):
+        """Refine a behavior/generator into a complete RTOS task.
+
+        Returns ``(process_generator, task)``: spawn the generator on
+        the kernel (or include it in a ``par``); the task handle gives
+        access to statistics.
+        """
+        gen, name = self._as_gen(runnable, name)
+        task = self._create_task(name)
+        wrapped = self.os.task_body(task, self._translate(gen, task))
+        return wrapped, task
+
+    def refine_isr(self, handler_factory, name=None):
+        """Refine an interrupt service routine.
+
+        The returned factory produces generators in which SLDL
+        notifications are RTOS notifications and which end with
+        ``interrupt_return`` — the ISR refinement of Figure 3(b).
+        Register it with the PE's interrupt controller.
+        """
+
+        def _factory():
+            gen, _ = self._as_gen(handler_factory(), name)
+            yield from self._translate_isr(gen)
+            self.os.interrupt_return()
+
+        return _factory
+
+    def map_event(self, sldl_event):
+        """RTOS event standing in for ``sldl_event`` (created on demand)."""
+        rtos_event = self.event_map.get(sldl_event.uid)
+        if rtos_event is None:
+            rtos_event = self.os.event_new(sldl_event.name)
+            self.event_map[sldl_event.uid] = rtos_event
+        return rtos_event
+
+    # ------------------------------------------------------------------
+    # translation
+    # ------------------------------------------------------------------
+
+    def _create_task(self, name):
+        params = self.spec.params_for(name, len(self.tasks))
+        task = self.os.task_create(
+            name,
+            params.tasktype,
+            params.period,
+            params.wcet,
+            priority=params.priority,
+            rel_deadline=params.rel_deadline,
+        )
+        self.tasks.append(task)
+        return task
+
+    def _translate(self, gen, task):
+        """Drive ``gen``, replacing each SLDL command with RTOS calls."""
+        send_value = None
+        while True:
+            try:
+                command = gen.send(send_value)
+            except StopIteration as stop:
+                return stop.value
+            send_value = yield from self._execute(command, task)
+
+    def _execute(self, command, task):
+        if isinstance(command, WaitFor):
+            yield from self.os.time_wait(command.delay)
+            return None
+        if isinstance(command, Notify):
+            for event in command.events:
+                yield from self.os.event_notify(self.map_event(event))
+            return None
+        if isinstance(command, Wait):
+            if len(command.events) != 1 or command.timeout is not None:
+                raise RefinementError(
+                    "the RTOS interface has no wait-any/timeout; "
+                    f"cannot refine {command!r}"
+                )
+            event = command.events[0]
+            yield from self.os.event_wait(self.map_event(event))
+            return event
+        if isinstance(command, Par):
+            yield from self._refine_par(command, task)
+            return None
+        if isinstance(command, (Fork, Join)):
+            raise RefinementError(
+                f"{type(command).__name__} has no RTOS-interface "
+                "counterpart; use par or refine manually"
+            )
+        raise RefinementError(f"cannot refine unknown command {command!r}")
+
+    def _refine_par(self, command, parent_task):
+        """Figure 6: dynamic fork/join of child tasks."""
+        children = []
+        for i, child in enumerate(command.children):
+            gen, name = self._as_gen(child, None)
+            if name is None:
+                name = f"{parent_task.name}.child{i}"
+            child_task = self._create_task(name)
+            children.append(self.os.task_body(child_task, self._translate(gen, child_task)))
+        yield from self.os.par_start()
+        yield Par(*children)
+        yield from self.os.par_end()
+
+    def _translate_isr(self, gen):
+        """ISR context: translate notifications; reject blocking waits.
+
+        ISRs may consume SLDL time (hardware latency) but must not block
+        on RTOS events — interrupt handlers cannot sleep.
+        """
+        send_value = None
+        while True:
+            try:
+                command = gen.send(send_value)
+            except StopIteration as stop:
+                return stop.value
+            if isinstance(command, Notify):
+                for event in command.events:
+                    yield from self.os.event_notify(self.map_event(event))
+                send_value = None
+            elif isinstance(command, WaitFor):
+                yield command
+                send_value = None
+            else:
+                raise RefinementError(
+                    f"ISR may not block: cannot refine {command!r} in ISR"
+                )
+
+    @staticmethod
+    def _as_gen(runnable, name):
+        if hasattr(runnable, "main"):
+            return runnable.main(), name or getattr(runnable, "name", None)
+        if hasattr(runnable, "send"):
+            return runnable, name
+        if callable(runnable):
+            return runnable(), name or getattr(runnable, "__name__", None)
+        raise TypeError(f"cannot refine {runnable!r}")

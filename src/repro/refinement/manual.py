@@ -1,0 +1,64 @@
+"""Manual refinement helpers (the Figure 5–7 steps as library calls).
+
+The paper reports that manual refinement of the vocoder took under an
+hour and changed ~1% of the code; these helpers keep a hand-refined
+model equally small:
+
+* :func:`refine_channel` — Figure 7: swap a specification channel's
+  synchronization onto the RTOS model in place (its SLDL events are
+  replaced by RTOS events, ``wait``/``notify`` become
+  ``event_wait``/``event_notify``);
+* :func:`task_frame` — Figure 5: wrap a body generator in the
+  ``task_activate`` … ``task_terminate`` frame (alias of
+  ``RTOSModel.task_body``);
+* :func:`par_tasks` — Figure 6: the ``par_start`` / fork / ``par_end``
+  sequence for dynamic child-task creation.
+"""
+
+from repro.channels.sync import RTOSSync
+from repro.kernel.commands import Par
+from repro.kernel.events import Event
+
+
+def refine_channel(channel, os_model):
+    """Refine a specification channel onto the RTOS model, in place.
+
+    Replaces the channel's sync backend with :class:`RTOSSync` and every
+    SLDL :class:`~repro.kernel.events.Event` attribute with a fresh RTOS
+    event of the same name — the mechanical substitution of Figure 7.
+    Returns the channel for chaining.
+    """
+    if getattr(channel, "_sync", None) is None:
+        raise TypeError(f"{channel!r} is not a refinable channel")
+    channel._sync = RTOSSync(os_model)
+    for attr, value in vars(channel).items():
+        if isinstance(value, Event):
+            setattr(channel, attr, os_model.event_new(value.name))
+    return channel
+
+
+def task_frame(os_model, task, body):
+    """Figure 5: enclose ``body`` in task_activate/task_terminate."""
+    return os_model.task_body(task, body)
+
+
+def par_tasks(os_model, *children):
+    """Figure 6: fork child tasks and join them (generator).
+
+    ``children`` are ``(task, body_generator)`` pairs; the caller must
+    be a running task. Equivalent to::
+
+        yield from os.par_start()
+        par { child bodies ... }
+        yield from os.par_end()
+    """
+
+    def _gen():
+        wrapped = [
+            os_model.task_body(task, body) for task, body in children
+        ]
+        yield from os_model.par_start()
+        yield Par(*wrapped)
+        yield from os_model.par_end()
+
+    return _gen()

@@ -1,0 +1,59 @@
+"""Refinement parameters: how behaviors map onto tasks.
+
+During dynamic-scheduling refinement, "processes inside the PEs are
+converted into tasks with assigned priorities" (paper Section 3). The
+designer supplies those per-task parameters here; anything not given
+falls back to documented defaults.
+"""
+
+from dataclasses import dataclass
+
+from repro.rtos.task import APERIODIC, DEFAULT_PRIORITY
+
+
+@dataclass
+class TaskParams:
+    """Creation parameters of one refined task."""
+
+    priority: int = DEFAULT_PRIORITY
+    tasktype: int = APERIODIC
+    period: int = 0
+    wcet: int = 0
+    rel_deadline: int | None = None
+
+
+class RefinementSpec:
+    """Per-task parameter table for a refinement run.
+
+    Parameters
+    ----------
+    params:
+        ``{task_name: TaskParams}`` for explicit control.
+    priorities:
+        shorthand ``{task_name: priority}`` for the common case.
+    auto_priority:
+        ``"order"`` assigns priorities by task-creation order (earlier
+        created = more urgent) to any task without an explicit entry;
+        ``None`` (default) gives them :data:`DEFAULT_PRIORITY`.
+    """
+
+    def __init__(self, params=None, priorities=None, auto_priority=None):
+        if auto_priority not in (None, "order"):
+            raise ValueError(f"unknown auto_priority policy: {auto_priority!r}")
+        self.params = dict(params or {})
+        self.priorities = dict(priorities or {})
+        self.auto_priority = auto_priority
+
+    def params_for(self, name, index):
+        """Resolve the creation parameters for task ``name``.
+
+        ``index`` is the task-creation ordinal, used by the ``order``
+        auto-priority policy.
+        """
+        if name in self.params:
+            return self.params[name]
+        if name in self.priorities:
+            return TaskParams(priority=self.priorities[name])
+        if self.auto_priority == "order":
+            return TaskParams(priority=index)
+        return TaskParams()

@@ -1,0 +1,66 @@
+"""The abstract RTOS model of the paper (its core contribution).
+
+Public surface:
+
+* :class:`~repro.rtos.model.RTOSModel` — the Figure-4 interface.
+* :mod:`repro.rtos.sched` — scheduling policies and the
+  ``start(sched_alg)`` constants.
+* :data:`~repro.rtos.task.PERIODIC` / :data:`~repro.rtos.task.APERIODIC`
+  task types, :class:`~repro.rtos.task.Task` handles.
+* :class:`~repro.rtos.errors.TaskKilled` control-flow signal.
+"""
+
+from repro.rtos.errors import RTOSError, TaskKilled
+from repro.rtos.events import RTOSEvent
+from repro.rtos.metrics import RTOSMetrics
+from repro.rtos.model import RTOSModel
+from repro.rtos.sched import (
+    EDF,
+    FIFO,
+    RMS,
+    SCHED_EDF,
+    SCHED_FIFO,
+    SCHED_PRIORITY,
+    SCHED_PRIORITY_NP,
+    SCHED_RMS,
+    SCHED_RR,
+    FixedPriority,
+    RoundRobin,
+    Scheduler,
+    make_scheduler,
+)
+from repro.rtos.task import (
+    APERIODIC,
+    DEFAULT_PRIORITY,
+    PERIODIC,
+    Task,
+    TaskState,
+    TaskStats,
+)
+
+__all__ = [
+    "APERIODIC",
+    "DEFAULT_PRIORITY",
+    "EDF",
+    "FIFO",
+    "FixedPriority",
+    "PERIODIC",
+    "RMS",
+    "RoundRobin",
+    "RTOSError",
+    "RTOSEvent",
+    "RTOSMetrics",
+    "RTOSModel",
+    "SCHED_EDF",
+    "SCHED_FIFO",
+    "SCHED_PRIORITY",
+    "SCHED_PRIORITY_NP",
+    "SCHED_RMS",
+    "SCHED_RR",
+    "Scheduler",
+    "Task",
+    "TaskKilled",
+    "TaskState",
+    "TaskStats",
+    "make_scheduler",
+]

@@ -1,0 +1,42 @@
+"""RTOS-level events (paper Section 4.1, *event handling*).
+
+During synchronization refinement (Figure 7) the SLDL events of the
+specification model are replaced by RTOS events allocated through
+``event_new`` and operated through ``event_wait`` / ``event_notify``.
+
+Semantics (re-implementing the SLDL event semantics inside the serialized
+RTOS world, as the paper requires):
+
+* ``event_notify`` moves **all** tasks currently queued on the event back
+  into the ready queue.
+* Because the RTOS model serializes tasks, a notify and the corresponding
+  wait that were simultaneous (same delta) in the specification model may
+  execute in either order within one *timestep* of the refined model. To
+  preserve the SLDL rendezvous, a notification with no waiters stays
+  *pending for the remainder of the current timestep* and is consumed by
+  the first ``event_wait`` issued in that same timestep. It never
+  persists across timesteps (events are not semaphores).
+"""
+
+import itertools
+
+_rtos_event_ids = itertools.count()
+
+
+class RTOSEvent:
+    """An event object managed by the RTOS model (paper type ``evt``)."""
+
+    __slots__ = ("name", "uid", "queue", "pending_time", "notify_count", "deleted")
+
+    def __init__(self, name=None):
+        self.uid = next(_rtos_event_ids)
+        self.name = name or f"evt{self.uid}"
+        #: tasks blocked in event_wait on this event
+        self.queue = []
+        #: timestep of an unconsumed notification (same-timestep rule)
+        self.pending_time = None
+        self.notify_count = 0
+        self.deleted = False
+
+    def __repr__(self):
+        return f"RTOSEvent({self.name!r}, waiting={len(self.queue)})"

@@ -1,0 +1,57 @@
+"""Global RTOS-model counters.
+
+These are the numbers Table 1 reports for the architecture model
+(context switches) plus everything needed by the scheduler ablations.
+Per-task statistics live in :class:`repro.rtos.task.TaskStats`.
+"""
+
+
+class RTOSMetrics:
+    """Counters maintained by one :class:`~repro.rtos.model.RTOSModel`."""
+
+    __slots__ = (
+        "context_switches",
+        "dispatches",
+        "preemptions",
+        "interrupts",
+        "deadline_misses",
+        "busy_time",
+        "overhead_time",
+    )
+
+    def __init__(self):
+        self.reset()
+
+    def reset(self):
+        #: CPU occupant changed from one task to a different task
+        self.context_switches = 0
+        #: scheduler handed the CPU to a task
+        self.dispatches = 0
+        #: a running task lost the CPU to a higher-urgency task
+        self.preemptions = 0
+        #: interrupt_return invocations (serviced interrupts)
+        self.interrupts = 0
+        #: periodic instances that completed after their deadline
+        self.deadline_misses = 0
+        #: accumulated simulated time with a task occupying the CPU
+        self.busy_time = 0
+        #: simulated time spent in modeled kernel overhead (context
+        #: switch cost), when the model is configured with one
+        self.overhead_time = 0
+
+    def idle_time(self, total_time):
+        """Simulated idle time given the total simulated span."""
+        return total_time - self.busy_time
+
+    def utilization(self, total_time):
+        """CPU utilization over the simulated span (0..1)."""
+        if total_time <= 0:
+            return 0.0
+        return self.busy_time / total_time
+
+    def as_dict(self):
+        return {name: getattr(self, name) for name in self.__slots__}
+
+    def __repr__(self):
+        inner = ", ".join(f"{k}={v}" for k, v in self.as_dict().items())
+        return f"RTOSMetrics({inner})"

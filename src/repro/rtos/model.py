@@ -1,0 +1,644 @@
+"""The RTOS model — the paper's core contribution (Section 4).
+
+:class:`RTOSModel` is a channel layered between the application and the
+SLDL kernel (paper Figure 2(b)). It implements the complete interface of
+Figure 4 and serializes task execution on top of the concurrent SLDL:
+at any simulated instant at most one task of a PE is *running*; all other
+tasks are blocked on per-task SLDL dispatch events. Whenever task states
+change inside an RTOS call, the scheduler is invoked and the selected
+task is dispatched by releasing its dispatch event (Section 4.3).
+
+Calling convention
+------------------
+The model is used from inside SLDL processes. Calls that may block or
+reschedule are generators and must be delegated to with ``yield from``::
+
+    def task_b2_main():
+        yield from os.task_activate(b2)
+        yield from os.time_wait(500)
+        yield from os.task_terminate()
+
+``init``, ``start``, ``interrupt_return``, ``task_create``, ``event_new``
+and ``event_del`` never block and are plain methods.
+
+Preemption modes
+----------------
+``preemption="step"`` (the paper's model): an interrupt at t4 can make a
+higher-priority task ready, but the running task keeps the CPU until the
+end of its current delay step (t4′) — accuracy is bounded by the
+granularity of the task delay model, exactly as discussed in Section 4.3.
+
+``preemption="immediate"`` (extension, in the spirit of later
+result-oriented-modeling work): the in-flight ``time_wait`` of the
+running task is aborted at t4, the remaining delay is resumed after the
+task is re-dispatched. Used by the accuracy ablation benches.
+"""
+
+from repro.kernel.channel import Channel
+from repro.kernel.commands import TIMEOUT, Wait, WaitFor
+from repro.rtos.errors import RTOSError, TaskKilled
+from repro.rtos.events import RTOSEvent
+from repro.rtos.metrics import RTOSMetrics
+from repro.rtos.sched import make_scheduler
+from repro.rtos.task import (
+    APERIODIC,
+    DEFAULT_PRIORITY,
+    PERIODIC,
+    Task,
+    TaskState,
+)
+
+_BLOCKED_STATES = (
+    TaskState.WAITING,
+    TaskState.SLEEPING,
+    TaskState.PARENT_WAIT,
+    TaskState.IDLE_PERIOD,
+)
+
+
+class RTOSModel(Channel):
+    """Abstract RTOS for one processing element.
+
+    Parameters
+    ----------
+    sim:
+        The :class:`~repro.kernel.simulator.Simulator` this model runs on.
+    sched:
+        Scheduling policy — anything :func:`repro.rtos.sched.make_scheduler`
+        accepts (``"priority"``, ``"rr"``, ``"edf"``, an int constant, a
+        :class:`~repro.rtos.sched.base.Scheduler` instance, ...).
+    preemption:
+        ``"step"`` (paper) or ``"immediate"`` (extension), see module doc.
+    switch_overhead:
+        Simulated time each context switch costs on the target CPU
+        (kernel save/restore + scheduler). The paper's model treats the
+        RTOS as free; this extension — the refinement direction later
+        TLM work took — lets the architecture model account for the
+        kernel overhead the implementation model exhibits. Overhead
+        time accrues in ``metrics.overhead_time`` (not in task
+        execution times).
+    name:
+        Label used in traces (one model per PE, e.g. ``"DSP.os"``).
+    """
+
+    def __init__(self, sim, sched="priority", preemption="step", name="rtos",
+                 switch_overhead=0):
+        super().__init__(name)
+        if preemption not in ("step", "immediate"):
+            raise ValueError(f"unknown preemption mode: {preemption!r}")
+        if switch_overhead < 0:
+            raise ValueError(f"negative switch overhead: {switch_overhead}")
+        self.switch_overhead = int(switch_overhead)
+        self.sim = sim
+        self.trace = sim.trace
+        self.scheduler = make_scheduler(sched)
+        self.preemption = preemption
+        self.metrics = RTOSMetrics()
+        self.tasks = []
+        self.events = []
+        self._by_process = {}
+        self._running = None
+        self._last_occupant = None
+        self._started = False
+        self._dispatch_pending = False
+
+    # ------------------------------------------------------------------
+    # operating system management
+    # ------------------------------------------------------------------
+
+    def init(self):
+        """Initialize (or reset) the kernel data structures."""
+        self.tasks = []
+        self.events = []
+        self._by_process = {}
+        self._running = None
+        self._last_occupant = None
+        self._started = False
+        self._dispatch_pending = False
+        self.metrics.reset()
+
+    def start(self, sched_alg=None):
+        """Start multi-task scheduling, optionally selecting the policy.
+
+        Until ``start`` is called, activated tasks queue up but none is
+        dispatched — mirroring an RTOS that boots with the scheduler
+        locked.
+        """
+        if sched_alg is not None:
+            new_scheduler = make_scheduler(sched_alg)
+            # migrate tasks that queued up before the policy switch
+            for task in self.scheduler.ready_tasks:
+                new_scheduler.on_ready(task, self.sim.now)
+            self.scheduler = new_scheduler
+        self._started = True
+        self._dispatch_if_idle()
+
+    def interrupt_return(self):
+        """Notify the kernel that an interrupt service routine finished.
+
+        Performs the post-interrupt scheduling decision: if the ISR made a
+        higher-urgency task ready, the running task is preempted
+        (immediately or at its next scheduling point, per the preemption
+        mode); an idle CPU dispatches directly.
+        """
+        self.metrics.interrupts += 1
+        self.trace.record(self.sim.now, "irq", self.name, "return")
+        self._resched_from_outside()
+
+    # ------------------------------------------------------------------
+    # task management
+    # ------------------------------------------------------------------
+
+    def task_create(self, name, tasktype, period, wcet, priority=None, rel_deadline=None):
+        """Allocate a task control block; returns the task handle.
+
+        ``tasktype`` is :data:`~repro.rtos.task.PERIODIC` or
+        :data:`~repro.rtos.task.APERIODIC`. ``priority`` is an explicit
+        fixed priority (lower = more urgent); the paper assigns priorities
+        during refinement, so it is optional here and defaults to
+        :data:`~repro.rtos.task.DEFAULT_PRIORITY`. ``rel_deadline``
+        overrides the implicit deadline (= period) used by EDF.
+        """
+        if tasktype not in (PERIODIC, APERIODIC):
+            raise RTOSError(f"unknown task type: {tasktype!r}")
+        if tasktype == PERIODIC and period <= 0:
+            raise RTOSError(f"periodic task {name!r} needs a positive period")
+        if priority is None:
+            priority = DEFAULT_PRIORITY
+        task = Task(name, tasktype, period, wcet, priority, rel_deadline)
+        self.tasks.append(task)
+        self.trace.record(self.sim.now, "task", name, "create")
+        return task
+
+    def task_activate(self, tid):
+        """Activate a task (generator).
+
+        Two uses, as in the paper:
+
+        * *self-activation* — the first statement of a task body
+          (Figure 5): binds the calling SLDL process to the TCB, releases
+          the task and **blocks until the scheduler dispatches it**;
+        * *activating another task* — moves a ``SLEEPING``/``NEW`` task
+          into the ready queue; the caller continues (it may be preempted
+          by the activated task at this scheduling point).
+        """
+        current = self._current_task()
+        process = self.sim._current
+        if tid.process is None and current is None:
+            # self-activation: first RTOS contact of this task's process
+            if process is None:
+                raise RTOSError("task_activate outside of a process")
+            tid.process = process
+            self._by_process[process.uid] = tid
+            if tid.state is TaskState.NEW:
+                self._release_task(tid)
+            self._dispatch_if_idle()
+            yield from self._wait_until_running(tid)
+            return
+        if tid.state in (TaskState.SLEEPING, TaskState.NEW):
+            self._release_task(tid)
+            yield from self._resched(current)
+            return
+        if tid.state is TaskState.TERMINATED:
+            raise RTOSError(f"cannot activate terminated task {tid.name!r}")
+        # already ready/running/waiting: activation is a no-op
+
+    def task_terminate(self):
+        """Terminate the calling task (generator); does not return the CPU
+        to the caller."""
+        task = yield from self._enter()
+        if task.activation_time is not None and not task.is_periodic:
+            task.stats.response_times.append(self.sim.now - task.activation_time)
+        self.trace.record(self.sim.now, "task", task.name, "terminate")
+        self._yield_cpu(task, TaskState.TERMINATED)
+
+    def task_sleep(self):
+        """Suspend the calling task until someone ``task_activate``-s it."""
+        task = yield from self._enter()
+        self.trace.record(self.sim.now, "task", task.name, "sleep")
+        self._yield_cpu(task, TaskState.SLEEPING)
+        yield from self._wait_until_running(task)
+
+    def task_endcycle(self):
+        """End the current execution cycle of the calling task.
+
+        Periodic tasks: record response time / deadline miss, then wait
+        for the next release (``release_time + period``). Aperiodic
+        tasks: equivalent to going to sleep until re-activated.
+        """
+        task = yield from self._enter()
+        now = self.sim.now
+        task.stats.cycles_completed += 1
+        if task.is_periodic:
+            task.stats.response_times.append(now - task.release_time)
+            deadline = task.abs_deadline
+            if deadline is not None and now > deadline:
+                task.stats.deadline_misses += 1
+                self.metrics.deadline_misses += 1
+                self.trace.record(now, "task", task.name, "deadline_miss")
+            next_release = task.release_time + task.period
+            if next_release <= now:
+                # overrun: the next instance is already due
+                self._set_release(task, next_release)
+                yield from self._schedule_point(task)
+                return
+            self._yield_cpu(task, TaskState.IDLE_PERIOD)
+            self.sim.schedule_at(
+                next_release, lambda: self._periodic_release(task, next_release)
+            )
+            yield from self._wait_until_running(task)
+        else:
+            self._yield_cpu(task, TaskState.SLEEPING)
+            yield from self._wait_until_running(task)
+
+    def task_kill(self, tid):
+        """Forcibly terminate another task (generator).
+
+        The victim's process unwinds with :class:`TaskKilled` at its next
+        RTOS interaction (granularity: its current delay step — consistent
+        with the model's preemption granularity). Killing yourself is
+        equivalent to ``task_terminate``.
+        """
+        task = yield from self._enter()
+        if tid is task:
+            # self-kill: unwind via TaskKilled so execution stops here
+            # (the task_body wrapper finalizes the bookkeeping)
+            raise TaskKilled(task.name)
+        if tid.state is TaskState.TERMINATED:
+            return
+        tid.killed = True
+        self.scheduler.remove(tid)
+        for event in self.events:
+            if tid in event.queue:
+                event.queue.remove(tid)
+        self.trace.record(self.sim.now, "task", tid.name, "kill")
+        # wake the victim wherever it blocks so it can unwind
+        tid.dispatch_evt.fire(self.sim)
+        tid.preempt_evt.fire(self.sim)
+
+    def par_start(self):
+        """Suspend the calling (parent) task before forking children.
+
+        The parent then performs the SLDL-level ``par`` (zero simulated
+        time) and each child gates itself via ``task_activate``. Returns
+        the parent's task handle (paper: ``proc par_start(void)``).
+        """
+        task = yield from self._enter()
+        self.trace.record(self.sim.now, "task", task.name, "par_start")
+        self._yield_cpu(task, TaskState.PARENT_WAIT)
+        return task
+
+    def par_end(self, parent=None):
+        """Resume the calling parent task after its ``par`` joined."""
+        task = self._current_task()
+        if task is None:
+            raise RTOSError("par_end outside of a task")
+        if parent is not None and parent is not task:
+            raise RTOSError("par_end called with a foreign task handle")
+        if task.killed:
+            raise TaskKilled(task.name)
+        self.trace.record(self.sim.now, "task", task.name, "par_end")
+        task.state = TaskState.READY
+        self.scheduler.on_ready(task, self.sim.now)
+        self._resched_from_outside()
+        yield from self._wait_until_running(task)
+
+    # ------------------------------------------------------------------
+    # event handling
+    # ------------------------------------------------------------------
+
+    def event_new(self, name=None):
+        """Allocate an RTOS event (paper type ``evt``)."""
+        event = RTOSEvent(name)
+        self.events.append(event)
+        return event
+
+    def event_del(self, event):
+        """Deallocate an RTOS event; it must have no waiting tasks."""
+        if event.queue:
+            raise RTOSError(f"event_del on {event.name!r} with waiting tasks")
+        event.deleted = True
+        if event in self.events:
+            self.events.remove(event)
+
+    def event_wait(self, event):
+        """Block the calling task until ``event`` is notified (generator)."""
+        task = yield from self._enter()
+        if event.deleted:
+            raise RTOSError(f"event_wait on deleted event {event.name!r}")
+        if event.pending_time == self.sim.now:
+            # same-timestep rendezvous (see repro.rtos.events)
+            event.pending_time = None
+            return
+        event.queue.append(task)
+        self.trace.record(self.sim.now, "task", task.name, "wait", event=event.name)
+        self._yield_cpu(task, TaskState.WAITING)
+        yield from self._wait_until_running(task)
+
+    def event_notify(self, event):
+        """Move all tasks waiting on ``event`` into the ready queue.
+
+        Callable from task context (generator — the caller reaches a
+        scheduling point and may be preempted by a woken task) and from
+        ISR/bootstrap context (no task is bound to the calling process;
+        the running task is preempted per the preemption mode).
+        """
+        if event.deleted:
+            raise RTOSError(f"event_notify on deleted event {event.name!r}")
+        event.notify_count += 1
+        woken = event.queue
+        event.queue = []
+        for task in woken:
+            self._release_to_ready(task)
+        if not woken:
+            event.pending_time = self.sim.now
+        self.trace.record(
+            self.sim.now, "task", self.name, "notify",
+            event=event.name, woken=len(woken),
+        )
+        current = self._current_task()
+        yield from self._resched(current)
+
+    # ------------------------------------------------------------------
+    # time modeling
+    # ------------------------------------------------------------------
+
+    def time_wait(self, nsec):
+        """Model task execution time (replacement for SLDL ``waitfor``).
+
+        A wrapper around the kernel's timed wait that gives the RTOS a
+        scheduling point whenever time increases, enabling preemption
+        modeling (Section 4.3). In ``step`` mode the delay is one
+        indivisible step and a potential task switch happens at its end;
+        in ``immediate`` mode the delay can be interrupted by a
+        preemption and its remainder is consumed after re-dispatch.
+        """
+        nsec = int(nsec)
+        if nsec < 0:
+            raise RTOSError(f"negative delay: {nsec}")
+        task = yield from self._enter()
+        if nsec == 0:
+            yield from self._schedule_point(task)
+            return
+        if self.preemption == "step":
+            yield WaitFor(nsec)
+            yield from self._schedule_point(task)
+            return
+        remaining = nsec
+        while remaining > 0:
+            started = self.sim.now
+            fired = yield Wait(task.preempt_evt, timeout=remaining)
+            remaining -= self.sim.now - started
+            if task.killed:
+                raise TaskKilled(task.name)
+            if fired is TIMEOUT:
+                break
+            # preempted mid-delay: CPU was already handed over by the
+            # preemptor; queue up for re-dispatch, then resume the rest
+            yield from self._wait_until_running(task)
+        yield from self._schedule_point(task)
+
+    # ------------------------------------------------------------------
+    # helpers for task wrappers
+    # ------------------------------------------------------------------
+
+    def task_body(self, task, body):
+        """Wrap ``body`` (a generator) into a complete task process.
+
+        Adds the Figure-5 frame — ``task_activate`` on entry,
+        ``task_terminate`` on exit — and converts :class:`TaskKilled`
+        into a clean unwind. The returned generator is what gets spawned
+        (directly or inside a ``par``) on the SLDL kernel.
+        """
+
+        def _runner():
+            try:
+                yield from self.task_activate(task)
+                yield from body
+                yield from self.task_terminate()
+            except TaskKilled:
+                self._finalize_killed(task)
+
+        return _runner()
+
+    @property
+    def running_task(self):
+        """The task currently occupying the CPU (None when idle)."""
+        return self._running
+
+    def self_task(self):
+        """Task bound to the calling process (None in ISR context)."""
+        return self._current_task()
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+
+    def _current_task(self):
+        process = self.sim._current
+        if process is None:
+            return None
+        return self._by_process.get(process.uid)
+
+    def _enter(self):
+        """Entry protocol of blocking RTOS calls (generator).
+
+        Ensures the caller is a bound task and owns the CPU; a task that
+        was asynchronously preempted (immediate mode) between calls first
+        waits to be re-dispatched.
+        """
+        task = self._current_task()
+        if task is None:
+            raise RTOSError("RTOS call from a process that is not a task")
+        if task.killed:
+            raise TaskKilled(task.name)
+        if self._running is not task:
+            yield from self._wait_until_running(task)
+        return task
+
+    def _release_task(self, task):
+        """First (or re-) activation bookkeeping + ready insertion."""
+        now = self.sim.now
+        if task.activation_time is None:
+            task.activation_time = now
+            task.stats.activations += 1
+            self._set_release(task, now)
+        else:
+            task.stats.activations += 1
+        task.killed = False
+        self._release_to_ready(task)
+        self.trace.record(now, "task", task.name, "activate")
+
+    def _set_release(self, task, release_time):
+        task.release_time = release_time
+        if task.is_periodic:
+            deadline = task.rel_deadline if task.rel_deadline is not None else task.period
+            task.abs_deadline = release_time + deadline
+        elif task.rel_deadline is not None:
+            task.abs_deadline = release_time + task.rel_deadline
+
+    def _release_to_ready(self, task):
+        task.state = TaskState.READY
+        self.scheduler.on_ready(task, self.sim.now)
+
+    def _periodic_release(self, task, release_time):
+        """Timer callback releasing the next instance of a periodic task."""
+        if task.killed or task.state is not TaskState.IDLE_PERIOD:
+            return
+        self._set_release(task, release_time)
+        self._release_to_ready(task)
+        self.trace.record(self.sim.now, "task", task.name, "release")
+        self._resched_from_outside()
+
+    def _dispatch_if_idle(self):
+        """Request a dispatch decision for an idle CPU.
+
+        The decision is deferred to the end of the current simulated
+        instant (all delta activity settled) so that a burst of
+        same-instant activations — e.g. the children forked by a ``par``
+        (Figure 6) — is scheduled by priority, not by the incidental
+        order the activations executed in.
+        """
+        if not self._started or self._running is not None:
+            return
+        if self._dispatch_pending:
+            return
+        self._dispatch_pending = True
+        self.sim.schedule_at(self.sim.now, self._deferred_dispatch)
+
+    def _deferred_dispatch(self):
+        self._dispatch_pending = False
+        if not self._started or self._running is not None:
+            return
+        candidate = self.scheduler.peek(self.sim.now)
+        if candidate is None:
+            return
+        self.scheduler.remove(candidate)
+        self._dispatch(candidate)
+
+    def _dispatch(self, task):
+        task.state = TaskState.RUNNING
+        self._running = task
+        task.stats.dispatches += 1
+        self.metrics.dispatches += 1
+        self.scheduler.on_dispatch(task, self.sim.now)
+        self.trace.record(self.sim.now, "sched", self.name, "dispatch", task=task.name)
+        task.dispatch_evt.fire(self.sim)
+
+    def _yield_cpu(self, task, new_state):
+        """The calling/affected task gives up the CPU."""
+        now = self.sim.now
+        if task.run_start is not None:
+            self.trace.segment(task.name, task.run_start, now)
+            task.stats.exec_time += now - task.run_start
+            self.metrics.busy_time += now - task.run_start
+            task.run_start = None
+        if new_state is TaskState.READY:
+            self._release_to_ready(task)
+        else:
+            task.state = new_state
+        if self._running is task:
+            self._running = None
+        self._dispatch_if_idle()
+
+    def _wait_until_running(self, task):
+        """Block the calling process until ``task`` owns the CPU.
+
+        Accounts context switches and, when configured, consumes the
+        modeled switch overhead before the task's execution resumes.
+        """
+        while True:
+            while self._running is not task:
+                if task.killed:
+                    raise TaskKilled(task.name)
+                yield Wait(task.dispatch_evt)
+            if task.killed:
+                raise TaskKilled(task.name)
+            previous = self._last_occupant
+            if previous is not task:
+                if previous is not None:
+                    self.metrics.context_switches += 1
+                    self.trace.record(
+                        self.sim.now, "sched", self.name, "switch",
+                        frm=previous.name, to=task.name,
+                    )
+                self._last_occupant = task
+                if self.switch_overhead and previous is not None:
+                    started = self.sim.now
+                    yield WaitFor(self.switch_overhead)
+                    self.metrics.overhead_time += self.sim.now - started
+                    if self._running is not task:
+                        # preempted during the switch itself (immediate
+                        # mode): queue up again
+                        continue
+            break
+        task.run_start = self.sim.now
+
+    def _schedule_point(self, task):
+        """Scheduling point reached by the running task (generator)."""
+        if task.killed:
+            raise TaskKilled(task.name)
+        if self._running is not task:
+            # lost the CPU asynchronously (immediate mode)
+            yield from self._wait_until_running(task)
+            return
+        candidate = self.scheduler.peek(self.sim.now)
+        if candidate is None or not self.scheduler.preempts(candidate, task, self.sim.now):
+            return
+        task.stats.preemptions += 1
+        self.metrics.preemptions += 1
+        self.trace.record(
+            self.sim.now, "sched", self.name, "preempt",
+            task=task.name, by=candidate.name,
+        )
+        self._yield_cpu(task, TaskState.READY)
+        yield from self._wait_until_running(task)
+
+    def _resched(self, current):
+        """Rescheduling decision after a state change (generator).
+
+        ``current`` is the task bound to the calling process, or None for
+        ISR/bootstrap contexts.
+        """
+        if current is not None and current is self._running:
+            yield from self._schedule_point(current)
+        else:
+            self._resched_from_outside()
+
+    def _resched_from_outside(self):
+        """Scheduling decision from ISR/timer/bootstrap context."""
+        if self._running is None:
+            self._dispatch_if_idle()
+            return
+        running = self._running
+        candidate = self.scheduler.peek(self.sim.now)
+        if candidate is None or not self.scheduler.preempts(candidate, running, self.sim.now):
+            return
+        if self.preemption == "immediate":
+            running.stats.preemptions += 1
+            self.metrics.preemptions += 1
+            self.trace.record(
+                self.sim.now, "sched", self.name, "preempt",
+                task=running.name, by=candidate.name,
+            )
+            self._yield_cpu(running, TaskState.READY)
+            running.preempt_evt.fire(self.sim)
+        # step mode: the running task switches at its next scheduling
+        # point (paper: t4 -> t4', Figure 8(b))
+
+    def _finalize_killed(self, task):
+        """Clean up a task whose process unwound via TaskKilled."""
+        if task.run_start is not None:
+            self._yield_cpu(task, TaskState.TERMINATED)
+        else:
+            task.state = TaskState.TERMINATED
+            if self._running is task:
+                self._running = None
+                self._dispatch_if_idle()
+        self.trace.record(self.sim.now, "task", task.name, "killed")
+
+    # -- diagnostics ---------------------------------------------------
+
+    def snapshot(self):
+        """State of all tasks, for tests and debugging."""
+        return {t.name: t.state.value for t in self.tasks}

@@ -1,0 +1,76 @@
+"""Scheduling policies for the RTOS model.
+
+The paper's ``start(int sched_alg)`` selects the scheduling algorithm; we
+accept an integer constant, a policy name string, a :class:`Scheduler`
+subclass or a ready-made instance — see :func:`make_scheduler`.
+"""
+
+from repro.rtos.sched.base import Scheduler
+from repro.rtos.sched.edf import EDF
+from repro.rtos.sched.fifo import FIFO
+from repro.rtos.sched.priority import FixedPriority
+from repro.rtos.sched.rms import RMS
+from repro.rtos.sched.round_robin import RoundRobin
+
+#: integer constants in the spirit of the paper's ``start(int sched_alg)``
+SCHED_PRIORITY = 0
+SCHED_PRIORITY_NP = 1
+SCHED_RR = 2
+SCHED_FIFO = 3
+SCHED_EDF = 4
+SCHED_RMS = 5
+
+_BY_INT = {
+    SCHED_PRIORITY: lambda: FixedPriority(preemptive=True),
+    SCHED_PRIORITY_NP: lambda: FixedPriority(preemptive=False),
+    SCHED_RR: RoundRobin,
+    SCHED_FIFO: FIFO,
+    SCHED_EDF: EDF,
+    SCHED_RMS: RMS,
+}
+
+_BY_NAME = {
+    "priority": lambda: FixedPriority(preemptive=True),
+    "priority_np": lambda: FixedPriority(preemptive=False),
+    "rr": RoundRobin,
+    "round_robin": RoundRobin,
+    "fifo": FIFO,
+    "edf": EDF,
+    "rms": RMS,
+}
+
+
+def make_scheduler(spec):
+    """Build a scheduler from an int constant, name, class or instance."""
+    if isinstance(spec, Scheduler):
+        return spec
+    if isinstance(spec, type) and issubclass(spec, Scheduler):
+        return spec()
+    if isinstance(spec, int):
+        try:
+            return _BY_INT[spec]()
+        except KeyError:
+            raise ValueError(f"unknown scheduler constant: {spec}") from None
+    if isinstance(spec, str):
+        try:
+            return _BY_NAME[spec.lower()]()
+        except KeyError:
+            raise ValueError(f"unknown scheduler name: {spec!r}") from None
+    raise TypeError(f"cannot build a scheduler from {spec!r}")
+
+
+__all__ = [
+    "EDF",
+    "FIFO",
+    "FixedPriority",
+    "RMS",
+    "RoundRobin",
+    "SCHED_EDF",
+    "SCHED_FIFO",
+    "SCHED_PRIORITY",
+    "SCHED_PRIORITY_NP",
+    "SCHED_RMS",
+    "SCHED_RR",
+    "Scheduler",
+    "make_scheduler",
+]

@@ -1,0 +1,77 @@
+"""Scheduler interface of the RTOS model.
+
+A scheduler owns the ready queue and two policy decisions:
+
+* :meth:`Scheduler.peek` — which ready task should run next;
+* :meth:`Scheduler.preempts` — whether a ready candidate should take the
+  CPU from the currently running task at a scheduling point.
+
+The RTOS model invokes the scheduler whenever task states change inside an
+RTOS call (paper Section 4.3); the scheduler never blocks and never touches
+SLDL events — dispatching is the model's job.
+"""
+
+import itertools
+
+_ready_seq = itertools.count()
+
+
+class Scheduler:
+    """Base class; concrete policies override the key methods."""
+
+    #: short identifier used by ``RTOSModel.start(sched_alg)`` lookups
+    name = "base"
+
+    def __init__(self):
+        self._ready = []
+
+    # -- ready-queue maintenance -------------------------------------------
+
+    def on_ready(self, task, now):
+        """Insert ``task`` into the ready queue."""
+        task.ready_seq = next(_ready_seq)
+        self._ready.append(task)
+
+    def remove(self, task):
+        """Remove ``task`` from the ready queue if present."""
+        try:
+            self._ready.remove(task)
+        except ValueError:
+            pass
+
+    # -- policy -------------------------------------------------------------
+
+    def key(self, task, now):
+        """Sort key; the task with the smallest key runs first.
+
+        Concrete schedulers override this (and, for time slicing,
+        :meth:`preempts`). Ties are broken FIFO by ready insertion order.
+        """
+        raise NotImplementedError
+
+    def peek(self, now):
+        """Best ready task, or None. Does not remove it."""
+        if not self._ready:
+            return None
+        return min(self._ready, key=lambda t: (self.key(t, now), t.ready_seq))
+
+    def preempts(self, candidate, running, now):
+        """Should ``candidate`` (ready) preempt ``running`` at a
+        scheduling point? Default: strict key comparison (preemptive)."""
+        return self.key(candidate, now) < self.key(running, now)
+
+    def on_dispatch(self, task, now):
+        """Hook invoked when ``task`` is dispatched (time slicing)."""
+        task.slice_start = now
+
+    # -- introspection -------------------------------------------------------
+
+    @property
+    def ready_tasks(self):
+        return list(self._ready)
+
+    def __len__(self):
+        return len(self._ready)
+
+    def __repr__(self):
+        return f"{type(self).__name__}()"

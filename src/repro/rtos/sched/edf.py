@@ -1,0 +1,21 @@
+"""Earliest-deadline-first scheduling."""
+
+from repro.rtos.sched.base import Scheduler
+
+
+class EDF(Scheduler):
+    """Preemptive earliest-deadline-first.
+
+    The task with the earliest absolute deadline runs. Periodic tasks get
+    an implicit deadline of release + period (or an explicit relative
+    deadline passed to ``task_create``); aperiodic tasks without a
+    deadline sort last and fall back to FIFO order among themselves.
+    """
+
+    name = "edf"
+
+    def key(self, task, now):
+        return task.effective_deadline()
+
+    def preempts(self, candidate, running, now):
+        return candidate.effective_deadline() < running.effective_deadline()

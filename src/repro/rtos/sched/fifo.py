@@ -1,0 +1,19 @@
+"""Non-preemptive first-come-first-served scheduling."""
+
+from repro.rtos.sched.base import Scheduler
+
+
+class FIFO(Scheduler):
+    """Run tasks in ready-queue arrival order; never preempt.
+
+    The cooperative baseline: a task keeps the CPU until it blocks,
+    sleeps or terminates.
+    """
+
+    name = "fifo"
+
+    def key(self, task, now):
+        return task.ready_seq
+
+    def preempts(self, candidate, running, now):
+        return False

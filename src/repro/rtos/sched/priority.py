@@ -1,0 +1,28 @@
+"""Fixed-priority scheduling (the policy of the paper's Figure 8(b))."""
+
+from repro.rtos.sched.base import Scheduler
+
+
+class FixedPriority(Scheduler):
+    """Fixed-priority scheduling; lower priority value = higher priority.
+
+    ``preemptive=True`` (default) models the standard preemptive RTOS
+    policy: a higher-priority task takes the CPU at the next scheduling
+    point (the granularity the paper discusses at t4→t4′).
+    With ``preemptive=False`` the running task keeps the CPU until it
+    blocks or terminates.
+    """
+
+    name = "priority"
+
+    def __init__(self, preemptive=True):
+        super().__init__()
+        self.preemptive = preemptive
+
+    def key(self, task, now):
+        return task.priority
+
+    def preempts(self, candidate, running, now):
+        if not self.preemptive:
+            return False
+        return candidate.priority < running.priority

@@ -1,0 +1,23 @@
+"""Rate-monotonic scheduling (RMS)."""
+
+from repro.rtos.sched.base import Scheduler
+
+
+class RMS(Scheduler):
+    """Preemptive fixed-priority scheduling with rate-monotonic priorities.
+
+    The priority of a periodic task is its period: shorter period = higher
+    priority (the classic optimal static assignment for implicit-deadline
+    periodic tasks). Aperiodic tasks are scheduled behind all periodic
+    ones, by their declared priority.
+    """
+
+    name = "rms"
+
+    def key(self, task, now):
+        if task.is_periodic:
+            return (0, task.period)
+        return (1, task.priority)
+
+    def preempts(self, candidate, running, now):
+        return self.key(candidate, now) < self.key(running, now)

@@ -1,0 +1,163 @@
+"""Task control blocks and the task state machine.
+
+Task management in the RTOS model follows the customary design the paper
+cites (Buttazzo, *Hard Real-Time Computing Systems*): tasks transition
+between states and a queue is associated with each state. The states:
+
+::
+
+              task_create              task_activate
+      (none) ------------->  NEW  ----------------->  READY <---------+
+                                                        |  ^          |
+                                          dispatch      |  | preempt  |
+                                                        v  |          |
+       TERMINATED <------- task_terminate/kill ------ RUNNING         |
+                                                        |             |
+          event_wait / task_sleep / par_start /         |   notify /  |
+          task_endcycle                                 v   activate/ |
+                                                     {WAITING,        |
+                                                      SLEEPING,       |
+                                                      PARENT_WAIT,  --+
+                                                      IDLE_PERIOD}
+
+Priorities are integers with **lower value = higher priority** (0 is the
+highest), the convention of most fixed-priority kernels.
+"""
+
+import enum
+import itertools
+
+from repro.kernel.events import Event
+
+#: aperiodic real-time task with a fixed priority (paper's non-periodic)
+APERIODIC = 0
+#: periodic hard real-time task with an implicit deadline (= period)
+PERIODIC = 1
+
+#: priority assigned when the creator does not specify one
+DEFAULT_PRIORITY = 100
+
+_task_seq = itertools.count()
+
+
+class TaskState(enum.Enum):
+    NEW = "new"  # created, not yet activated
+    READY = "ready"  # in the ready queue, waiting for the CPU
+    RUNNING = "running"  # occupying the (single) CPU of its PE
+    WAITING = "waiting"  # blocked on an RTOS event
+    SLEEPING = "sleeping"  # suspended via task_sleep
+    PARENT_WAIT = "parent_wait"  # suspended in par_start .. par_end
+    IDLE_PERIOD = "idle_period"  # periodic task waiting for next release
+    TERMINATED = "terminated"
+
+
+class Task:
+    """Task control block (the paper's ``proc`` handle).
+
+    Created by :meth:`repro.rtos.model.RTOSModel.task_create`; all fields
+    are managed by the RTOS model.
+    """
+
+    __slots__ = (
+        "name",
+        "uid",
+        "tasktype",
+        "period",
+        "wcet",
+        "priority",
+        "rel_deadline",
+        "state",
+        "dispatch_evt",
+        "preempt_evt",
+        "process",
+        "ready_seq",
+        "release_time",
+        "abs_deadline",
+        "activation_time",
+        "run_start",
+        "slice_start",
+        "killed",
+        "stats",
+    )
+
+    def __init__(self, name, tasktype, period, wcet, priority, rel_deadline=None):
+        self.name = name
+        self.uid = next(_task_seq)
+        self.tasktype = tasktype
+        self.period = int(period)
+        self.wcet = int(wcet)
+        self.priority = priority
+        #: relative deadline (EDF); defaults to the period for periodic tasks
+        self.rel_deadline = rel_deadline
+        self.state = TaskState.NEW
+        #: SLDL event gating execution: the task's process blocks on this
+        #: whenever the task does not own the CPU
+        self.dispatch_evt = Event(f"{name}.dispatch")
+        #: SLDL event aborting an in-flight timed delay (immediate
+        #: preemption mode and task_kill)
+        self.preempt_evt = Event(f"{name}.preempt")
+        #: kernel Process bound at first activation
+        self.process = None
+        #: FIFO tie-break within equal scheduler keys
+        self.ready_seq = 0
+        #: release time of the current periodic instance
+        self.release_time = 0
+        #: absolute deadline of the current instance (EDF)
+        self.abs_deadline = None
+        self.activation_time = None
+        #: time this task last acquired the CPU (trace segments)
+        self.run_start = None
+        #: time of last dispatch (round-robin slicing)
+        self.slice_start = None
+        self.killed = False
+        self.stats = TaskStats()
+
+    # -- scheduler helpers --------------------------------------------------
+
+    @property
+    def is_periodic(self):
+        return self.tasktype == PERIODIC
+
+    def effective_deadline(self):
+        """Absolute deadline used by EDF; +inf when none applies."""
+        if self.abs_deadline is None:
+            return float("inf")
+        return self.abs_deadline
+
+    def __repr__(self):
+        return f"Task({self.name!r}, prio={self.priority}, {self.state.value})"
+
+
+class TaskStats:
+    """Per-task counters maintained by the RTOS model."""
+
+    __slots__ = (
+        "activations",
+        "cycles_completed",
+        "deadline_misses",
+        "preemptions",
+        "dispatches",
+        "exec_time",
+        "response_times",
+    )
+
+    def __init__(self):
+        self.activations = 0
+        self.cycles_completed = 0
+        self.deadline_misses = 0
+        self.preemptions = 0
+        self.dispatches = 0
+        self.exec_time = 0
+        #: completion − release, one entry per completed periodic cycle
+        #: (or activation→termination for aperiodic tasks)
+        self.response_times = []
+
+    @property
+    def worst_response(self):
+        return max(self.response_times) if self.response_times else None
+
+    @property
+    def avg_response(self):
+        if not self.response_times:
+            return None
+        return sum(self.response_times) / len(self.response_times)

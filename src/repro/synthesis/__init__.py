@@ -1,0 +1,65 @@
+"""Software-synthesis backend: ISA, assembler, ISS, RTOS kernel, codegen.
+
+The implementation-model substrate (paper Figures 1 and 2(c)): compiled
+application code linked against a small custom RTOS kernel, executing on
+a cycle-counting instruction-set simulator, optionally co-simulated
+inside the SLDL.
+"""
+
+from repro.synthesis import isa
+from repro.synthesis.assembler import AssemblerError, assemble
+from repro.synthesis.codegen import (
+    CodeGenerator,
+    Compute,
+    Copy,
+    Halt,
+    Loop,
+    Mark,
+    SemPost,
+    SemWait,
+    Sleep,
+    TaskProgram,
+)
+from repro.synthesis.cosim import ISSProcessor
+from repro.synthesis.iss import ISS, ISSError
+from repro.synthesis.kernel_rt import (
+    ADDR_CTXSW,
+    ADDR_TICKS,
+    SYS_EXIT,
+    SYS_GETTICKS,
+    SYS_SEM_POST,
+    SYS_SEM_WAIT,
+    SYS_SLEEP,
+    SYS_YIELD,
+    build_kernel_image,
+)
+from repro.synthesis.program import Program
+
+__all__ = [
+    "ADDR_CTXSW",
+    "ADDR_TICKS",
+    "AssemblerError",
+    "CodeGenerator",
+    "Compute",
+    "Copy",
+    "Halt",
+    "ISS",
+    "ISSError",
+    "ISSProcessor",
+    "Loop",
+    "Mark",
+    "Program",
+    "SemPost",
+    "SemWait",
+    "Sleep",
+    "SYS_EXIT",
+    "SYS_GETTICKS",
+    "SYS_SEM_POST",
+    "SYS_SEM_WAIT",
+    "SYS_SLEEP",
+    "SYS_YIELD",
+    "TaskProgram",
+    "assemble",
+    "build_kernel_image",
+    "isa",
+]

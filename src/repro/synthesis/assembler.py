@@ -1,0 +1,194 @@
+"""Two-pass assembler for the target ISA.
+
+Syntax (one statement per line; ``;`` starts a comment)::
+
+    .equ    TICKS, 100          ; symbolic constant
+    .org    0x0100              ; set location counter
+    .word   1, 2, TICKS         ; literal data words
+    .space  8                   ; reserve zeroed words
+    loop:                       ; label
+        ldi   r1, TICKS
+        addi  r1, r1, -1
+        st    r1, [r2 + 4]      ; memory operand
+        bne   loop
+        syscall 3
+
+Immediates accept decimal, hex (0x..), negated symbols (``-NAME``) and
+``label`` references. Each instruction occupies one memory word.
+"""
+
+import re
+
+from repro.synthesis import isa
+from repro.synthesis.program import Program
+
+
+class AssemblerError(Exception):
+    """Syntax or semantic error in assembly source, with line info."""
+
+    def __init__(self, lineno, line, message):
+        super().__init__(f"line {lineno}: {message}: {line.strip()!r}")
+        self.lineno = lineno
+
+
+_LABEL_RE = re.compile(r"^([A-Za-z_.$][\w.$]*):(.*)$")
+_MEM_RE = re.compile(
+    r"^\[\s*(r\d+|sp|lr)\s*(?:([+-])\s*([^\]]+))?\s*\]$"
+)
+
+_REG_ALIASES = {"sp": isa.SP, "lr": isa.LR}
+
+
+def assemble(source, origin=0x0100):
+    """Assemble ``source`` into a :class:`Program`.
+
+    ``origin`` is the default load address when the source does not
+    start with ``.org``.
+    """
+    statements, symbols = _first_pass(source, origin)
+    image = {}
+    for address, lineno, line, kind, payload in statements:
+        if kind == "word":
+            image[address] = _resolve(payload, symbols, lineno, line)
+        elif kind == "space":
+            image[address] = 0
+        else:
+            opcode, raw_operands = payload
+            operands = _encode_operands(
+                opcode, raw_operands, symbols, lineno, line
+            )
+            image[address] = (opcode, operands)
+    entry = symbols.get("_start", origin)
+    return Program(image, entry, symbols, source)
+
+
+def _first_pass(source, origin):
+    """Lay out statements, collect symbols."""
+    address = origin
+    symbols = {}
+    statements = []
+    for lineno, raw in enumerate(source.splitlines(), start=1):
+        line = raw.split(";", 1)[0].rstrip()
+        stripped = line.strip()
+        while True:
+            match = _LABEL_RE.match(stripped)
+            if not match:
+                break
+            label = match.group(1)
+            if label in symbols:
+                raise AssemblerError(lineno, raw, f"duplicate label {label!r}")
+            symbols[label] = address
+            stripped = match.group(2).strip()
+        if not stripped:
+            continue
+        if stripped.startswith(".equ"):
+            body = stripped[4:].strip()
+            try:
+                name, value = [p.strip() for p in body.split(",", 1)]
+            except ValueError:
+                raise AssemblerError(lineno, raw, ".equ needs NAME, VALUE")
+            symbols[name] = _parse_int(value, symbols, lineno, raw)
+            continue
+        if stripped.startswith(".org"):
+            address = _parse_int(stripped[4:].strip(), symbols, lineno, raw)
+            continue
+        if stripped.startswith(".word"):
+            for item in stripped[5:].split(","):
+                statements.append((address, lineno, raw, "word", item.strip()))
+                address += 1
+            continue
+        if stripped.startswith(".space"):
+            count = _parse_int(stripped[6:].strip(), symbols, lineno, raw)
+            for _ in range(count):
+                statements.append((address, lineno, raw, "space", None))
+                address += 1
+            continue
+        if stripped.startswith("."):
+            raise AssemblerError(lineno, raw, "unknown directive")
+        opcode, _, rest = stripped.partition(" ")
+        opcode = opcode.lower()
+        if opcode not in isa.INSTRUCTIONS:
+            raise AssemblerError(lineno, raw, f"unknown opcode {opcode!r}")
+        raw_operands = [p.strip() for p in _split_operands(rest)] if rest.strip() else []
+        statements.append((address, lineno, raw, "insn", (opcode, raw_operands)))
+        address += 1
+    return statements, symbols
+
+
+def _split_operands(text):
+    """Split on commas that are not inside a memory bracket."""
+    parts, depth, current = [], 0, []
+    for ch in text:
+        if ch == "[":
+            depth += 1
+        elif ch == "]":
+            depth -= 1
+        if ch == "," and depth == 0:
+            parts.append("".join(current))
+            current = []
+        else:
+            current.append(ch)
+    if current:
+        parts.append("".join(current))
+    return parts
+
+
+def _encode_operands(opcode, raw_operands, symbols, lineno, line):
+    spec, _ = isa.INSTRUCTIONS[opcode]
+    if len(raw_operands) != len(spec):
+        raise AssemblerError(
+            lineno, line,
+            f"{opcode} expects {len(spec)} operands, got {len(raw_operands)}",
+        )
+    encoded = []
+    for kind, text in zip(spec, raw_operands):
+        if kind == "r":
+            encoded.append(_parse_reg(text, lineno, line))
+        elif kind == "i":
+            encoded.append(_resolve(text, symbols, lineno, line))
+        elif kind == "m":
+            match = _MEM_RE.match(text.strip())
+            if not match:
+                raise AssemblerError(lineno, line, f"bad memory operand {text!r}")
+            base = _parse_reg(match.group(1), lineno, line)
+            offset = 0
+            if match.group(3) is not None:
+                offset = _resolve(match.group(3).strip(), symbols, lineno, line)
+                if match.group(2) == "-":
+                    offset = -offset
+            encoded.append((base, offset))
+        else:  # pragma: no cover - spec strings are internal
+            raise AssemblerError(lineno, line, f"bad operand spec {kind!r}")
+    return tuple(encoded)
+
+
+def _parse_reg(text, lineno, line):
+    text = text.strip().lower()
+    if text in _REG_ALIASES:
+        return _REG_ALIASES[text]
+    if text.startswith("r") and text[1:].isdigit():
+        index = int(text[1:])
+        if 0 <= index < isa.NUM_REGS:
+            return index
+    raise AssemblerError(lineno, line, f"bad register {text!r}")
+
+
+def _resolve(text, symbols, lineno, line):
+    return _parse_int(text, symbols, lineno, line)
+
+
+def _parse_int(text, symbols, lineno, line):
+    text = text.strip()
+    negative = text.startswith("-")
+    if negative:
+        text = text[1:].strip()
+    if text in symbols:
+        value = symbols[text]
+    else:
+        try:
+            value = int(text, 0)
+        except ValueError:
+            raise AssemblerError(
+                lineno, line, f"undefined symbol or bad number {text!r}"
+            ) from None
+    return -value if negative else value

@@ -1,0 +1,221 @@
+"""Software synthesis: architecture-model tasks → target assembly.
+
+The backend of the design flow (paper Figure 1): each task of the
+architecture model is described by a small IR — timed computation,
+semaphore operations, data movement, loops, markers — and compiled into
+assembly that calls the custom RTOS kernel
+(:mod:`repro.synthesis.kernel_rt`) through its syscall ABI. The RTOS
+*model* services used in the architecture model map onto kernel
+services exactly as the paper describes for the backend.
+
+IR → code mapping:
+
+=================  ==============================================
+``Compute(c)``     calibrated burn loop consuming ~c cycles
+``SemWait(s)``     ``syscall SYS_SEM_WAIT`` with ``r2 = s``
+``SemPost(s)``     ``syscall SYS_SEM_POST``
+``Sleep(t)``       ``syscall SYS_SLEEP``
+``Mark(v)``        write ``v`` to the console MMIO (timestamped)
+``Copy(...)``      word-by-word memory copy (real data movement)
+``Loop(n, body)``  counted loop around nested ops
+``Halt(code)``     stop the core via the halt MMIO register
+=================  ==============================================
+"""
+
+import itertools
+from dataclasses import dataclass, field
+
+from repro.synthesis import isa, kernel_rt
+from repro.synthesis.assembler import assemble
+
+
+@dataclass(frozen=True)
+class Compute:
+    cycles: int
+
+
+@dataclass(frozen=True)
+class SemWait:
+    sem: int
+
+
+@dataclass(frozen=True)
+class SemPost:
+    sem: int
+
+
+@dataclass(frozen=True)
+class Sleep:
+    ticks: int
+
+
+@dataclass(frozen=True)
+class Mark:
+    value: int
+
+
+@dataclass(frozen=True)
+class Copy:
+    src: int
+    dst: int
+    nwords: int
+
+
+@dataclass(frozen=True)
+class Loop:
+    count: int
+    body: tuple
+
+    def __init__(self, count, body):
+        object.__setattr__(self, "count", count)
+        object.__setattr__(self, "body", tuple(body))
+
+
+@dataclass(frozen=True)
+class Halt:
+    code: int = 0
+
+
+@dataclass
+class TaskProgram:
+    """One software task of the implementation model."""
+
+    name: str
+    priority: int
+    ops: list = field(default_factory=list)
+
+    @property
+    def entry(self):
+        return f"task_{self.name}"
+
+
+#: loop-counter registers by nesting depth
+_LOOP_REGS = (8, 9, 10)
+_MAX_NESTING = len(_LOOP_REGS)
+
+
+class CodeGenerator:
+    """Generates the complete implementation-model program."""
+
+    def __init__(self, timer_period=500, ext_sem=0):
+        self.timer_period = timer_period
+        self.ext_sem = ext_sem
+        self._labels = itertools.count()
+
+    def generate(self, tasks):
+        """Assembly source for ``tasks`` linked with the RTOS kernel."""
+        app_lines = [
+            "; ---------------- generated application ----------------",
+            f".equ CONSOLE, {isa.MMIO_CONSOLE:#x}",
+            f".equ HALTREG, {isa.MMIO_HALT:#x}",
+        ]
+        for task in tasks:
+            app_lines.append(f"{task.entry}:")
+            app_lines.extend(self._emit_ops(task.ops, depth=0))
+            # a task falling off its op list exits cleanly
+            app_lines.append(f"    syscall {kernel_rt.SYS_EXIT}")
+        task_defs = [(t.entry, t.priority) for t in tasks]
+        return kernel_rt.build_kernel_image(
+            task_defs,
+            timer_period=self.timer_period,
+            ext_sem=self.ext_sem,
+            app_asm="\n".join(app_lines),
+        )
+
+    def build(self, tasks, devices=None):
+        """Generate, assemble and load: returns ``(iss, program)``."""
+        from repro.synthesis.iss import ISS
+
+        source = self.generate(tasks)
+        program = assemble(source)
+        return ISS(program, devices=devices), program
+
+    # ------------------------------------------------------------------
+
+    def _label(self, stem):
+        return f"{stem}_{next(self._labels)}"
+
+    def _emit_ops(self, ops, depth):
+        lines = []
+        for op in ops:
+            lines.extend(self._emit_op(op, depth))
+        return lines
+
+    def _emit_op(self, op, depth):
+        if isinstance(op, Compute):
+            return self._emit_compute(op.cycles)
+        if isinstance(op, SemWait):
+            return [
+                f"    ldi r2, {op.sem}",
+                f"    syscall {kernel_rt.SYS_SEM_WAIT}",
+            ]
+        if isinstance(op, SemPost):
+            return [
+                f"    ldi r2, {op.sem}",
+                f"    syscall {kernel_rt.SYS_SEM_POST}",
+            ]
+        if isinstance(op, Sleep):
+            return [
+                f"    ldi r2, {op.ticks}",
+                f"    syscall {kernel_rt.SYS_SLEEP}",
+            ]
+        if isinstance(op, Mark):
+            return [
+                "    ldi r6, CONSOLE",
+                f"    ldi r7, {op.value}",
+                "    st r7, [r6]",
+            ]
+        if isinstance(op, Copy):
+            label = self._label("copy")
+            return [
+                f"    ldi r5, {op.src:#x}",
+                f"    ldi r6, {op.dst:#x}",
+                f"    ldi r7, {op.nwords}",
+                f"{label}:",
+                "    ld r4, [r5]",
+                "    st r4, [r6]",
+                "    addi r5, r5, 1",
+                "    addi r6, r6, 1",
+                "    subi r7, r7, 1",
+                f"    bgt {label}",
+            ]
+        if isinstance(op, Loop):
+            if depth >= _MAX_NESTING:
+                raise ValueError(f"loop nesting deeper than {_MAX_NESTING}")
+            reg = _LOOP_REGS[depth]
+            label = self._label("loop")
+            lines = [f"    ldi r{reg}, {op.count}", f"{label}:"]
+            lines.extend(self._emit_ops(op.body, depth + 1))
+            lines.extend(
+                [
+                    f"    subi r{reg}, r{reg}, 1",
+                    f"    bgt {label}",
+                ]
+            )
+            return lines
+        if isinstance(op, Halt):
+            return [
+                "    ldi r6, HALTREG",
+                f"    ldi r7, {op.code}",
+                "    st r7, [r6]",
+            ]
+        raise TypeError(f"unknown IR op {op!r}")
+
+    def _emit_compute(self, cycles):
+        """Burn ~``cycles`` cycles: ldi(1) + n*(subi 1 + bgt 2) + pad."""
+        if cycles < 1:
+            return []
+        iterations = max(0, (cycles - 1) // 3)
+        lines = []
+        consumed = 0
+        if iterations:
+            label = self._label("burn")
+            lines = [
+                f"    ldi r5, {iterations}",
+                f"{label}:",
+                "    subi r5, r5, 1",
+                f"    bgt {label}",
+            ]
+            consumed = 1 + 3 * iterations
+        lines.extend(["    nop"] * max(0, cycles - consumed))
+        return lines

@@ -1,0 +1,75 @@
+"""Co-simulation: the ISS embedded in the SLDL simulation.
+
+The paper's implementation model (Figure 2(c)) runs the compiled
+application + real RTOS inside an instruction-set simulator *as part of
+the system co-simulation in the SLDL*. :class:`ISSProcessor` is that
+bridge: an SLDL process advances the ISS in bounded chunks, mapping
+cycles to simulated time through the clock period, and SLDL-side IRQ
+lines are forwarded onto the core's interrupt pins.
+
+Timing skew between the two time bases is bounded by ``chunk`` cycles
+(interrupts raised from the SLDL side are observed by the core at its
+next chunk boundary at the latest).
+"""
+
+from repro.kernel.commands import Wait, WaitFor
+from repro.synthesis.isa import IRQ_EXTERNAL
+
+
+class ISSProcessor:
+    """One ISS core wrapped as an SLDL process.
+
+    Parameters
+    ----------
+    sim:
+        The SLDL :class:`~repro.kernel.simulator.Simulator`.
+    iss:
+        The loaded :class:`~repro.synthesis.iss.ISS` core.
+    clock_period:
+        Simulated time units per cycle.
+    chunk:
+        Cycles executed per SLDL scheduling quantum.
+    """
+
+    def __init__(self, sim, iss, name="cpu", clock_period=1, chunk=200):
+        self.sim = sim
+        self.iss = iss
+        self.name = name
+        self.clock_period = clock_period
+        self.chunk = chunk
+        self.process = sim.spawn(self._run(), name=name)
+
+    def _run(self):
+        iss = self.iss
+        while not iss.halted:
+            executed = iss.run(max_cycles=self.chunk)
+            if executed == 0:
+                break
+            yield WaitFor(executed * self.clock_period)
+        self.sim.trace.record(
+            self.sim.now, "user", self.name, "halt",
+            cycles=iss.cycles, exit_code=iss.exit_code,
+        )
+
+    def connect_irq(self, line, irq=IRQ_EXTERNAL):
+        """Forward an SLDL IRQ line onto a core interrupt pin."""
+
+        def _bridge():
+            while True:
+                yield Wait(line.event)
+                self.iss.raise_irq(irq)
+                if self.iss.halted:
+                    return
+
+        self.sim.spawn(_bridge(), name=f"{self.name}.irq{irq}")
+
+    @property
+    def halted(self):
+        return self.iss.halted
+
+    def console_marks(self):
+        """Console records converted to simulated time: (time, value)."""
+        return [
+            (cycle * self.clock_period, value)
+            for cycle, value in self.iss.console
+        ]

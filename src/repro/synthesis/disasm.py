@@ -1,0 +1,84 @@
+"""Disassembler: program images back to readable assembly listings.
+
+Used for debugging generated code and for inspecting what the code
+generator produced; round-trips with the assembler (modulo labels,
+which are recovered from the program's symbol table where possible).
+"""
+
+from repro.synthesis import isa
+
+
+def _reg(index):
+    if index == isa.SP:
+        return "sp"
+    if index == isa.LR:
+        return "lr"
+    return f"r{index}"
+
+
+def _address_labels(program):
+    """address -> preferred label (first symbol at that address)."""
+    labels = {}
+    for name, value in program.symbols.items():
+        if isinstance(value, int) and value not in labels:
+            labels.setdefault(value, name)
+    return labels
+
+
+def format_instruction(opcode, operands, labels=None):
+    """One instruction as assembly text."""
+    labels = labels or {}
+    spec, _ = isa.INSTRUCTIONS[opcode]
+    parts = []
+    for kind, operand in zip(spec, operands):
+        if kind == "r":
+            parts.append(_reg(operand))
+        elif kind == "i":
+            if opcode in ("jmp", "beq", "bne", "blt", "bge", "ble", "bgt",
+                          "call") and operand in labels:
+                parts.append(labels[operand])
+            else:
+                parts.append(str(operand))
+        else:  # memory operand
+            base, offset = operand
+            if offset == 0:
+                parts.append(f"[{_reg(base)}]")
+            elif offset > 0:
+                parts.append(f"[{_reg(base)} + {offset}]")
+            else:
+                parts.append(f"[{_reg(base)} - {-offset}]")
+    if parts:
+        return f"{opcode} {', '.join(parts)}"
+    return opcode
+
+
+def disassemble(program, start=None, end=None):
+    """Listing of the program image as ``(address, text)`` pairs.
+
+    Data words are rendered as ``.word``; label lines are interleaved
+    from the symbol table.
+    """
+    labels = _address_labels(program)
+    addresses = sorted(
+        a for a in program.image
+        if (start is None or a >= start) and (end is None or a < end)
+    )
+    lines = []
+    for address in addresses:
+        if address in labels:
+            lines.append((address, f"{labels[address]}:"))
+        value = program.image[address]
+        if isinstance(value, tuple):
+            text = "    " + format_instruction(value[0], value[1], labels)
+        else:
+            text = f"    .word {value}"
+        lines.append((address, text))
+    return lines
+
+
+def listing(program, **kwargs):
+    """The disassembly as one printable string with addresses."""
+    return "\n".join(
+        f"{address:#06x}  {text}"
+        for address, text in disassemble(program, **kwargs)
+    )

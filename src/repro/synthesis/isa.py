@@ -1,0 +1,111 @@
+"""Instruction-set architecture of the target processor.
+
+A small 32-bit load/store DSP-style core standing in for the paper's
+Motorola DSP56600 (see DESIGN.md, substitutions). Enough architecture to
+host a real RTOS kernel: interrupts with hardware stacking, a syscall
+trap, and memory-mapped devices.
+
+Programmer's model
+------------------
+* 16 general registers ``r0``..``r15``; by software convention ``r14``
+  is the stack pointer (``sp``, grows downward) and ``r15`` the link
+  register (``lr``).
+* Flags: ``Z`` (zero), ``N`` (negative), ``IE`` (interrupt enable).
+* Word-addressed memory (one 32-bit value per address), 64 Ki words.
+
+Traps and interrupts
+--------------------
+On an interrupt (or ``syscall``) the core pushes the flags word and the
+return PC onto the *current* stack, clears ``IE`` and jumps to the
+handler address found in the vector table. ``iret`` pops PC and flags
+(restoring ``IE``). Because the entire cut context lives on the
+interrupted task's stack, an RTOS switches tasks simply by switching
+stack pointers — the classic design this enables is exercised by
+:mod:`repro.synthesis.kernel_rt`.
+
+Vector table (fixed word addresses):
+
+====== =============================
+ 0x02   syscall handler address
+ 0x03   timer IRQ handler address
+ 0x04   external IRQ handler address
+====== =============================
+"""
+
+NUM_REGS = 16
+SP = 14  # stack pointer register index
+LR = 15  # link register index
+
+MEM_SIZE = 1 << 16
+
+# vector table
+VEC_SYSCALL = 0x02
+VEC_TIMER = 0x03
+VEC_EXTERNAL = 0x04
+
+# IRQ line ids (priority = lower id first)
+IRQ_TIMER = 0
+IRQ_EXTERNAL = 1
+
+# memory-mapped device registers
+MMIO_BASE = 0xFF00
+MMIO_TIMER_PERIOD = 0xFF00  # write: periodic timer period in cycles (0=off)
+MMIO_CYCLES = 0xFF01  # read: current cycle count (low 32 bits)
+MMIO_CONSOLE = 0xFF02  # write: emit (value, cycle) log record
+MMIO_HALT = 0xFF03  # write: stop the core (exit code)
+MMIO_DEV_BASE = 0xFF10  # start of application device registers
+
+# flags word bits
+FLAG_Z = 1 << 0
+FLAG_N = 1 << 1
+FLAG_IE = 1 << 2
+
+MASK32 = 0xFFFFFFFF
+
+
+def to_signed(value):
+    """Interpret a 32-bit word as a signed integer."""
+    value &= MASK32
+    return value - (1 << 32) if value & (1 << 31) else value
+
+
+#: opcode -> (operand spec, cycle cost).
+#: operand spec letters: r = register, i = immediate/symbol, m = [reg+off]
+INSTRUCTIONS = {
+    "nop": ("", 1),
+    "halt": ("", 1),
+    "ldi": ("ri", 1),
+    "mov": ("rr", 1),
+    "add": ("rrr", 1),
+    "sub": ("rrr", 1),
+    "mul": ("rrr", 2),
+    "div": ("rrr", 12),
+    "and": ("rrr", 1),
+    "or": ("rrr", 1),
+    "xor": ("rrr", 1),
+    "shl": ("rrr", 1),
+    "shr": ("rrr", 1),
+    "addi": ("rri", 1),
+    "subi": ("rri", 1),
+    "muli": ("rri", 2),
+    "ld": ("rm", 2),
+    "st": ("rm", 2),
+    "push": ("r", 2),
+    "pop": ("r", 2),
+    "cmp": ("rr", 1),
+    "cmpi": ("ri", 1),
+    "jmp": ("i", 2),
+    "jr": ("r", 2),
+    "beq": ("i", 2),
+    "bne": ("i", 2),
+    "blt": ("i", 2),
+    "bge": ("i", 2),
+    "ble": ("i", 2),
+    "bgt": ("i", 2),
+    "call": ("i", 3),
+    "ret": ("", 3),
+    "syscall": ("i", 6),
+    "iret": ("", 4),
+    "ei": ("", 1),
+    "di": ("", 1),
+}

@@ -1,0 +1,41 @@
+"""Assembled program representation."""
+
+from repro.analysis.loc import count_source_lines
+
+
+class Program:
+    """Output of the assembler: an image plus its metadata.
+
+    ``image`` maps word addresses to either integers (data words) or
+    decoded instruction tuples ``(opcode, operands)`` — the ISS executes
+    instruction objects directly (an interpretive ISS, like most fast
+    instruction-set simulators, rather than re-decoding bit patterns).
+    """
+
+    def __init__(self, image, entry, symbols, source):
+        self.image = image
+        self.entry = entry
+        self.symbols = symbols
+        self.source = source
+
+    @property
+    def loc(self):
+        """Non-blank, non-comment assembly source lines."""
+        return count_source_lines(self.source)
+
+    @property
+    def size(self):
+        """Occupied memory words."""
+        return len(self.image)
+
+    def symbol(self, name):
+        try:
+            return self.symbols[name]
+        except KeyError:
+            raise KeyError(f"undefined symbol {name!r}") from None
+
+    def __repr__(self):
+        return (
+            f"Program(entry={self.entry:#06x}, words={self.size}, "
+            f"loc={self.loc})"
+        )

@@ -1,0 +1,65 @@
+"""Schedule-report module."""
+
+from repro.analysis import schedule_report, task_table
+from tests.rtos.conftest import Harness
+
+
+def build_run():
+    bench = Harness()
+
+    def worker(task):
+        def _b():
+            for _ in range(3):
+                yield from bench.os.time_wait(100)
+
+        return _b()
+
+    bench.task("alpha", worker, priority=1)
+    bench.task("beta", worker, priority=2)
+    bench.run()
+    return bench
+
+
+def test_task_table_rows():
+    bench = build_run()
+    rows = task_table(bench.os)
+    assert [r["task"] for r in rows] == ["alpha", "beta"]
+    for row in rows:
+        assert row["exec_time"] == 300
+        assert row["state"] == "terminated"
+        assert row["activations"] == 1
+        assert row["type"] == "aperiodic"
+
+
+def test_schedule_report_contents():
+    bench = build_run()
+    text = schedule_report(bench.os, bench.sim, title="my pe")
+    assert "my pe" in text
+    assert "FixedPriority" in text
+    assert "CPU utilization     : 100.0%" in text
+    assert "alpha" in text and "beta" in text
+    assert "context switches    : 1" in text
+
+
+def test_schedule_report_shows_overhead():
+    from repro.kernel import Simulator, WaitFor
+    from repro.rtos import APERIODIC, RTOSModel
+
+    sim = Simulator()
+    os_ = RTOSModel(sim, switch_overhead=10)
+
+    def body():
+        yield from os_.time_wait(50)
+
+    for i in range(2):
+        task = os_.task_create(f"t{i}", APERIODIC, 0, 0, priority=i)
+        sim.spawn(os_.task_body(task, body()), name=task.name)
+
+    def boot():
+        yield WaitFor(0)
+        os_.start()
+
+    sim.spawn(boot())
+    sim.run()
+    text = schedule_report(os_, sim)
+    assert "(overhead 10)" in text

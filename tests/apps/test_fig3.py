@@ -1,0 +1,131 @@
+"""The Figure-3 example and its Figure-8 trace properties."""
+
+import pytest
+
+from repro.analysis import (
+    exec_time_per_actor,
+    exec_time_preserved,
+    overlap_exists,
+    same_functional_marks,
+    serialized,
+)
+from repro.apps.fig3 import (
+    DEFAULT_PRIORITIES,
+    Fig3Delays,
+    run_architecture,
+    run_unscheduled,
+)
+
+
+@pytest.fixture(scope="module")
+def unsched():
+    return run_unscheduled()
+
+
+@pytest.fixture(scope="module")
+def arch():
+    return run_architecture()
+
+
+def test_unscheduled_trace_matches_figure_8a(unsched):
+    times = unsched.times()
+    assert times == {
+        "t1": 150, "t2": 250, "t3": 350, "t4": 450,
+        "t5": 550, "t6": 550, "t7": 600,
+    }
+    assert unsched.end_time == 650
+
+
+def test_unscheduled_behaviors_truly_parallel(unsched):
+    """Figure 8(a): B2 and B3 execute in parallel, delays overlap."""
+    assert overlap_exists(unsched.trace, "B2", "B3")
+
+
+def test_architecture_trace_matches_figure_8b(arch):
+    times = arch.times()
+    assert times == {
+        "t1": 150, "t2": 300, "t3": 400, "t4": 450,
+        "t5": 600, "t6": 700, "t7": 750,
+    }
+    assert arch.end_time == 850
+
+
+def test_architecture_is_serialized(arch):
+    """Figure 8(b): at any time only one task executes."""
+    assert serialized(arch.trace, ["Task_PE", "B2", "B3"])
+
+
+def test_interrupt_switch_deferred_to_step_end(arch):
+    """The paper's t4 -> t4' property: the irq at 450 wakes Task_B3 but
+    the switch happens at 500, the end of Task_B2's d6 step."""
+    b3_segments = [
+        s for s in arch.trace.segments("B3") if s[2] > s[1]
+    ]
+    resume = [s for s in b3_segments if s[1] >= 450]
+    assert resume[0][1] == 500
+
+
+def test_immediate_mode_switches_at_t4():
+    arch_imm = run_architecture(preemption="immediate")
+    b3_segments = [
+        s for s in arch_imm.trace.segments("B3") if s[2] > s[1]
+    ]
+    resume = [s for s in b3_segments if s[1] >= 450]
+    assert resume[0][1] == 450
+    # B2's interrupted 50 units are made up later; total end unchanged
+    assert arch_imm.end_time == 850
+
+
+def test_refinement_preserves_functionality(unsched, arch):
+    """Same marks in the same per-actor order in both models."""
+    assert same_functional_marks(unsched.trace, arch.trace,
+                                 actors=["B2", "B3"])
+
+
+def test_refinement_preserves_execution_time(unsched, arch):
+    assert exec_time_preserved(unsched.trace, arch.trace, ["B2", "B3"])
+    totals = exec_time_per_actor(arch.trace)
+    d = Fig3Delays()
+    assert totals["B2"] == d.d5 + d.d6 + d.d7 + d.d8
+    assert totals["B3"] == d.d1 + d.d2 + d.d3 + d.d4
+
+
+def test_architecture_busy_time_is_sum_of_delays(arch):
+    d = Fig3Delays()
+    expected = (
+        d.d0 + d.d1 + d.d2 + d.d3 + d.d4 + d.d5 + d.d6 + d.d7 + d.d8
+    )
+    assert arch.os.metrics.busy_time == expected
+    assert arch.end_time == expected  # CPU never idles in this example
+
+
+def test_priority_inversion_of_roles():
+    """Swapping priorities (B2 urgent) changes the schedule but not the
+    functionality."""
+    swapped = run_architecture(
+        priorities={"Task_PE": 0, "B2": 1, "B3": 2}
+    )
+    base = run_architecture()
+    assert same_functional_marks(base.trace, swapped.trace,
+                                 actors=["B2", "B3"])
+    assert swapped.times() != base.times()
+
+
+def test_delay_scaling_keeps_structure():
+    """Halving all delays scales the trace but keeps the event order."""
+    d = Fig3Delays(
+        d0=50, d1=25, d2=50, d3=50, d4=25, d5=75, d6=50, d7=50, d8=50,
+        irq_send_time=205,
+    )
+    result = run_architecture(delays=d)
+    times = result.times()
+    assert times["t1"] == 75
+    assert times["t2"] == 150
+    assert result.end_time == 425
+
+
+def test_fig3_context_switches(arch):
+    # Task_PE->B3->B2->B3->B2->B3->B2->B3->B2->Task_PE
+    assert arch.context_switches == 9
+    assert arch.os.metrics.interrupts == 1
+    assert arch.os.metrics.preemptions >= 1

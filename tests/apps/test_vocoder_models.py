@@ -1,0 +1,124 @@
+"""The three vocoder models and the Table-1 properties."""
+
+import numpy as np
+import pytest
+
+from repro.apps.vocoder import (
+    run_architecture,
+    run_implementation,
+    run_specification,
+)
+from repro.apps.vocoder.encoder import ENCODER_WCET_NS
+from repro.apps.vocoder.decoder import DECODER_WCET_NS
+from repro.apps.vocoder.frames import FRAME_PERIOD_NS
+from repro.apps.vocoder.models import DECODER_PHASE_NS
+
+N_FRAMES = 5
+
+
+@pytest.fixture(scope="module")
+def spec():
+    return run_specification(n_frames=N_FRAMES)
+
+
+@pytest.fixture(scope="module")
+def arch():
+    return run_architecture(n_frames=N_FRAMES)
+
+
+@pytest.fixture(scope="module")
+def impl():
+    return run_implementation(n_frames=N_FRAMES)
+
+
+def test_specification_delay_is_enc_plus_dec(spec):
+    expected = ENCODER_WCET_NS + DECODER_WCET_NS
+    assert all(d == expected for d in spec.delays_ns)
+    assert spec.mean_delay_ms == pytest.approx(9.7)
+
+
+def test_specification_decodes_all_frames_with_quality(spec):
+    assert len(spec.snrs_db) == N_FRAMES
+    assert sum(spec.snrs_db) / N_FRAMES > 3.0
+
+
+def test_architecture_delay_is_phase_aligned(arch):
+    """Decoder paced at +10 ms: delay = phase + decoder WCET."""
+    expected = DECODER_PHASE_NS + DECODER_WCET_NS
+    assert all(d == expected for d in arch.delays_ns)
+    assert arch.mean_delay_ms == pytest.approx(12.2)
+
+
+def test_architecture_functionality_matches_specification(spec, arch):
+    np.testing.assert_allclose(arch.snrs_db, spec.snrs_db)
+
+
+def test_architecture_schedule_metrics(arch):
+    assert arch.context_switches > 0
+    assert arch.extra["deadline_misses"] == 0
+    # decoder response time: bitstream already queued at release ->
+    # response = decoder WCET each cycle
+    assert all(
+        r == DECODER_WCET_NS for r in arch.extra["decoder_response_times"]
+    )
+
+
+def test_architecture_no_utilization_overrun(arch):
+    busy = arch.extra["os_metrics"]["busy_time"]
+    total = (ENCODER_WCET_NS + DECODER_WCET_NS) * N_FRAMES
+    assert busy == total
+
+
+def test_implementation_halts_and_decodes_all(impl):
+    assert impl.extra["halted"]
+    assert len(impl.delays_ns) == N_FRAMES
+
+
+def test_implementation_delay_shape(impl, spec, arch):
+    """The Table-1 delay ordering: unsched < impl <= ~arch, all within
+    a few ms of each other."""
+    assert spec.mean_delay_ms < impl.mean_delay_ms
+    assert abs(impl.mean_delay_ms - arch.mean_delay_ms) < 1.5
+    assert impl.max_delay_ms < 15.0
+
+
+def test_implementation_moves_real_data(impl):
+    """Each injected frame must arrive in the DAC buffer bit-exactly
+    (ADC -> work -> DAC copies on the target)."""
+    for quantized, dac in zip(
+        impl.extra["quantized_frames"], impl.extra["dac_frames"]
+    ):
+        signed = [v - (1 << 32) if v >= (1 << 31) else v for v in dac]
+        assert signed == list(quantized)
+
+
+def test_implementation_context_switches_exceed_architecture(impl, arch):
+    """The real kernel also switches to/from the idle task and services
+    timer ticks: at least as many switches as the abstract model."""
+    assert impl.context_switches >= arch.context_switches
+
+
+def test_frames_arrive_on_schedule(arch):
+    arrivals = [
+        r.time
+        for r in arch.sim.trace.by_category("user")
+        if r.info.startswith("frame-in-")
+    ]
+    assert arrivals == [i * FRAME_PERIOD_NS for i in range(N_FRAMES)]
+
+
+def test_architecture_immediate_mode_same_delays():
+    """With this task set, preemption granularity does not change the
+    transcoding delay (no mid-step preemption on the critical path)."""
+    arch_imm = run_architecture(n_frames=3, preemption="immediate")
+    assert all(
+        d == DECODER_PHASE_NS + DECODER_WCET_NS for d in arch_imm.delays_ns
+    )
+
+
+def test_architecture_phase_zero_is_data_driven():
+    """With the decoder released at phase 0, its first cycle waits on
+    the bitstream queue: delay collapses toward the specification's."""
+    arch0 = run_architecture(n_frames=3, decoder_phase_ns=0)
+    expected = ENCODER_WCET_NS + DECODER_WCET_NS
+    assert arch0.delays_ns[0] == expected

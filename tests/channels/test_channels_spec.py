@@ -1,0 +1,250 @@
+"""Specification-flavor channels on the raw SLDL kernel."""
+
+import pytest
+
+from repro.kernel import Simulator, WaitFor
+from repro.channels import Handshake, Mailbox, Mutex, Queue, Semaphore
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+def test_semaphore_initial_count(sim):
+    sem = Semaphore(init=2)
+    grabbed = []
+
+    def taker():
+        yield from sem.acquire()
+        yield from sem.acquire()
+        grabbed.append(sim.now)
+        yield from sem.acquire()  # blocks: count exhausted
+        grabbed.append(sim.now)
+
+    def giver():
+        yield WaitFor(50)
+        yield from sem.release()
+
+    sim.spawn(taker())
+    sim.spawn(giver())
+    sim.run()
+    assert grabbed == [0, 50]
+    assert sem.count == 0
+
+
+def test_semaphore_contention_counts(sim):
+    sem = Semaphore(init=0)
+
+    def taker():
+        yield from sem.acquire()
+
+    def giver():
+        yield WaitFor(10)
+        yield from sem.release()
+
+    sim.spawn(taker())
+    sim.spawn(giver())
+    sim.run()
+    assert sem.contentions >= 1
+
+
+def test_semaphore_try_acquire(sim):
+    sem = Semaphore(init=1)
+    assert sem.try_acquire()
+    assert not sem.try_acquire()
+
+
+def test_semaphore_negative_init_rejected():
+    with pytest.raises(ValueError):
+        Semaphore(init=-1)
+
+
+def test_mutex_mutual_exclusion(sim):
+    mtx = Mutex()
+    active = []
+    overlaps = []
+
+    def worker(name):
+        yield from mtx.lock(name)
+        active.append(name)
+        if len(active) > 1:
+            overlaps.append(tuple(active))
+        yield WaitFor(10)
+        active.remove(name)
+        yield from mtx.unlock(name)
+
+    for i in range(3):
+        sim.spawn(worker(f"w{i}"))
+    sim.run()
+    assert overlaps == []
+    assert not mtx.locked()
+    assert sim.now == 30  # strictly serialized critical sections
+
+
+def test_mutex_unlock_unlocked_raises(sim):
+    mtx = Mutex()
+
+    def bad():
+        yield from mtx.unlock()
+
+    sim.spawn(bad())
+    with pytest.raises(Exception) as err:
+        sim.run()
+    assert "unlocked" in str(err.value)
+
+
+def test_queue_send_recv_in_order(sim):
+    q = Queue(capacity=4)
+    got = []
+
+    def producer():
+        for i in range(4):
+            yield from q.send(i)
+            yield WaitFor(5)
+
+    def consumer():
+        for _ in range(4):
+            item = yield from q.recv()
+            got.append((item, sim.now))
+
+    sim.spawn(producer())
+    sim.spawn(consumer())
+    sim.run()
+    assert [g[0] for g in got] == [0, 1, 2, 3]
+
+
+def test_queue_blocks_when_full(sim):
+    q = Queue(capacity=1)
+    times = []
+
+    def producer():
+        yield from q.send("a")
+        times.append(("sent-a", sim.now))
+        yield from q.send("b")  # blocks until consumer drains
+        times.append(("sent-b", sim.now))
+
+    def consumer():
+        yield WaitFor(100)
+        item = yield from q.recv()
+        times.append((f"got-{item}", sim.now))
+
+    sim.spawn(producer())
+    sim.spawn(consumer())
+    sim.run()
+    assert ("sent-a", 0) in times
+    assert ("got-a", 100) in times
+    assert ("sent-b", 100) in times
+
+
+def test_queue_blocks_when_empty(sim):
+    q = Queue(capacity=2)
+    got = []
+
+    def consumer():
+        item = yield from q.recv()
+        got.append((item, sim.now))
+
+    def producer():
+        yield WaitFor(42)
+        yield from q.send("x")
+
+    sim.spawn(consumer())
+    sim.spawn(producer())
+    sim.run()
+    assert got == [("x", 42)]
+
+
+def test_queue_capacity_validation():
+    with pytest.raises(ValueError):
+        Queue(capacity=0)
+
+
+def test_handshake_rendezvous_blocks_sender(sim):
+    hs = Handshake()
+    log = []
+
+    def sender():
+        yield from hs.send("msg")
+        log.append(("send-done", sim.now))
+
+    def receiver():
+        yield WaitFor(30)
+        item = yield from hs.recv()
+        log.append((f"got-{item}", sim.now))
+
+    sim.spawn(sender())
+    sim.spawn(receiver())
+    sim.run()
+    assert ("got-msg", 30) in log
+    assert ("send-done", 30) in log  # sender blocked until consumption
+
+
+def test_handshake_receiver_blocks_for_sender(sim):
+    hs = Handshake()
+    log = []
+
+    def receiver():
+        item = yield from hs.recv()
+        log.append((item, sim.now))
+
+    def sender():
+        yield WaitFor(7)
+        yield from hs.send(99)
+
+    sim.spawn(receiver())
+    sim.spawn(sender())
+    sim.run()
+    assert log == [(99, 7)]
+    assert hs.transfers == 1
+
+
+def test_handshake_back_to_back_transfers(sim):
+    hs = Handshake()
+    got = []
+
+    def sender():
+        for i in range(3):
+            yield from hs.send(i)
+
+    def receiver():
+        for _ in range(3):
+            item = yield from hs.recv()
+            got.append(item)
+
+    sim.spawn(sender())
+    sim.spawn(receiver())
+    sim.run()
+    assert got == [0, 1, 2]
+
+
+def test_mailbox_post_never_blocks(sim):
+    mb = Mailbox()
+
+    def poster():
+        for i in range(10):
+            yield from mb.post(i)
+
+    sim.spawn(poster())
+    sim.run()
+    assert len(mb) == 10
+    assert mb.try_collect() == 0
+
+
+def test_mailbox_collect_blocks_until_post(sim):
+    mb = Mailbox()
+    got = []
+
+    def collector():
+        msg = yield from mb.collect()
+        got.append((msg, sim.now))
+
+    def poster():
+        yield WaitFor(15)
+        yield from mb.post("hello")
+
+    sim.spawn(collector())
+    sim.spawn(poster())
+    sim.run()
+    assert got == [("hello", 15)]
+    assert mb.try_collect() is None

@@ -1,0 +1,127 @@
+"""Multi-PE architecture models.
+
+The paper: "In general, for each PE in the system a RTOS model
+corresponding to the selected scheduling strategy is imported from the
+library and instantiated in the PE" — this suite builds two-PE systems
+with one RTOS model instance each, communicating over a shared bus with
+interrupt-driven drivers in both directions.
+"""
+
+from repro.analysis import serialized
+from repro.channels import RTOSSemaphore
+from repro.platform import Architecture, BusLink, InterruptDriver, IrqLine
+
+
+def build_two_pe_system(n_requests=3, ctrl_sched="priority",
+                        dsp_sched="priority"):
+    """A controller PE sends requests to a DSP PE; the DSP computes and
+    replies over the same bus. Both directions use IRQ + semaphore
+    drivers (the Figure-3 structure, twice)."""
+    arch = Architecture(name="two-pe")
+    sim = arch.sim
+    bus = arch.add_bus("bus", width=4, cycle_time=10)
+    ctrl = arch.add_pe("ctrl", sched=ctrl_sched)
+    dsp = arch.add_pe("dsp", sched=dsp_sched)
+
+    to_dsp_line = IrqLine(sim, "to-dsp")
+    to_ctrl_line = IrqLine(sim, "to-ctrl")
+    to_dsp = BusLink(sim, bus, to_dsp_line, name="to-dsp", priority=1)
+    to_ctrl = BusLink(sim, bus, to_ctrl_line, name="to-ctrl", priority=2)
+
+    dsp_rx = InterruptDriver(
+        to_dsp, RTOSSemaphore(dsp.os, 0, "dsp-rx-sem"), os_model=dsp.os
+    )
+    ctrl_rx = InterruptDriver(
+        to_ctrl, RTOSSemaphore(ctrl.os, 0, "ctrl-rx-sem"), os_model=ctrl.os
+    )
+    dsp.add_driver(dsp_rx, to_dsp_line)
+    ctrl.add_driver(ctrl_rx, to_ctrl_line)
+
+    results = []
+
+    def ctrl_body():
+        for i in range(n_requests):
+            yield from ctrl.os.time_wait(500)  # prepare request
+            yield from to_dsp.send({"req": i}, nbytes=8, master="ctrl")
+            reply = yield from ctrl_rx.recv()
+            results.append((reply["req"], reply["answer"], sim.now))
+
+    def dsp_body():
+        for _ in range(n_requests):
+            request = yield from dsp_rx.recv()
+            yield from dsp.os.time_wait(2_000)  # compute
+            answer = request["req"] * request["req"]
+            yield from to_ctrl.send(
+                {"req": request["req"], "answer": answer},
+                nbytes=8, master="dsp",
+            )
+
+    def dsp_background():
+        # competing low-priority work on the DSP
+        for _ in range(4):
+            yield from dsp.os.time_wait(1_000)
+
+    ctrl.add_task("ctrl-main", ctrl_body(), priority=1)
+    dsp.add_task("dsp-main", dsp_body(), priority=1)
+    dsp.add_task("dsp-bg", dsp_background(), priority=5)
+    return arch, results, bus, (ctrl, dsp)
+
+
+def test_request_response_round_trips():
+    arch, results, bus, _ = build_two_pe_system(n_requests=3)
+    arch.run()
+    assert [(req, ans) for req, ans, _ in results] == [(0, 0), (1, 1), (2, 4)]
+    # 3 requests + 3 replies crossed the bus
+    assert bus.transfer_count == 6
+
+
+def test_each_pe_serializes_its_own_tasks():
+    arch, results, _, (ctrl, dsp) = build_two_pe_system(n_requests=2)
+    arch.run()
+    assert serialized(arch.trace, ["dsp-main", "dsp-bg"])
+    # but the two PEs really run in parallel: total busy time across
+    # PEs exceeds what one serialized CPU could do in the elapsed time
+    assert dsp.os.metrics.busy_time > 0
+    assert ctrl.os.metrics.busy_time > 0
+
+
+def test_interrupts_counted_per_pe():
+    arch, results, _, (ctrl, dsp) = build_two_pe_system(n_requests=3)
+    arch.run()
+    assert dsp.os.metrics.interrupts == 3
+    assert ctrl.os.metrics.interrupts == 3
+
+
+def test_round_trip_latency_accounts_bus_and_compute():
+    arch, results, _, _ = build_two_pe_system(n_requests=1)
+    arch.run()
+    _, _, t_done = results[0]
+    # 500 prepare + 20 bus -> request irq at 520, but the DSP's
+    # background task holds the CPU until the end of its current delay
+    # step (t4 -> t4'): dsp-main starts at 1000, computes 2000, reply
+    # crosses the bus in 20: total 3020
+    assert t_done == 3020
+
+
+def test_background_task_fills_dsp_idle_time():
+    arch, results, _, (ctrl, dsp) = build_two_pe_system(n_requests=2)
+    arch.run()
+    bg_segments = [s for s in arch.trace.segments("dsp-bg") if s[2] > s[1]]
+    main_segments = [s for s in arch.trace.segments("dsp-main") if s[2] > s[1]]
+    assert bg_segments and main_segments
+    # background runs only while main is blocked waiting for requests
+    for _, bg_start, bg_end, _ in bg_segments:
+        for _, m_start, m_end, _ in main_segments:
+            assert bg_end <= m_start or m_end <= bg_start
+
+
+def test_mixed_schedulers_per_pe():
+    """Each PE can run its own scheduling policy (paper: per-PE model
+    'corresponding to the selected scheduling strategy')."""
+    arch, results, _, (ctrl, dsp) = build_two_pe_system(
+        n_requests=2, ctrl_sched="fifo", dsp_sched="rr"
+    )
+    arch.run()
+    assert len(results) == 2
+    assert type(ctrl.os.scheduler).__name__ == "FIFO"
+    assert type(dsp.os.scheduler).__name__ == "RoundRobin"

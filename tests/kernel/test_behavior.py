@@ -1,0 +1,146 @@
+"""Tests for behaviors, ports and trace recording."""
+
+import pytest
+
+from repro.kernel import (
+    Behavior,
+    Port,
+    Simulator,
+    Trace,
+    UnboundPortError,
+    WaitFor,
+    par,
+    seq,
+)
+
+
+class Delay(Behavior):
+    def __init__(self, name, delay, log):
+        super().__init__(name)
+        self.delay = delay
+        self.log = log
+
+    def main(self):
+        yield WaitFor(self.delay)
+        self.log.append((self.name, self.sim.now))
+
+
+def test_seq_composition():
+    sim = Simulator()
+    log = []
+    b1 = Delay("b1", 10, log).bind(sim)
+    b2 = Delay("b2", 20, log).bind(sim)
+    sim.spawn(seq(b1, b2), name="top")
+    sim.run()
+    assert log == [("b1", 10), ("b2", 30)]
+
+
+def test_par_composition():
+    sim = Simulator()
+    log = []
+    b1 = Delay("b1", 10, log).bind(sim)
+    b2 = Delay("b2", 20, log).bind(sim)
+
+    def top():
+        yield par(b1, b2)
+        log.append(("top", sim.now))
+
+    sim.spawn(top())
+    sim.run()
+    assert log == [("b1", 10), ("b2", 20), ("top", 20)]
+
+
+def test_seq_of_par_matches_fig3_structure():
+    """B1 followed by par(B2, B3) — the shape of the paper's Figure 3."""
+    sim = Simulator()
+    log = []
+    b1 = Delay("b1", 5, log).bind(sim)
+    b2 = Delay("b2", 10, log).bind(sim)
+    b3 = Delay("b3", 20, log).bind(sim)
+
+    def top():
+        yield from b1.main()
+        yield par(b2, b3)
+
+    sim.spawn(top())
+    sim.run()
+    assert log == [("b1", 5), ("b2", 15), ("b3", 25)]
+
+
+def test_behavior_main_must_be_overridden():
+    class Empty(Behavior):
+        pass
+
+    sim = Simulator()
+    sim.spawn(Empty())
+    with pytest.raises(Exception):
+        sim.run()
+
+
+def test_unbound_port_raises():
+    class B(Behavior):
+        chan = Port("chan")
+
+        def main(self):
+            self.chan  # access before binding
+            yield WaitFor(1)
+
+    b = B()
+    with pytest.raises(UnboundPortError):
+        b.chan
+
+
+def test_port_binding_and_interface_check():
+    class IFace:
+        pass
+
+    class Impl(IFace):
+        pass
+
+    class B(Behavior):
+        chan = Port("chan", interface=IFace)
+
+    b = B()
+    b.chan = Impl()
+    assert isinstance(b.chan, IFace)
+    with pytest.raises(TypeError):
+        b.chan = object()
+
+
+def test_ports_are_per_instance():
+    class B(Behavior):
+        chan = Port("chan")
+
+    b1, b2 = B(), B()
+    b1.chan = "one"
+    b2.chan = "two"
+    assert b1.chan == "one"
+    assert b2.chan == "two"
+
+
+def test_trace_segments_sorted_and_filtered():
+    trace = Trace()
+    trace.segment("b", 10, 20)
+    trace.segment("a", 0, 5)
+    trace.segment("a", 30, 40, info="tail")
+    segs = trace.segments()
+    assert segs == [("a", 0, 5, "run"), ("b", 10, 20, "run"), ("a", 30, 40, "tail")]
+    assert trace.segments(actor="a") == [("a", 0, 5, "run"), ("a", 30, 40, "tail")]
+
+
+def test_trace_counting_and_disable():
+    trace = Trace()
+    trace.record(0, "irq", "bus", "raise")
+    trace.record(1, "irq", "bus", "return")
+    trace.enabled = False
+    trace.record(2, "irq", "bus", "raise")
+    assert trace.count("irq") == 2
+    assert trace.count("irq", info="raise") == 1
+
+
+def test_trace_dump_is_readable():
+    trace = Trace()
+    trace.record(5, "user", "app", "hello", key=1)
+    text = trace.dump()
+    assert "hello" in text
+    assert "app" in text

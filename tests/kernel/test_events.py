@@ -1,0 +1,233 @@
+"""Tests for SLDL event semantics (delta-cycle delivery)."""
+
+import pytest
+
+from repro.kernel import (
+    Event,
+    Notify,
+    Simulator,
+    TIMEOUT,
+    Wait,
+    WaitFor,
+)
+
+
+def test_notify_wakes_waiter_at_same_time():
+    sim = Simulator()
+    e = Event("e")
+    woke = []
+
+    def waiter():
+        yield Wait(e)
+        woke.append(sim.now)
+
+    def notifier():
+        yield WaitFor(10)
+        yield Notify(e)
+
+    sim.spawn(waiter())
+    sim.spawn(notifier())
+    sim.run()
+    assert woke == [10]
+
+
+def test_notify_wakes_all_waiters():
+    sim = Simulator()
+    e = Event("e")
+    woke = []
+
+    def waiter(i):
+        yield Wait(e)
+        woke.append(i)
+
+    for i in range(3):
+        sim.spawn(waiter(i))
+
+    def notifier():
+        yield WaitFor(1)
+        yield Notify(e)
+
+    sim.spawn(notifier())
+    sim.run()
+    assert sorted(woke) == [0, 1, 2]
+
+
+def test_notify_then_wait_same_delta_is_caught():
+    """SpecC: a notification persists for the remainder of the delta."""
+    sim = Simulator()
+    e = Event("e")
+    log = []
+
+    def first():
+        yield Notify(e)
+        log.append("notified")
+
+    def second():
+        # runs after `first` in the same delta
+        yield Wait(e)
+        log.append("caught")
+
+    sim.spawn(first())
+    sim.spawn(second())
+    sim.run()
+    assert log == ["notified", "caught"]
+
+
+def test_notification_does_not_persist_to_next_timestep():
+    sim = Simulator()
+    e = Event("e")
+    woke = []
+
+    def notifier():
+        yield Notify(e)
+
+    def late_waiter():
+        yield WaitFor(5)
+        yield Wait(e, timeout=100)
+        woke.append(sim.now)
+
+    sim.spawn(notifier())
+    sim.spawn(late_waiter())
+    sim.run()
+    assert woke == [105]  # timed out, did not catch the stale notify
+
+
+def test_each_notification_consumed_once_per_process():
+    """Re-waiting on an event notified earlier in the same delta must
+    block (no livelock), while the first wait catches it."""
+    sim = Simulator()
+    e = Event("e")
+    log = []
+
+    def notifier():
+        yield Notify(e)
+
+    def waiter():
+        yield Wait(e)  # catches the pending notification
+        log.append("first")
+        result = yield Wait(e, timeout=10)  # must actually block now
+        log.append(result is TIMEOUT)
+
+    sim.spawn(notifier())
+    sim.spawn(waiter())
+    sim.run()
+    assert log == ["first", True]
+
+
+def test_wait_any_returns_fired_event():
+    sim = Simulator()
+    a, b = Event("a"), Event("b")
+    got = []
+
+    def waiter():
+        fired = yield Wait(a, b)
+        got.append(fired.name)
+
+    def notifier():
+        yield WaitFor(3)
+        yield Notify(b)
+
+    sim.spawn(waiter())
+    sim.spawn(notifier())
+    sim.run()
+    assert got == ["b"]
+
+
+def test_wait_any_deregisters_other_events():
+    sim = Simulator()
+    a, b = Event("a"), Event("b")
+
+    def waiter():
+        yield Wait(a, b)
+
+    def notifier():
+        yield WaitFor(1)
+        yield Notify(a)
+
+    sim.spawn(waiter())
+    sim.spawn(notifier())
+    sim.run()
+    assert a.waiter_count == 0
+    assert b.waiter_count == 0
+
+
+def test_wait_timeout_fires():
+    sim = Simulator()
+    e = Event("e")
+    got = []
+
+    def waiter():
+        result = yield Wait(e, timeout=25)
+        got.append((result is TIMEOUT, sim.now))
+
+    sim.spawn(waiter())
+    sim.run()
+    assert got == [(True, 25)]
+
+
+def test_wait_timeout_cancelled_when_event_fires_first():
+    sim = Simulator()
+    e = Event("e")
+    got = []
+
+    def waiter():
+        result = yield Wait(e, timeout=100)
+        got.append((result, sim.now))
+
+    def notifier():
+        yield WaitFor(10)
+        yield Notify(e)
+
+    sim.spawn(waiter())
+    sim.spawn(notifier())
+    sim.run()
+    assert got == [(e, 10)]
+    assert sim.now == 10  # the stale timer does not force time to 100
+
+
+def test_wait_zero_timeout_polls():
+    sim = Simulator()
+    e = Event("e")
+    got = []
+
+    def waiter():
+        result = yield Wait(e, timeout=0)
+        got.append(result is TIMEOUT)
+
+    sim.spawn(waiter())
+    sim.run()
+    assert got == [True]
+
+
+def test_wait_without_events_or_timeout_rejected():
+    with pytest.raises(ValueError):
+        Wait()
+
+
+def test_notify_count_tracked():
+    sim = Simulator()
+    e = Event("e")
+
+    def notifier():
+        yield Notify(e)
+        yield WaitFor(1)
+        yield Notify(e)
+
+    sim.spawn(notifier())
+    sim.run()
+    assert e.notify_count == 2
+
+
+def test_fire_from_callback_context():
+    sim = Simulator()
+    e = Event("e")
+    woke = []
+
+    def waiter():
+        yield Wait(e)
+        woke.append(sim.now)
+
+    sim.spawn(waiter())
+    sim.schedule_at(7, lambda: e.fire(sim))
+    sim.run()
+    assert woke == [7]

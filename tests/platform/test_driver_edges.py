@@ -1,0 +1,114 @@
+"""Driver and link edge cases."""
+
+import pytest
+
+from repro.channels import RTOSSemaphore, Semaphore
+from repro.kernel import Simulator, WaitFor
+from repro.platform import (
+    Bus,
+    BusLink,
+    InterruptController,
+    InterruptDriver,
+    IrqLine,
+)
+
+
+def make_link(sim):
+    bus = Bus(sim, width=4, cycle_time=10)
+    line = IrqLine(sim, "rx")
+    link = BusLink(sim, bus, line, name="link")
+    return bus, line, link
+
+
+def test_take_without_message_raises():
+    sim = Simulator()
+    _, _, link = make_link(sim)
+    with pytest.raises(RuntimeError):
+        link.take()
+
+
+def test_burst_of_messages_queue_in_order():
+    """Messages sent faster than the receiver drains are buffered by the
+    link and paired with one semaphore count each."""
+    sim = Simulator()
+    _, line, link = make_link(sim)
+    sem = Semaphore(0, name="sem")
+    driver = InterruptDriver(link, sem)
+    pic = InterruptController(sim)
+    pic.register(line, driver.isr)
+    got = []
+
+    def sender():
+        for i in range(5):
+            yield from link.send(i, nbytes=4)
+
+    def slow_receiver():
+        for _ in range(5):
+            message = yield from driver.recv()
+            got.append(message)
+            yield WaitFor(500)
+
+    sim.spawn(sender(), name="tx")
+    sim.spawn(slow_receiver(), name="rx")
+    sim.run()
+    assert got == [0, 1, 2, 3, 4]
+    assert line.raise_count == 5
+    assert sem.count == 0
+
+
+def test_two_links_one_bus_contend():
+    sim = Simulator()
+    bus = Bus(sim, width=4, cycle_time=10)
+    line_a, line_b = IrqLine(sim, "a"), IrqLine(sim, "b")
+    link_a = BusLink(sim, bus, line_a, name="a", priority=1)
+    link_b = BusLink(sim, bus, line_b, name="b", priority=2)
+    done = []
+
+    def tx(link, name):
+        yield from link.send(name, nbytes=40)  # 100 time units each
+        done.append((name, sim.now))
+
+    sim.spawn(tx(link_a, "a"))
+    sim.spawn(tx(link_b, "b"))
+    sim.run()
+    assert done == [("a", 100), ("b", 200)]
+    assert bus.busy_time == 200
+
+
+def test_driver_counts_receptions_rtos_flavor():
+    from repro.rtos import APERIODIC, RTOSModel
+
+    sim = Simulator()
+    os_ = RTOSModel(sim)
+    _, line, link = make_link(sim)
+    driver = InterruptDriver(
+        link, RTOSSemaphore(os_, 0, "sem"), os_model=os_
+    )
+    pic = InterruptController(sim)
+    pic.register(line, driver.isr)
+    got = []
+
+    def body():
+        for _ in range(2):
+            got.append((yield from driver.recv()))
+
+    task = os_.task_create("rx", APERIODIC, 0, 0)
+    sim.spawn(os_.task_body(task, body()), name="rx")
+
+    def sender():
+        yield WaitFor(10)
+        yield from link.send("x", nbytes=4)
+        yield WaitFor(10)
+        yield from link.send("y", nbytes=4)
+
+    sim.spawn(sender(), name="tx")
+
+    def boot():
+        yield WaitFor(0)
+        os_.start()
+
+    sim.spawn(boot())
+    sim.run()
+    assert got == ["x", "y"]
+    assert driver.received == 2
+    assert os_.metrics.interrupts == 2

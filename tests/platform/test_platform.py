@@ -1,0 +1,229 @@
+"""Platform layer: interrupts, bus arbitration, drivers, architecture."""
+
+import pytest
+
+from repro.channels import RTOSSemaphore, Semaphore
+from repro.kernel import Simulator, WaitFor
+from repro.platform import (
+    Architecture,
+    Bus,
+    BusLink,
+    InterruptController,
+    InterruptDriver,
+    InterruptSource,
+    IrqLine,
+)
+
+
+def test_irq_line_dispatches_handler():
+    sim = Simulator()
+    line = IrqLine(sim, "irq0")
+    pic = InterruptController(sim)
+    hits = []
+
+    def handler():
+        hits.append(sim.now)
+        yield WaitFor(0)
+
+    pic.register(line, handler)
+    sim.schedule_at(100, line.raise_irq)
+    sim.schedule_at(250, line.raise_irq)
+    sim.run()
+    assert hits == [100, 250]
+    assert line.raise_count == 2
+
+
+def test_duplicate_handler_rejected():
+    sim = Simulator()
+    line = IrqLine(sim)
+    pic = InterruptController(sim)
+    pic.register(line, lambda: iter(()))
+    with pytest.raises(ValueError):
+        pic.register(line, lambda: iter(()))
+
+
+def test_periodic_interrupt_source():
+    sim = Simulator()
+    line = IrqLine(sim, "timer")
+    pic = InterruptController(sim)
+    hits = []
+
+    def handler():
+        hits.append(sim.now)
+        yield WaitFor(0)
+
+    pic.register(line, handler)
+    InterruptSource(sim, line, period=50, count=4)
+    sim.run()
+    assert hits == [50, 100, 150, 200]
+
+
+def test_periodic_source_requires_count():
+    sim = Simulator()
+    line = IrqLine(sim)
+    with pytest.raises(ValueError):
+        InterruptSource(sim, line, period=10)
+
+
+def test_bus_transfer_timing():
+    sim = Simulator()
+    bus = Bus(sim, width=4, cycle_time=10)
+    done = []
+
+    def master():
+        yield from bus.transfer(16, master="m")  # 4 cycles * 10
+        done.append(sim.now)
+
+    sim.spawn(master())
+    sim.run()
+    assert done == [40]
+    assert bus.transfer_count == 1
+    assert bus.busy_time == 40
+
+
+def test_bus_serializes_masters():
+    sim = Simulator()
+    bus = Bus(sim, width=4, cycle_time=10)
+    done = []
+
+    def master(name):
+        yield from bus.transfer(8, master=name)  # 20 each
+        done.append((name, sim.now))
+
+    sim.spawn(master("a"))
+    sim.spawn(master("b"))
+    sim.run()
+    assert done == [("a", 20), ("b", 40)]
+
+
+def test_bus_priority_arbitration():
+    sim = Simulator()
+    bus = Bus(sim, width=4, cycle_time=10)
+    done = []
+
+    def holder():
+        yield from bus.transfer(8, master="holder", priority=5)
+        done.append(("holder", sim.now))
+
+    def low():
+        yield WaitFor(5)  # request while bus is busy
+        yield from bus.transfer(8, master="low", priority=9)
+        done.append(("low", sim.now))
+
+    def high():
+        yield WaitFor(10)  # requests later but with better priority
+        yield from bus.transfer(8, master="high", priority=1)
+        done.append(("high", sim.now))
+
+    sim.spawn(holder())
+    sim.spawn(low())
+    sim.spawn(high())
+    sim.run()
+    assert done == [("holder", 20), ("high", 40), ("low", 60)]
+
+
+def test_bus_rejects_bad_transfers():
+    sim = Simulator()
+    bus = Bus(sim)
+
+    def bad():
+        yield from bus.transfer(0)
+
+    sim.spawn(bad())
+    with pytest.raises(Exception):
+        sim.run()
+
+
+def test_link_and_driver_spec_flavor():
+    """Unscheduled model: ISR releases a plain semaphore; a behavior
+    blocks in the driver's recv (the Figure 3(a) structure)."""
+    sim = Simulator()
+    bus = Bus(sim, width=4, cycle_time=10)
+    line = IrqLine(sim, "rx")
+    link = BusLink(sim, bus, line, name="link")
+    driver = InterruptDriver(link, Semaphore(0, name="sem"), name="drv")
+    pic = InterruptController(sim)
+    pic.register(line, driver.isr)
+    got = []
+
+    def receiver():
+        data = yield from driver.recv()
+        got.append((data, sim.now))
+
+    def sender():
+        yield WaitFor(100)
+        yield from link.send({"payload": 7}, nbytes=8)
+
+    sim.spawn(receiver())
+    sim.spawn(sender())
+    sim.run()
+    assert got == [({"payload": 7}, 120)]  # 100 + 20 bus time
+    assert driver.received == 1
+
+
+def test_link_and_driver_rtos_flavor():
+    """Architecture model: the receiving PE runs an RTOS; the ISR
+    releases an RTOS semaphore and returns via interrupt_return."""
+    arch = Architecture()
+    bus = arch.add_bus("bus", width=4, cycle_time=10)
+    dsp = arch.add_pe("dsp", sched="priority")
+    line = IrqLine(arch.sim, "rx")
+    link = BusLink(arch.sim, bus, line, name="link")
+    driver = InterruptDriver(
+        link, RTOSSemaphore(dsp.os, 0, name="sem"), os_model=dsp.os
+    )
+    dsp.add_driver(driver, line)
+    got = []
+
+    def worker():
+        data = yield from driver.recv()
+        got.append((data, arch.sim.now))
+        yield from dsp.os.time_wait(30)
+
+    dsp.add_task("worker", worker(), priority=1)
+
+    def sender():
+        yield WaitFor(200)
+        yield from link.send("frame", nbytes=4)
+
+    arch.sim.spawn(sender(), name="other-pe")
+    arch.run()
+    assert got == [("frame", 210)]
+    assert dsp.os.metrics.interrupts == 1
+    assert dsp.os.metrics.busy_time == 30
+
+
+def test_architecture_duplicate_names_rejected():
+    arch = Architecture()
+    arch.add_pe("a")
+    with pytest.raises(ValueError):
+        arch.add_pe("a")
+    arch.add_bus("b")
+    with pytest.raises(ValueError):
+        arch.add_bus("b")
+
+
+def test_pe_without_os_rejects_tasks():
+    arch = Architecture()
+    pe = arch.add_pe("hw")
+    with pytest.raises(RuntimeError):
+        pe.add_task("t", iter(()))
+
+
+def test_architecture_boot_unlocks_schedulers():
+    arch = Architecture()
+    pe = arch.add_pe("cpu", sched="priority")
+    order = []
+
+    def mk(name, delay):
+        def body():
+            yield from pe.os.time_wait(delay)
+            order.append((name, arch.sim.now))
+
+        return body()
+
+    pe.add_task("slow", mk("slow", 10), priority=5)
+    pe.add_task("fast", mk("fast", 10), priority=1)
+    arch.run()
+    # both activated before boot -> priority order, not spawn order
+    assert order == [("fast", 10), ("slow", 20)]

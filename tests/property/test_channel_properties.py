@@ -1,0 +1,157 @@
+"""Property-based tests of the channel library (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.channels import Handshake, Mailbox, Queue, RTOSQueue, Semaphore
+from repro.kernel import Par, Simulator, WaitFor
+from repro.rtos import APERIODIC, RTOSModel
+
+items_strategy = st.lists(st.integers(-1000, 1000), min_size=1, max_size=20)
+
+
+@given(items_strategy, st.integers(1, 5),
+       st.lists(st.integers(0, 30), min_size=1, max_size=20))
+@settings(max_examples=60, deadline=None)
+def test_queue_fifo_and_conservation(items, capacity, gaps):
+    """Whatever the interleaving, a bounded queue delivers every item
+    exactly once, in order."""
+    sim = Simulator()
+    q = Queue(capacity=capacity)
+    received = []
+
+    def producer():
+        for index, item in enumerate(items):
+            yield WaitFor(gaps[index % len(gaps)])
+            yield from q.send(item)
+
+    def consumer():
+        for index in range(len(items)):
+            item = yield from q.recv()
+            received.append(item)
+            yield WaitFor(gaps[(index * 7 + 3) % len(gaps)])
+
+    sim.spawn(producer())
+    sim.spawn(consumer())
+    sim.run()
+    assert received == items
+    assert len(q) == 0
+
+
+@given(items_strategy, st.integers(1, 3))
+@settings(max_examples=40, deadline=None)
+def test_rtos_queue_fifo_under_scheduling(items, capacity):
+    """The refined queue preserves FIFO + conservation when producer and
+    consumer are RTOS tasks with different priorities."""
+    sim = Simulator()
+    os_ = RTOSModel(sim)
+    q = RTOSQueue(os_, capacity=capacity)
+    received = []
+
+    def producer_body():
+        for item in items:
+            yield from os_.time_wait(7)
+            yield from q.send(item)
+
+    def consumer_body():
+        for _ in range(len(items)):
+            item = yield from q.recv()
+            received.append(item)
+            yield from os_.time_wait(3)
+
+    p = os_.task_create("p", APERIODIC, 0, 0, priority=2)
+    c = os_.task_create("c", APERIODIC, 0, 0, priority=1)
+    sim.spawn(os_.task_body(p, producer_body()), name="p")
+    sim.spawn(os_.task_body(c, consumer_body()), name="c")
+
+    def boot():
+        yield WaitFor(0)
+        os_.start()
+
+    sim.spawn(boot())
+    sim.run()
+    assert received == items
+
+
+@given(st.integers(0, 5), st.lists(st.sampled_from(["acq", "rel"]),
+                                   min_size=1, max_size=30))
+@settings(max_examples=60, deadline=None)
+def test_semaphore_count_never_negative(init, ops):
+    """Any schedule of acquires/releases keeps count >= 0 and balances:
+    final count = init + releases - successful acquires."""
+    sim = Simulator()
+    sem = Semaphore(init=init)
+    acquired = []
+
+    def actor():
+        for op in ops:
+            assert sem.count >= 0
+            if op == "acq":
+                if sem.try_acquire():
+                    acquired.append(1)
+            else:
+                yield from sem.release()
+            yield WaitFor(1)
+
+    sim.spawn(actor())
+    sim.run()
+    releases = sum(1 for op in ops if op == "rel")
+    assert sem.count == init + releases - len(acquired)
+    assert sem.count >= 0
+
+
+@given(items_strategy)
+@settings(max_examples=40, deadline=None)
+def test_handshake_transfers_every_item_in_order(items):
+    sim = Simulator()
+    hs = Handshake()
+    received = []
+
+    def sender():
+        for item in items:
+            yield from hs.send(item)
+
+    def receiver():
+        for _ in range(len(items)):
+            received.append((yield from hs.recv()))
+
+    sim.spawn(sender())
+    sim.spawn(receiver())
+    sim.run()
+    assert received == items
+    assert hs.transfers == len(items)
+
+
+@given(items_strategy, st.integers(1, 4))
+@settings(max_examples=40, deadline=None)
+def test_mailbox_fan_in_conserves_messages(items, n_posters):
+    """Multiple posters, one collector: every message arrives exactly
+    once (order within a poster preserved)."""
+    sim = Simulator()
+    mb = Mailbox()
+    received = []
+    chunks = [items[i::n_posters] for i in range(n_posters)]
+
+    def poster(chunk, delay):
+        for message in chunk:
+            yield WaitFor(delay)
+            yield from mb.post(message)
+
+    def collector():
+        for _ in range(len(items)):
+            received.append((yield from mb.collect()))
+
+    def top():
+        yield Par(
+            collector(),
+            *(poster(chunk, i + 1) for i, chunk in enumerate(chunks)),
+        )
+
+    sim.spawn(top())
+    sim.run()
+    assert sorted(received) == sorted(items)
+    for i, chunk in enumerate(chunks):
+        positions = [received.index(m) for m in chunk]
+        # order within one poster is preserved when values are unique
+        if len(set(chunk)) == len(chunk) and len(set(received)) == len(received):
+            assert positions == sorted(positions)

@@ -1,0 +1,85 @@
+"""Property-based tests of the vocoder DSP math (hypothesis)."""
+
+import numpy as np
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.apps.vocoder import dsp
+
+frames = arrays(
+    np.float64,
+    st.integers(32, 160),
+    elements=st.floats(min_value=-1.0, max_value=1.0, allow_nan=False),
+)
+
+stable_coeffs = st.lists(
+    st.floats(min_value=-0.4, max_value=0.4, allow_nan=False),
+    min_size=2, max_size=6,
+)
+
+
+@given(frames)
+@settings(max_examples=50, deadline=None)
+def test_autocorrelation_lag0_dominates(frame):
+    """|r[k]| <= r[0] for any real signal (Cauchy-Schwarz)."""
+    r = dsp.autocorrelation(frame, order=6)
+    assert all(abs(rk) <= r[0] + 1e-9 for rk in r)
+
+
+@given(frames)
+@settings(max_examples=50, deadline=None)
+def test_levinson_durbin_stability(frame):
+    """On genuine autocorrelation sequences the recursion yields
+    |reflection| <= 1 and a non-negative, non-increasing error."""
+    assume(float(np.dot(frame, frame)) > 1e-6)
+    r = dsp.autocorrelation(frame, order=8)
+    a, k, err = dsp.levinson_durbin(r, order=8)
+    assert np.all(np.abs(k) <= 1.0 + 1e-9)
+    assert 0 <= err <= r[0] + 1e-9
+
+
+@given(frames, stable_coeffs, st.integers(0, 2**31 - 1))
+@settings(max_examples=50, deadline=None)
+def test_analysis_synthesis_inverse(frame, coeffs, seed)        :
+    """residual -> synthesis round-trips exactly for any stable filter
+    and any history."""
+    rng = np.random.default_rng(seed)
+    a = np.array(coeffs)
+    history = rng.standard_normal(len(a))
+    residual = dsp.lpc_residual(frame, a, history)
+    rebuilt = dsp.synthesis_filter(residual, a, history)
+    np.testing.assert_allclose(rebuilt, frame, atol=1e-6)
+
+
+@given(st.integers(dsp.MIN_LAG, dsp.MAX_LAG), st.integers(1, 100))
+@settings(max_examples=50, deadline=None)
+def test_delayed_excitation_periodic_extension(lag, n_extra):
+    """The adaptive-codebook vector repeats with period = lag for lags
+    shorter than the frame."""
+    past = np.arange(1.0, dsp.MAX_LAG + 161.0)
+    n = lag + n_extra
+    segment = dsp._delayed_excitation(past, lag, n)
+    assert len(segment) == n
+    np.testing.assert_array_equal(segment[lag:], segment[:n_extra])
+
+
+@given(frames, st.integers(1, 10))
+@settings(max_examples=50, deadline=None)
+def test_codebook_reduces_error(frame, n_pulses):
+    """The selected pulses always reduce (or keep) the squared error
+    relative to the zero vector."""
+    positions, signs, gain = dsp.codebook_search(frame, n_pulses=n_pulses)
+    approx = np.zeros_like(frame)
+    approx[positions] = gain * signs
+    base = float(np.dot(frame, frame))
+    err = float(np.dot(frame - approx, frame - approx))
+    assert err <= base + 1e-9
+    assert len(positions) == min(n_pulses, len(frame))
+
+
+@given(frames, st.sampled_from([1 / 32, 1 / 64, 1 / 256]))
+@settings(max_examples=50, deadline=None)
+def test_quantization_error_bounded(frame, step)        :
+    q = dsp.quantize(frame, step)
+    assert np.all(np.abs(q - frame) <= step / 2 + 1e-12)

@@ -1,0 +1,137 @@
+"""Property-based tests of the SLDL kernel (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kernel import Event, Notify, Par, Simulator, Wait, WaitFor
+
+delays = st.lists(st.integers(min_value=0, max_value=1000), min_size=1,
+                  max_size=8)
+
+
+@given(delays)
+@settings(max_examples=60, deadline=None)
+def test_sequential_delays_sum(sequence):
+    """A single process's delays accumulate exactly."""
+    sim = Simulator()
+
+    def proc():
+        for d in sequence:
+            yield WaitFor(d)
+
+    sim.spawn(proc())
+    sim.run()
+    assert sim.now == sum(sequence)
+
+
+@given(st.lists(delays, min_size=1, max_size=5))
+@settings(max_examples=60, deadline=None)
+def test_parallel_processes_end_at_max(branches):
+    """Concurrent processes overlap: completion = max of branch sums."""
+    sim = Simulator()
+
+    def worker(seq):
+        for d in seq:
+            yield WaitFor(d)
+
+    def top():
+        yield Par(*(worker(seq) for seq in branches))
+
+    sim.spawn(top())
+    sim.run()
+    assert sim.now == max(sum(seq) for seq in branches)
+
+
+@given(st.lists(delays, min_size=1, max_size=4), st.integers(0, 3))
+@settings(max_examples=40, deadline=None)
+def test_simulation_is_deterministic(branches, extra):
+    """Identical models produce identical traces, run to run."""
+
+    def build():
+        sim = Simulator()
+        log = []
+
+        def worker(name, seq):
+            for d in seq:
+                yield WaitFor(d)
+                log.append((name, sim.now))
+
+        def top():
+            yield Par(*(worker(i, seq) for i, seq in enumerate(branches)))
+
+        sim.spawn(top())
+        for _ in range(extra):
+            sim.spawn(worker("x", [1, 2]))
+        sim.run()
+        return log
+
+    assert build() == build()
+
+
+@given(st.integers(0, 500), st.integers(0, 500))
+@settings(max_examples=50, deadline=None)
+def test_notify_wakes_waiter_at_notify_time(wait_start, notify_time):
+    """A waiter resumes exactly when the notification is issued (or
+    never, if the notification happened strictly before it waited and
+    was lost with the timestep)."""
+    sim = Simulator()
+    evt = Event("e")
+    woke = []
+
+    def waiter():
+        yield WaitFor(wait_start)
+        fired = yield Wait(evt, timeout=10_000)
+        woke.append((fired is not None and fired is not True, sim.now))
+
+    def notifier():
+        yield WaitFor(notify_time)
+        yield Notify(evt)
+
+    sim.spawn(waiter())
+    sim.spawn(notifier())
+    sim.run()
+    (_, t) = woke[0]
+    if notify_time >= wait_start:
+        assert t == notify_time
+    else:
+        assert t == wait_start + 10_000  # lost notification -> timeout
+
+
+@given(st.lists(st.integers(1, 50), min_size=1, max_size=6))
+@settings(max_examples=40, deadline=None)
+def test_time_never_goes_backwards(sequence):
+    sim = Simulator()
+    stamps = []
+
+    def proc():
+        for d in sequence:
+            yield WaitFor(d)
+            stamps.append(sim.now)
+
+    sim.spawn(proc())
+    sim.spawn(proc())
+    sim.run()
+    assert stamps == sorted(stamps)
+
+
+@given(st.integers(2, 6), st.integers(1, 4))
+@settings(max_examples=30, deadline=None)
+def test_nested_par_depth(width, depth):
+    """Arbitrarily nested par trees join correctly."""
+    sim = Simulator()
+    leaves = []
+
+    def leaf():
+        yield WaitFor(10)
+        leaves.append(sim.now)
+
+    def tree(level):
+        if level == 0:
+            yield from leaf()
+        else:
+            yield Par(*(tree(level - 1) for _ in range(width)))
+
+    sim.spawn(tree(depth))
+    sim.run()
+    assert len(leaves) == width ** depth
+    assert sim.now == 10

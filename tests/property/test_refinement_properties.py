@@ -1,0 +1,110 @@
+"""Property: refinement preserves functionality and total timing.
+
+For randomly generated seq/par/delay behavior trees, the automatically
+refined architecture model must produce the same functional marks (per
+actor, in order) as the specification model, accumulate the same total
+execution time, and finish no earlier than the specification (a single
+CPU can only serialize)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import exec_time_per_actor
+from repro.kernel import Par, Simulator, WaitFor
+from repro.refinement import DynamicSchedulingRefinement, RefinementSpec
+from repro.rtos import RTOSModel
+
+# behavior-tree strategy: leaves are delay sequences, nodes are seq/par
+leaf = st.lists(st.integers(1, 200), min_size=1, max_size=3)
+tree = st.recursive(
+    leaf,
+    lambda children: st.tuples(
+        st.sampled_from(["seq", "par"]),
+        st.lists(children, min_size=1, max_size=3),
+    ),
+    max_leaves=8,
+)
+
+
+def materialize(node, sim, log, path="r"):
+    """Build a generator for one tree node; log marks at each leaf step."""
+    if isinstance(node, list):
+        def leaf_gen():
+            for i, delay in enumerate(node):
+                yield WaitFor(delay)
+                log.append((path, i))
+
+        return leaf_gen()
+    kind, children = node
+    gens = [
+        materialize(child, sim, log, f"{path}.{k}")
+        for k, child in enumerate(children)
+    ]
+    if kind == "seq":
+        def seq_gen():
+            for gen in gens:
+                yield from gen
+
+        return seq_gen()
+
+    def par_gen():
+        yield Par(*gens)
+
+    return par_gen()
+
+
+def total_time(node):
+    if isinstance(node, list):
+        return sum(node)
+    _, children = node
+    return sum(total_time(child) for child in children)
+
+
+def run_spec(node):
+    sim = Simulator()
+    log = []
+    sim.spawn(materialize(node, sim, log), name="top")
+    sim.run()
+    return sim, log
+
+
+def run_refined(node):
+    sim = Simulator()
+    log = []
+    os_ = RTOSModel(sim)
+    ref = DynamicSchedulingRefinement(
+        os_, RefinementSpec(auto_priority="order")
+    )
+    wrapped, _ = ref.refine_task(materialize(node, sim, log), name="Task_PE")
+    sim.spawn(wrapped, name="Task_PE")
+
+    def boot():
+        yield WaitFor(0)
+        os_.start()
+
+    sim.spawn(boot())
+    sim.run()
+    return sim, log, os_
+
+
+@given(tree)
+@settings(max_examples=50, deadline=None)
+def test_refinement_preserves_marks_and_time(node):
+    sim_s, log_s = run_spec(node)
+    sim_r, log_r, os_ = run_refined(node)
+
+    # functionality: same marks per leaf, in per-leaf order
+    def by_path(log):
+        result = {}
+        for path, i in log:
+            result.setdefault(path, []).append(i)
+        return result
+
+    assert by_path(log_s) == by_path(log_r)
+
+    # total computation is conserved and fully serialized
+    expected = total_time(node)
+    assert os_.metrics.busy_time == expected
+    assert sim_r.now == expected
+    # the specification can only be faster or equal (parallelism)
+    assert sim_s.now <= sim_r.now

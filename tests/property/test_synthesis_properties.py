@@ -1,0 +1,128 @@
+"""Property-based tests of the synthesis backend (hypothesis)."""
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.synthesis import (
+    CodeGenerator,
+    Compute,
+    Halt,
+    ISS,
+    Loop,
+    Mark,
+    TaskProgram,
+    assemble,
+)
+from repro.synthesis.isa import to_signed
+
+
+@given(st.lists(st.integers(-10_000, 10_000), min_size=1, max_size=8))
+@settings(max_examples=60, deadline=None)
+def test_sum_program_matches_python(values):
+    """Generated data + a summation loop computes the same result as
+    Python."""
+    words = ", ".join(str(v) for v in values)
+    source = f"""
+    .org 0x400
+    data:
+        .word {words}
+    .org 0x100
+    _start:
+        ldi r1, data
+        ldi r2, {len(values)}
+        ldi r3, 0
+    loop:
+        ld r4, [r1]
+        add r3, r3, r4
+        addi r1, r1, 1
+        subi r2, r2, 1
+        bgt loop
+        halt
+    """
+    iss = ISS(assemble(source))
+    iss.run(max_cycles=100_000)
+    assert to_signed(iss.regs[3]) == sum(values)
+
+
+@given(st.integers(-5000, 5000), st.integers(-5000, 5000))
+@settings(max_examples=80, deadline=None)
+def test_alu_matches_python(a, b):
+    source = f"""
+    _start:
+        ldi r1, {a}
+        ldi r2, {b}
+        add r3, r1, r2
+        sub r4, r1, r2
+        mul r5, r1, r2
+        and r6, r1, r2
+        or  r7, r1, r2
+        xor r8, r1, r2
+        halt
+    """
+    iss = ISS(assemble(source))
+    iss.run()
+    assert to_signed(iss.regs[3]) == a + b
+    assert to_signed(iss.regs[4]) == a - b
+    assert to_signed(iss.regs[5]) == _wrap(a * b)
+    assert iss.regs[6] == (a & b) & 0xFFFFFFFF
+    assert iss.regs[7] == (a | b) & 0xFFFFFFFF
+    assert iss.regs[8] == (a ^ b) & 0xFFFFFFFF
+
+
+def _wrap(value):
+    value &= 0xFFFFFFFF
+    return value - (1 << 32) if value & (1 << 31) else value
+
+
+#: cycles of a Mark op itself (ldi + ldi + st) — measured between two
+#: console timestamps, the second mark's own cost is included
+_MARK_CYCLES = 4
+
+
+@given(st.integers(1, 20000))
+@settings(max_examples=50, deadline=None)
+def test_compute_calibration_error_bounded(cycles):
+    """Compute(c) burns c cycles within a +-3-cycle tolerance."""
+    gen = CodeGenerator(timer_period=1_000_000)
+    iss, _ = gen.build(
+        [TaskProgram("t", 1, [Mark(1), Compute(cycles), Mark(2), Halt()])]
+    )
+    iss.run(max_cycles=cycles + 100_000)
+    (t1, _), (t2, _) = iss.console
+    assert abs((t2 - t1) - (cycles + _MARK_CYCLES)) <= 3
+
+
+@given(st.lists(st.integers(1, 5), min_size=1, max_size=3),
+       st.integers(1, 4))
+@settings(max_examples=40, deadline=None)
+def test_nested_loop_mark_count(counts, marks_per_iter):
+    """Nested generated loops execute their bodies exactly
+    prod(counts) times."""
+    assume(len(counts) <= 3)
+    body = [Mark(9)] * marks_per_iter
+    for count in reversed(counts):
+        body = [Loop(count, body)]
+    gen = CodeGenerator(timer_period=1_000_000)
+    iss, _ = gen.build([TaskProgram("t", 1, body + [Halt()])])
+    iss.run(max_cycles=2_000_000)
+    expected = marks_per_iter
+    for count in counts:
+        expected *= count
+    assert len(iss.console) == expected
+
+
+@given(st.integers(0, 31), st.integers(0, 2**31 - 1))
+@settings(max_examples=60, deadline=None)
+def test_shifts_match_python(shift, value):
+    source = f"""
+    _start:
+        ldi r1, {value}
+        ldi r2, {shift}
+        shl r3, r1, r2
+        shr r4, r1, r2
+        halt
+    """
+    iss = ISS(assemble(source))
+    iss.run()
+    assert iss.regs[3] == (value << shift) & 0xFFFFFFFF
+    assert iss.regs[4] == (value >> shift) & 0xFFFFFFFF

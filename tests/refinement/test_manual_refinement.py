@@ -1,0 +1,105 @@
+"""Manual refinement helpers (Figures 5-7 as library calls)."""
+
+import pytest
+
+from repro.channels import Queue, Semaphore
+from repro.channels.sync import RTOSSync
+from repro.kernel import Simulator, WaitFor
+from repro.refinement import par_tasks, refine_channel, task_frame
+from repro.rtos import APERIODIC, RTOSModel
+from repro.rtos.events import RTOSEvent
+
+
+def make_pe():
+    sim = Simulator()
+    os_ = RTOSModel(sim)
+
+    def boot():
+        yield WaitFor(0)
+        os_.start()
+
+    sim.spawn(boot(), name="boot")
+    return sim, os_
+
+
+def test_refine_channel_swaps_events_and_sync():
+    sim, os_ = make_pe()
+    q = Queue(capacity=1, name="c1")
+    refine_channel(q, os_)
+    assert isinstance(q._sync, RTOSSync)
+    assert isinstance(q.erdy, RTOSEvent)
+    assert isinstance(q.eack, RTOSEvent)
+    assert q.erdy.name == "c1.erdy"
+    # the refined channel is now registered with the RTOS model
+    assert q.erdy in os_.events
+
+
+def test_refine_channel_rejects_non_channel():
+    _, os_ = make_pe()
+    with pytest.raises(TypeError):
+        refine_channel(object(), os_)
+
+
+def test_refined_channel_transfers_under_rtos():
+    sim, os_ = make_pe()
+    q = refine_channel(Queue(capacity=1, name="c1"), os_)
+    log = []
+
+    def sender_body():
+        yield from os_.time_wait(10)
+        yield from q.send("x")
+
+    def receiver_body():
+        item = yield from q.recv()
+        log.append((item, sim.now))
+
+    s = os_.task_create("s", APERIODIC, 0, 0, priority=2)
+    r = os_.task_create("r", APERIODIC, 0, 0, priority=1)
+    sim.spawn(task_frame(os_, s, sender_body()), name="s")
+    sim.spawn(task_frame(os_, r, receiver_body()), name="r")
+    sim.run()
+    assert log == [("x", 10)]
+
+
+def test_par_tasks_helper():
+    sim, os_ = make_pe()
+    log = []
+
+    def child_body(delay):
+        yield from os_.time_wait(delay)
+        log.append(sim.now)
+
+    c1 = os_.task_create("c1", APERIODIC, 0, 0, priority=2)
+    c2 = os_.task_create("c2", APERIODIC, 0, 0, priority=3)
+
+    def parent_body():
+        yield from os_.time_wait(5)
+        yield from par_tasks(os_, (c1, child_body(50)), (c2, child_body(20)))
+        log.append(("joined", sim.now))
+
+    p = os_.task_create("p", APERIODIC, 0, 0, priority=1)
+    sim.spawn(task_frame(os_, p, parent_body()), name="p")
+    sim.run()
+    assert log == [55, 75, ("joined", 75)]
+
+
+def test_refined_semaphore_channel_from_isr():
+    sim, os_ = make_pe()
+    sem = refine_channel(Semaphore(0, name="sem"), os_)
+    log = []
+
+    def worker_body():
+        yield from sem.acquire()
+        log.append(sim.now)
+
+    w = os_.task_create("w", APERIODIC, 0, 0, priority=1)
+    sim.spawn(task_frame(os_, w, worker_body()), name="w")
+
+    def isr():
+        yield WaitFor(60)
+        yield from sem.release()
+        os_.interrupt_return()
+
+    sim.spawn(isr(), name="isr")
+    sim.run()
+    assert log == [60]

@@ -1,0 +1,126 @@
+"""The switch-overhead extension of the RTOS model."""
+
+import pytest
+
+from repro.kernel import Simulator, WaitFor
+from repro.rtos import APERIODIC, RTOSModel
+from tests.rtos.conftest import Harness
+
+
+class OverheadHarness(Harness):
+    def __init__(self, switch_overhead, **kwargs):
+        super().__init__(**kwargs)
+        self.os = RTOSModel(
+            self.sim, sched=kwargs.get("sched", "priority"),
+            preemption=kwargs.get("preemption", "step"),
+            switch_overhead=switch_overhead,
+        )
+        self.os.init()
+
+
+def two_task_run(overhead):
+    bench = OverheadHarness(overhead)
+
+    def body(task):
+        def _b():
+            for _ in range(2):
+                yield from bench.os.time_wait(100)
+
+        return _b()
+
+    a = bench.task("a", body, priority=1)
+    b = bench.task("b", body, priority=2)
+    bench.run()
+    return bench, a, b
+
+
+def test_overhead_extends_makespan():
+    bench0, *_ = two_task_run(0)
+    bench5, a, b = two_task_run(50)
+    # a runs both steps, switch to b costs 50, b runs both steps
+    assert bench0.sim.now == 400
+    assert bench5.sim.now == 450
+    assert bench5.os.metrics.overhead_time == 50
+    # task execution times are not polluted by the overhead
+    assert a.stats.exec_time == 200
+    assert b.stats.exec_time == 200
+
+
+def test_overhead_counted_once_per_switch():
+    bench = OverheadHarness(10)
+
+    def pingpong(task):
+        def _b():
+            for _ in range(3):
+                yield from bench.os.time_wait(100)
+
+        return _b()
+
+    from repro.rtos import RoundRobin
+
+    bench.os.scheduler = RoundRobin(quantum=100)
+    bench.task("a", pingpong, priority=1)
+    bench.task("b", pingpong, priority=1)
+    bench.run()
+    switches = bench.os.metrics.context_switches
+    assert switches >= 5
+    assert bench.os.metrics.overhead_time == 10 * switches
+
+
+def test_first_dispatch_has_no_overhead():
+    bench = OverheadHarness(70)
+
+    def solo(task):
+        def _b():
+            yield from bench.os.time_wait(100)
+
+        return _b()
+
+    bench.task("only", solo)
+    bench.run()
+    assert bench.sim.now == 100
+    assert bench.os.metrics.overhead_time == 0
+
+
+def test_negative_overhead_rejected():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        RTOSModel(sim, switch_overhead=-1)
+
+
+def test_overhead_with_interrupt_preemption():
+    """Overhead is charged on both directions of a preemption."""
+    bench = OverheadHarness(25)
+    evt = bench.os.event_new()
+
+    def high(task):
+        def _b():
+            yield from bench.os.event_wait(evt)
+            yield from bench.os.time_wait(50)
+            bench.mark("high")
+
+        return _b()
+
+    def low(task):
+        def _b():
+            yield from bench.os.time_wait(100)
+            yield from bench.os.time_wait(100)
+            bench.mark("low")
+
+        return _b()
+
+    bench.task("high", high, priority=1)
+    bench.task("low", low, priority=5)
+
+    def isr():
+        yield from bench.os.event_notify(evt)
+        bench.os.interrupt_return()
+
+    bench.isr_at(150, isr)
+    bench.run()
+    # timeline: high dispatched at boot, blocks immediately;
+    # switch(25) -> low [25,125),[125,225); irq at 150 defers to 225;
+    # switch(25) -> high [250,300); switch(25) -> low marks at 325
+    assert bench.log == [("high", 300), ("low", 325)]
+    assert bench.os.metrics.context_switches == 3
+    assert bench.os.metrics.overhead_time == 25 * bench.os.metrics.context_switches

@@ -1,0 +1,172 @@
+"""Step-granular vs immediate preemption (paper Section 4.3 + extension).
+
+The paper's model switches tasks at the end of the running task's current
+delay step (Figure 8(b): interrupt at t4, switch at t4'). The immediate
+mode aborts the in-flight delay and resumes the remainder later; both
+must conserve total execution time.
+"""
+
+import pytest
+
+from repro.rtos import TaskState
+from tests.rtos.conftest import Harness
+
+
+def build_interrupt_scenario(preemption, irq_time, low_steps=(300, 300)):
+    """One low-priority task executing steps; an interrupt wakes a
+    high-priority task at `irq_time`. Returns (bench, high, low)."""
+    bench = Harness(preemption=preemption)
+    evt = bench.os.event_new("irq-evt")
+
+    def high(task):
+        def _b():
+            yield from bench.os.event_wait(evt)
+            bench.mark("high-start")
+            yield from bench.os.time_wait(100)
+            bench.mark("high-done")
+
+        return _b()
+
+    def low(task):
+        def _b():
+            for i, step in enumerate(low_steps):
+                yield from bench.os.time_wait(step)
+                bench.mark("low-step", i)
+
+        return _b()
+
+    h = bench.task("high", high, priority=1)
+    lo = bench.task("low", low, priority=5)
+
+    def isr():
+        yield from bench.os.event_notify(evt)
+        bench.os.interrupt_return()
+
+    bench.isr_at(irq_time, isr)
+    return bench, h, lo
+
+
+def test_step_mode_defers_switch_to_step_end():
+    bench, high, low = build_interrupt_scenario("step", irq_time=450)
+    bench.run()
+    # irq at 450 inside low's step [300,600): switch at 600 (t4')
+    segs = [s for s in bench.sim.trace.segments("high") if s[2] > s[1]]
+    assert segs == [("high", 600, 700, "run")]
+    assert ("low-step", 1, 700) in bench.log
+
+
+def test_immediate_mode_switches_at_interrupt_time():
+    bench, high, low = build_interrupt_scenario("immediate", irq_time=450)
+    bench.run()
+    segs = [s for s in bench.sim.trace.segments("high") if s[2] > s[1]]
+    assert segs == [("high", 450, 550, "run")]
+    # low's interrupted second step resumes: 150 remaining after 550 -> 700
+    assert ("low-step", 0, 300) in bench.log
+    assert ("low-step", 1, 700) in bench.log
+
+
+@pytest.mark.parametrize("mode", ["step", "immediate"])
+def test_total_execution_time_conserved(mode):
+    """Both modes must account every task the same total CPU time."""
+    bench, high, low = build_interrupt_scenario(mode, irq_time=450)
+    bench.run()
+    assert high.stats.exec_time == 100
+    assert low.stats.exec_time == 600
+    assert bench.os.metrics.busy_time == 700
+    assert bench.sim.now == 700
+
+
+def test_immediate_mode_response_time_is_exact():
+    """Response latency of the high task equals its own exec time in
+    immediate mode; in step mode it additionally suffers the remainder
+    of the low task's step (the granularity error the paper discusses)."""
+
+    def high_completion(mode):
+        bench, high, low = build_interrupt_scenario(mode, irq_time=450)
+        bench.run()
+        segs = [s for s in bench.sim.trace.segments("high") if s[2] > s[1]]
+        return segs[-1][2]
+
+    assert high_completion("immediate") == 550
+    assert high_completion("step") == 700
+    # granularity error = remainder of the interrupted step = 150
+    assert high_completion("step") - high_completion("immediate") == 150
+
+
+def test_interrupt_at_step_boundary_identical_in_both_modes():
+    results = {}
+    for mode in ("step", "immediate"):
+        bench, high, low = build_interrupt_scenario(mode, irq_time=600)
+        bench.run()
+        segs = [s for s in bench.sim.trace.segments("high") if s[2] > s[1]]
+        results[mode] = segs
+    assert results["step"] == results["immediate"]
+    assert results["step"][0][1] == 600
+
+
+def test_multiple_preemptions_accumulate_remaining_delay():
+    """Two interrupts during one long step (immediate mode): the step's
+    remaining time is carried across both preemptions."""
+    bench = Harness(preemption="immediate")
+    evt = bench.os.event_new()
+
+    def high(task):
+        def _b():
+            for _ in range(2):
+                yield from bench.os.event_wait(evt)
+                yield from bench.os.time_wait(50)
+                bench.mark("high")
+
+        return _b()
+
+    def low(task):
+        def _b():
+            yield from bench.os.time_wait(1000)
+            bench.mark("low")
+
+        return _b()
+
+    bench.task("high", high, priority=1)
+    lo = bench.task("low", low, priority=5)
+
+    def isr():
+        yield from bench.os.event_notify(evt)
+        bench.os.interrupt_return()
+
+    bench.isr_at(200, isr)
+    bench.isr_at(600, isr)
+    bench.run()
+    assert bench.log == [("high", 250), ("high", 650), ("low", 1100)]
+    assert lo.stats.exec_time == 1000
+    assert lo.stats.preemptions == 2
+
+
+def test_immediate_preemption_between_rtos_calls():
+    """A task preempted in zero-time between two RTOS calls must wait to
+    be re-dispatched at its next call (the _enter protocol)."""
+    bench = Harness(preemption="immediate")
+    evt = bench.os.event_new()
+
+    def high(task):
+        def _b():
+            yield from bench.os.event_wait(evt)
+            yield from bench.os.time_wait(30)
+            bench.mark("high")
+
+        return _b()
+
+    def low(task):
+        def _b():
+            yield from bench.os.time_wait(100)
+            # notify wakes high (higher priority) -> low preempted at
+            # this scheduling point, resumes after high's 30
+            yield from bench.os.event_notify(evt)
+            yield from bench.os.time_wait(10)
+            bench.mark("low")
+
+        return _b()
+
+    bench.task("high", high, priority=1)
+    bench.task("low", low, priority=5)
+    bench.run()
+    assert bench.log == [("high", 130), ("low", 140)]

@@ -1,0 +1,211 @@
+"""RTOS event handling (event_new/del/wait/notify), paper Section 4.1."""
+
+import pytest
+
+from repro.rtos import RTOSError
+from tests.rtos.conftest import Harness
+
+
+def test_event_wait_blocks_until_notify():
+    bench = Harness()
+    evt = bench.os.event_new("evt")
+
+    def waiter(task):
+        def _b():
+            yield from bench.os.event_wait(evt)
+            bench.mark("woke")
+
+        return _b()
+
+    def notifier(task):
+        def _b():
+            yield from bench.os.time_wait(100)
+            yield from bench.os.event_notify(evt)
+
+        return _b()
+
+    bench.task("waiter", waiter, priority=1)
+    bench.task("notifier", notifier, priority=2)
+    bench.run()
+    assert bench.log == [("woke", 100)]
+
+
+def test_event_notify_wakes_all_waiting_tasks():
+    """Paper: 'event_notify moves all tasks in the event queue back into
+    the ready queue'."""
+    bench = Harness()
+    evt = bench.os.event_new()
+
+    def waiter(task):
+        def _b():
+            yield from bench.os.event_wait(evt)
+            bench.mark(task.name)
+
+        return _b()
+
+    def notifier(task):
+        def _b():
+            yield from bench.os.time_wait(10)
+            yield from bench.os.event_notify(evt)
+
+        return _b()
+
+    bench.task("w1", waiter, priority=1)
+    bench.task("w2", waiter, priority=2)
+    bench.task("notifier", notifier, priority=3)
+    bench.run()
+    assert bench.log == [("w1", 10), ("w2", 10)]
+
+
+def test_notify_with_no_waiter_pends_within_timestep():
+    """The serialized rendezvous: notify executed before the wait of the
+    same instant is caught (re-implementing SLDL delta semantics)."""
+    bench = Harness()
+    evt = bench.os.event_new()
+
+    def notifier(task):
+        def _b():
+            yield from bench.os.event_notify(evt)  # runs first (prio 1)
+            bench.mark("notified")
+
+        return _b()
+
+    def waiter(task):
+        def _b():
+            yield from bench.os.event_wait(evt)  # same timestep, later
+            bench.mark("woke")
+
+        return _b()
+
+    bench.task("notifier", notifier, priority=1)
+    bench.task("waiter", waiter, priority=2)
+    bench.run()
+    assert ("woke", 0) in bench.log
+
+
+def test_notification_does_not_persist_across_timesteps():
+    bench = Harness()
+    evt = bench.os.event_new()
+    done = bench.os.event_new()
+
+    def notifier(task):
+        def _b():
+            yield from bench.os.event_notify(evt)  # t=0, lost
+
+        return _b()
+
+    def waiter(task):
+        def _b():
+            yield from bench.os.time_wait(10)
+            yield from bench.os.event_wait(evt)  # t=10: must block
+            bench.mark("woke")
+
+        return _b()
+
+    def late(task):
+        def _b():
+            yield from bench.os.time_wait(50)
+            yield from bench.os.event_notify(evt)
+
+        return _b()
+
+    bench.task("notifier", notifier, priority=1)
+    bench.task("waiter", waiter, priority=2)
+    bench.task("late", late, priority=3)
+    bench.run()
+    # delays serialize: waiter [0,10), late [10,60): notify lands at 60;
+    # the t=0 notification was lost, so the wake is at 60, not 10
+    assert bench.log == [("woke", 60)]
+
+
+def test_notify_from_task_yields_to_woken_higher_priority():
+    bench = Harness()
+    evt = bench.os.event_new()
+
+    def high(task):
+        def _b():
+            yield from bench.os.event_wait(evt)
+            yield from bench.os.time_wait(5)
+            bench.mark("high")
+
+        return _b()
+
+    def low(task):
+        def _b():
+            yield from bench.os.time_wait(10)
+            yield from bench.os.event_notify(evt)
+            bench.mark("low-after-notify")
+
+        return _b()
+
+    bench.task("high", high, priority=1)
+    bench.task("low", low, priority=5)
+    bench.run()
+    # notify is a scheduling point: high runs before low continues
+    assert bench.log == [("high", 15), ("low-after-notify", 15)]
+
+
+def test_event_del_validations():
+    bench = Harness()
+    evt = bench.os.event_new()
+    bench.os.event_del(evt)
+    assert evt.deleted
+
+    def user(task):
+        def _b():
+            yield from bench.os.event_wait(evt)
+
+        return _b()
+
+    bench.task("user", user)
+    with pytest.raises(Exception) as err:
+        bench.run()
+    assert "deleted" in str(err.value)
+
+
+def test_event_del_with_waiters_rejected():
+    bench = Harness()
+    evt = bench.os.event_new()
+
+    def waiter(task):
+        def _b():
+            yield from bench.os.event_wait(evt)
+
+        return _b()
+
+    def deleter(task):
+        def _b():
+            yield from bench.os.time_wait(1)
+            bench.os.event_del(evt)
+            yield from bench.os.time_wait(1)
+
+        return _b()
+
+    bench.task("waiter", waiter, priority=1)
+    bench.task("deleter", deleter, priority=2)
+    with pytest.raises(Exception) as err:
+        bench.run()
+    assert "waiting tasks" in str(err.value)
+
+
+def test_event_notify_from_isr_context_is_allowed():
+    bench = Harness()
+    evt = bench.os.event_new()
+
+    def waiter(task):
+        def _b():
+            yield from bench.os.event_wait(evt)
+            bench.mark("woke")
+
+        return _b()
+
+    bench.task("waiter", waiter)
+
+    def isr():
+        yield from bench.os.event_notify(evt)
+        bench.os.interrupt_return()
+
+    bench.isr_at(30, isr)
+    bench.run()
+    assert bench.log == [("woke", 30)]
+    assert bench.os.metrics.interrupts == 1

@@ -1,0 +1,137 @@
+"""Assembler unit tests."""
+
+import pytest
+
+from repro.synthesis.assembler import AssemblerError, assemble
+from repro.synthesis import isa
+
+
+def test_simple_program_layout():
+    prog = assemble(
+        """
+        .org 0x100
+        _start:
+            ldi r1, 5
+            nop
+        done:
+            halt
+        """
+    )
+    assert prog.entry == 0x100
+    assert prog.symbols["_start"] == 0x100
+    assert prog.symbols["done"] == 0x102
+    assert prog.image[0x100] == ("ldi", (1, 5))
+    assert prog.image[0x102] == ("halt", ())
+
+
+def test_equ_and_symbol_immediates():
+    prog = assemble(
+        """
+        .equ LIMIT, 0x10
+        _start:
+            ldi r2, LIMIT
+            cmpi r2, -LIMIT
+        """
+    )
+    assert prog.image[0x100] == ("ldi", (2, 16))
+    assert prog.image[0x101] == ("cmpi", (2, -16))
+
+
+def test_words_and_space():
+    prog = assemble(
+        """
+        .org 0x200
+        table:
+            .word 1, 2, 3
+        buffer:
+            .space 2
+        """
+    )
+    assert prog.symbols["table"] == 0x200
+    assert prog.symbols["buffer"] == 0x203
+    assert [prog.image[a] for a in range(0x200, 0x205)] == [1, 2, 3, 0, 0]
+
+
+def test_word_forward_reference_to_label():
+    prog = assemble(
+        """
+        vec:
+            .word handler
+        handler:
+            halt
+        """
+    )
+    assert prog.image[0x100] == prog.symbols["handler"]
+
+
+def test_memory_operands():
+    prog = assemble(
+        """
+        _start:
+            ld r1, [r2 + 4]
+            st r1, [sp - 1]
+            ld r3, [r4]
+        """
+    )
+    assert prog.image[0x100] == ("ld", (1, (2, 4)))
+    assert prog.image[0x101] == ("st", (1, (isa.SP, -1)))
+    assert prog.image[0x102] == ("ld", (3, (4, 0)))
+
+
+def test_sp_lr_aliases():
+    prog = assemble("mov sp, lr")
+    assert prog.image[0x100] == ("mov", (isa.SP, isa.LR))
+
+
+def test_branch_to_label():
+    prog = assemble(
+        """
+        loop:
+            nop
+            jmp loop
+        """
+    )
+    assert prog.image[0x101] == ("jmp", (0x100,))
+
+
+def test_comments_and_blank_lines_ignored():
+    prog = assemble(
+        """
+        ; full-line comment
+
+        _start: nop  ; trailing comment
+        """
+    )
+    assert prog.image[0x100] == ("nop", ())
+
+
+@pytest.mark.parametrize(
+    "source,fragment",
+    [
+        ("frob r1", "unknown opcode"),
+        ("ldi r99, 1", "bad register"),
+        ("ldi r1", "expects 2 operands"),
+        ("ldi r1, nosuch", "undefined symbol"),
+        ("x: nop\nx: nop", "duplicate label"),
+        (".bogus 3", "unknown directive"),
+        ("ld r1, [bad+1]", "bad memory operand"),
+        (".equ ONLYNAME", ".equ needs"),
+    ],
+)
+def test_errors(source, fragment):
+    with pytest.raises(AssemblerError) as err:
+        assemble(source)
+    assert fragment in str(err.value)
+
+
+def test_loc_counts_real_lines():
+    prog = assemble(
+        """
+        ; comment only
+
+        _start:
+            nop
+            halt
+        """
+    )
+    assert prog.loc == 3  # label line + two instructions

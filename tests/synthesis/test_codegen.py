@@ -1,0 +1,153 @@
+"""Code generation and SLDL co-simulation of the ISS."""
+
+import pytest
+
+from repro.kernel import Simulator, WaitFor
+from repro.platform import IrqLine
+from repro.synthesis import (
+    CodeGenerator,
+    Compute,
+    Copy,
+    Halt,
+    ISSProcessor,
+    Loop,
+    Mark,
+    SemPost,
+    SemWait,
+    Sleep,
+    TaskProgram,
+)
+from repro.synthesis.kernel_rt import ADDR_CTXSW
+
+
+def run_tasks(tasks, timer_period=500, ext_sem=0, max_cycles=2_000_000):
+    gen = CodeGenerator(timer_period=timer_period, ext_sem=ext_sem)
+    iss, program = gen.build(tasks)
+    iss.run(max_cycles=max_cycles)
+    return iss, program
+
+
+def marks(iss):
+    return [v for _, v in iss.console]
+
+
+def test_single_task_marks_and_halts():
+    iss, program = run_tasks(
+        [TaskProgram("main", 1, [Mark(11), Compute(100), Mark(12), Halt()])]
+    )
+    assert iss.halted
+    assert marks(iss) == [11, 12]
+    assert program.loc > 300  # kernel + app
+
+
+def test_compute_duration_is_calibrated():
+    iss, _ = run_tasks(
+        [TaskProgram("main", 1, [Mark(1), Compute(3000), Mark(2), Halt()])],
+        timer_period=100_000,  # no timer interference
+    )
+    (t1, _), (t2, _) = iss.console
+    burn = t2 - t1
+    assert abs(burn - 3000) <= 10  # within a few cycles of the target
+
+
+def test_loop_repeats_body():
+    iss, _ = run_tasks(
+        [TaskProgram("main", 1, [Loop(4, [Mark(5)]), Halt()])]
+    )
+    assert marks(iss) == [5, 5, 5, 5]
+
+
+def test_nested_loops():
+    iss, _ = run_tasks(
+        [TaskProgram("main", 1, [Loop(2, [Loop(3, [Mark(1)]), Mark(2)]), Halt()])]
+    )
+    assert marks(iss) == [1, 1, 1, 2, 1, 1, 1, 2]
+
+
+def test_loop_nesting_limit():
+    nested = Loop(1, [Loop(1, [Loop(1, [Loop(1, [Mark(0)])])])])
+    with pytest.raises(ValueError):
+        CodeGenerator().generate([TaskProgram("t", 1, [nested, Halt()])])
+
+
+def test_copy_moves_data():
+    gen = CodeGenerator()
+    iss, program = gen.build(
+        [TaskProgram("main", 1, [Copy(0x2000, 0x3000, 4), Halt()])]
+    )
+    for i in range(4):
+        iss.memory[0x2000 + i] = 100 + i
+    iss.run(max_cycles=100_000)
+    assert [iss.memory[0x3000 + i] for i in range(4)] == [100, 101, 102, 103]
+
+
+def test_producer_consumer_pipeline():
+    """Two generated tasks synchronizing through kernel semaphores."""
+    producer = TaskProgram(
+        "prod", 5,
+        [Loop(3, [Compute(500), Mark(100), SemPost(1)]),
+         SemWait(2)],  # wait for consumer before exiting
+    )
+    consumer = TaskProgram(
+        "cons", 1,
+        [Loop(3, [SemWait(1), Compute(200), Mark(200)]),
+         SemPost(2), Halt()],
+    )
+    iss, _ = run_tasks([consumer, producer])
+    assert iss.halted
+    sequence = marks(iss)
+    assert sequence.count(100) == 3
+    assert sequence.count(200) == 3
+    # each production is followed by its consumption before the next
+    assert sequence == [100, 200, 100, 200, 100, 200]
+    assert iss.memory[ADDR_CTXSW] >= 6
+
+
+def test_sleep_op():
+    iss, _ = run_tasks(
+        [TaskProgram("main", 1, [Mark(1), Sleep(2), Mark(2), Halt()])],
+        timer_period=1000,
+    )
+    (t1, _), (t2, _) = iss.console
+    assert t2 - t1 >= 2 * 1000  # slept at least two ticks
+
+
+def test_unknown_op_rejected():
+    with pytest.raises(TypeError):
+        CodeGenerator().generate([TaskProgram("t", 1, [object()])])
+
+
+# ---------------------------------------------------------------------------
+# co-simulation
+# ---------------------------------------------------------------------------
+
+
+def test_iss_processor_advances_sldl_time():
+    sim = Simulator()
+    gen = CodeGenerator(timer_period=100_000)
+    iss, _ = gen.build(
+        [TaskProgram("main", 1, [Compute(1000), Mark(1), Halt()])]
+    )
+    cpu = ISSProcessor(sim, iss, clock_period=2, chunk=100)
+    sim.run()
+    assert cpu.halted
+    # simulated time ~ cycles * clock_period (chunk rounding only)
+    assert sim.now == iss.cycles * 2
+
+
+def test_iss_processor_irq_bridge():
+    """An SLDL-side interrupt reaches the core and unblocks a task."""
+    sim = Simulator()
+    gen = CodeGenerator(timer_period=1000, ext_sem=3)
+    iss, _ = gen.build(
+        [TaskProgram("main", 1, [SemWait(3), Mark(77), Halt()])]
+    )
+    cpu = ISSProcessor(sim, iss, clock_period=1, chunk=100)
+    line = IrqLine(sim, "ext")
+    cpu.connect_irq(line)
+    sim.schedule_at(5000, line.raise_irq)
+    sim.run(until=200_000)
+    assert cpu.halted
+    assert [v for _, v in iss.console] == [77]
+    # the mark lands after the interrupt was raised (chunk-bounded skew)
+    assert cpu.console_marks()[0][0] >= 5000

@@ -1,0 +1,67 @@
+"""Co-simulation edge cases."""
+
+from repro.kernel import Simulator
+from repro.platform import IrqLine
+from repro.synthesis import (
+    CodeGenerator,
+    Compute,
+    Halt,
+    ISSProcessor,
+    Mark,
+    SemWait,
+    TaskProgram,
+)
+
+
+def build(ops, clock_period=1, chunk=200, timer_period=1_000_000):
+    sim = Simulator()
+    gen = CodeGenerator(timer_period=timer_period)
+    iss, program = gen.build([TaskProgram("t", 1, ops)])
+    cpu = ISSProcessor(sim, iss, clock_period=clock_period, chunk=chunk)
+    return sim, iss, cpu
+
+
+def test_chunk_of_one_cycle_is_exact():
+    sim, iss, cpu = build([Compute(100), Mark(1), Halt()], chunk=1)
+    sim.run()
+    assert cpu.halted
+    assert sim.now == iss.cycles
+
+
+def test_console_marks_scaled_by_clock():
+    sim, iss, cpu = build([Mark(5), Halt()], clock_period=7)
+    sim.run()
+    [(t, v)] = cpu.console_marks()
+    assert v == 5
+    assert t == [c for c, _ in iss.console][0] * 7
+
+
+def test_halt_recorded_in_trace():
+    sim, iss, cpu = build([Halt(3)])
+    sim.run()
+    halts = [r for r in sim.trace.by_category("user") if r.info == "halt"]
+    assert halts
+    assert halts[0].data["exit_code"] == 3
+
+
+def test_task_without_halt_exits_and_idle_spins():
+    """A task falling off its ops exits via the kernel; the idle task
+    keeps the core busy — the co-simulation must not hang the SLDL."""
+    sim, iss, cpu = build([Mark(1)], timer_period=500)
+    sim.run(until=50_000)
+    assert not cpu.halted  # idle loop runs forever
+    assert [v for _, v in iss.console] == [1]
+    assert sim.now == 50_000
+
+
+def test_irq_bridge_stops_when_core_halts():
+    sim, iss, cpu = build([SemWait(0), Mark(1), Halt()], timer_period=500)
+    line = IrqLine(sim, "kick")
+    cpu.connect_irq(line)
+    sim.schedule_at(1000, line.raise_irq)
+    sim.run(until=500_000)
+    assert cpu.halted
+    # a late raise after halt must not wedge the simulation
+    line.raise_irq()
+    sim.run(until=510_000)
+    assert sim.now == 510_000

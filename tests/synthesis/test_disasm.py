@@ -1,0 +1,86 @@
+"""Disassembler tests: listings and assembler round-trips."""
+
+from repro.synthesis.assembler import assemble
+from repro.synthesis.disasm import disassemble, format_instruction, listing
+from repro.synthesis.iss import ISS
+
+
+SOURCE = """
+.org 0x100
+_start:
+    ldi r1, 5
+    ldi sp, 0x800
+loop:
+    subi r1, r1, 1
+    st r1, [sp - 2]
+    ld r2, [sp - 2]
+    bgt loop
+    call helper
+    halt
+helper:
+    ret
+data:
+    .word 42, 7
+"""
+
+
+def test_format_instruction_variants():
+    assert format_instruction("nop", ()) == "nop"
+    assert format_instruction("ldi", (1, 5)) == "ldi r1, 5"
+    assert format_instruction("mov", (14, 15)) == "mov sp, lr"
+    assert format_instruction("ld", (2, (14, -2))) == "ld r2, [sp - 2]"
+    assert format_instruction("st", (2, (3, 0))) == "st r2, [r3]"
+    assert format_instruction("jmp", (0x100,), {0x100: "loop"}) == "jmp loop"
+
+
+def test_disassemble_recovers_labels_and_data():
+    program = assemble(SOURCE)
+    text = listing(program)
+    assert "_start:" in text
+    assert "loop:" in text
+    assert "bgt loop" in text
+    assert "call helper" in text
+    assert ".word 42" in text
+
+
+def test_roundtrip_reassembles_identically():
+    """assemble(disassemble(assemble(src))) produces the same image."""
+    program = assemble(SOURCE)
+    rebuilt_src = "\n".join(
+        text if text.endswith(":") else text
+        for _, text in disassemble(program)
+    )
+    # pin the origin so addresses line up
+    rebuilt = assemble(".org 0x100\n" + rebuilt_src)
+    assert rebuilt.image == program.image
+
+
+def test_roundtrip_executes_identically():
+    program = assemble(SOURCE)
+    rebuilt_src = ".org 0x100\n" + "\n".join(
+        text for _, text in disassemble(program)
+    )
+    iss_a, iss_b = ISS(program), ISS(assemble(rebuilt_src))
+    iss_a.run()
+    iss_b.run()
+    assert iss_a.regs == iss_b.regs
+    assert iss_a.cycles == iss_b.cycles
+
+
+def test_disassemble_generated_kernel():
+    """The full generated vocoder program disassembles cleanly."""
+    from repro.apps.vocoder import build_vocoder_program
+
+    _, program = build_vocoder_program(n_frames=2)
+    text = listing(program)
+    assert "sys_entry:" in text
+    assert "common_resched:" in text
+    assert "iret" in text
+    assert len(text.splitlines()) > 300
+
+
+def test_disassemble_range():
+    program = assemble(SOURCE)
+    entries = disassemble(program, start=0x100, end=0x102)
+    addresses = [a for a, _ in entries]
+    assert set(addresses) == {0x100, 0x101}

@@ -1,0 +1,257 @@
+"""The assembly RTOS kernel running on the ISS."""
+
+import pytest
+
+from repro.synthesis import (
+    ADDR_CTXSW,
+    ADDR_TICKS,
+    ISS,
+    SYS_EXIT,
+    SYS_GETTICKS,
+    SYS_SEM_POST,
+    SYS_SEM_WAIT,
+    SYS_SLEEP,
+    SYS_YIELD,
+    assemble,
+    build_kernel_image,
+)
+from repro.synthesis.kernel_rt import ADDR_CURRENT, ADDR_NTASKS
+
+
+PREAMBLE = """
+.equ CONSOLE, 0xFF02
+.equ HALTREG, 0xFF03
+"""
+
+
+def boot(app, tasks, timer_period=1000, ext_sem=0, max_cycles=2_000_000):
+    source = build_kernel_image(
+        tasks, timer_period=timer_period, ext_sem=ext_sem,
+        app_asm=PREAMBLE + app,
+    )
+    iss = ISS(assemble(source))
+    iss.run(max_cycles=max_cycles)
+    return iss
+
+
+def console_values(iss):
+    return [v for _, v in iss.console]
+
+
+def test_single_task_runs_and_halts():
+    iss = boot(
+        """
+        t0:
+            ldi r9, CONSOLE
+            ldi r10, 42
+            st r10, [r9]
+            ldi r9, HALTREG
+            st r0, [r9]
+        """,
+        [("t0", 1)],
+    )
+    assert iss.halted
+    assert console_values(iss) == [42]
+
+
+def test_priority_order_of_independent_tasks():
+    app = """
+    hi:
+        ldi r9, CONSOLE
+        ldi r10, 1
+        st r10, [r9]
+        syscall {exit}
+    lo:
+        ldi r9, CONSOLE
+        ldi r10, 2
+        st r10, [r9]
+        ldi r9, HALTREG
+        st r0, [r9]
+    """.format(exit=SYS_EXIT)
+    # definition order lo-first, but hi has the better priority
+    iss = boot(app, [("lo", 8), ("hi", 1)])
+    assert console_values(iss) == [1, 2]
+
+
+def test_semaphore_handoff_and_context_switches():
+    app = """
+    consumer:
+        ldi r5, 3
+    c_loop:
+        ldi r2, 1
+        syscall {wait}
+        ldi r9, CONSOLE
+        ldi r10, 7
+        st r10, [r9]
+        subi r5, r5, 1
+        bgt c_loop
+        ldi r9, HALTREG
+        st r0, [r9]
+    producer:
+        ldi r5, 3
+    p_loop:
+        ldi r2, 1
+        syscall {post}
+        subi r5, r5, 1
+        bgt p_loop
+        syscall {exit}
+    """.format(wait=SYS_SEM_WAIT, post=SYS_SEM_POST, exit=SYS_EXIT)
+    iss = boot(app, [("consumer", 1), ("producer", 5)])
+    assert console_values(iss) == [7, 7, 7]
+    assert iss.memory[ADDR_CTXSW] >= 6
+
+
+def test_semaphore_counts_when_no_waiter():
+    """Posts with no waiter accumulate; the later waiter drains them
+    without blocking."""
+    app = """
+    poster:
+        ldi r2, 2
+        syscall {post}
+        syscall {post}
+        syscall {post}
+        syscall {exit}
+    waiter:
+        ldi r5, 3
+    w_loop:
+        ldi r2, 2
+        syscall {wait}
+        subi r5, r5, 1
+        bgt w_loop
+        ldi r9, CONSOLE
+        ldi r10, 9
+        st r10, [r9]
+        ldi r9, HALTREG
+        st r0, [r9]
+    """.format(post=SYS_SEM_POST, wait=SYS_SEM_WAIT, exit=SYS_EXIT)
+    iss = boot(app, [("poster", 1), ("waiter", 5)])
+    assert console_values(iss) == [9]
+
+
+def test_sleep_wakes_on_tick():
+    app = """
+    sleeper:
+        ldi r2, 3
+        syscall {sleep}
+        syscall {ticks}
+        ldi r9, CONSOLE
+        st r2, [r9]
+        ldi r9, HALTREG
+        st r0, [r9]
+    """.format(sleep=SYS_SLEEP, ticks=SYS_GETTICKS)
+    iss = boot(app, [("sleeper", 1)], timer_period=500)
+    assert iss.halted
+    ticks_at_wake = console_values(iss)[0]
+    assert ticks_at_wake >= 3
+    assert iss.memory[ADDR_TICKS] >= 3
+
+
+def test_timer_preemption_between_equal_work():
+    """Two compute-bound tasks: the timer forces the scheduler to run;
+    with strict priorities the high one finishes first even though the
+    low one starts earlier in definition order."""
+    app = """
+    spin_lo:
+        ldi r5, 30000
+    lo_loop:
+        subi r5, r5, 1
+        bgt lo_loop
+        ldi r9, CONSOLE
+        ldi r10, 2
+        st r10, [r9]
+        ldi r9, HALTREG
+        st r0, [r9]
+    spin_hi:
+        ldi r5, 10000
+    hi_loop:
+        subi r5, r5, 1
+        bgt hi_loop
+        ldi r9, CONSOLE
+        ldi r10, 1
+        st r10, [r9]
+        syscall {exit}
+    """.format(exit=SYS_EXIT)
+    iss = boot(app, [("spin_lo", 8), ("spin_hi", 1)], timer_period=400)
+    assert console_values(iss) == [1, 2]
+
+
+def test_external_irq_posts_semaphore():
+    app = """
+    waiter:
+        ldi r2, 0
+        syscall {wait}
+        ldi r9, CONSOLE
+        ldi r10, 5
+        st r10, [r9]
+        ldi r9, HALTREG
+        st r0, [r9]
+    """.format(wait=SYS_SEM_WAIT)
+    source = build_kernel_image(
+        [("waiter", 1)], timer_period=1000, ext_sem=0,
+        app_asm=PREAMBLE + app,
+    )
+    iss = ISS(assemble(source))
+    iss.run(max_cycles=3000)  # waiter blocks; idle spins
+    assert not iss.halted
+    from repro.synthesis.isa import IRQ_EXTERNAL
+
+    iss.raise_irq(IRQ_EXTERNAL)
+    iss.run(max_cycles=100_000)
+    assert iss.halted
+    assert console_values(iss) == [5]
+
+
+def test_yield_between_equal_priority_tasks():
+    """YIELD lets the scheduler re-decide; with equal priorities the
+    lower task id wins ties, so both make progress through the tie-break
+    after exits."""
+    app = """
+    a:
+        syscall {y}
+        ldi r9, CONSOLE
+        ldi r10, 1
+        st r10, [r9]
+        syscall {exit}
+    b:
+        ldi r9, CONSOLE
+        ldi r10, 2
+        st r10, [r9]
+        ldi r9, HALTREG
+        st r0, [r9]
+    """.format(y=SYS_YIELD, exit=SYS_EXIT)
+    iss = boot(app, [("a", 3), ("b", 3)])
+    # a yields -> tie-break keeps a (lower id) -> logs 1, exits -> b runs
+    assert console_values(iss) == [1, 2]
+
+
+def test_kernel_bookkeeping_addresses():
+    iss = boot(
+        """
+        t0:
+            ldi r9, HALTREG
+            st r0, [r9]
+        """,
+        [("t0", 1)],
+    )
+    assert iss.memory[ADDR_NTASKS] == 2  # task + idle
+    assert iss.memory[ADDR_CURRENT] in (0, 1)
+
+
+def test_too_many_tasks_rejected():
+    with pytest.raises(ValueError):
+        build_kernel_image([("t", 1)] * 12)
+
+
+def test_idle_runs_when_all_blocked():
+    """All tasks sleeping: the idle task keeps the core alive until the
+    timer wakes them."""
+    app = """
+    napper:
+        ldi r2, 5
+        syscall {sleep}
+        ldi r9, HALTREG
+        st r0, [r9]
+    """.format(sleep=SYS_SLEEP)
+    iss = boot(app, [("napper", 1)], timer_period=300)
+    assert iss.halted
+    assert iss.memory[ADDR_TICKS] >= 5

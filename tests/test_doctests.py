@@ -1,0 +1,12 @@
+"""Docstring examples must stay executable (they are the API's front
+door)."""
+
+import doctest
+
+import repro.kernel
+
+
+def test_kernel_module_doctest():
+    results = doctest.testmod(repro.kernel, verbose=False)
+    assert results.failed == 0
+    assert results.attempted >= 5
