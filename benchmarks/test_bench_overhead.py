@@ -84,9 +84,12 @@ def test_overhead_scaling(report, benchmark):
     )
     report("ablation_overhead", "\n".join(lines))
     # overhead should be a modest constant factor, not super-linear in
-    # the number of tasks
+    # the number of tasks; the hot-path rewrite (dispatch table, timer
+    # recycling, peek memoization) brought the measured ratio to ~1.7,
+    # so 8 leaves headroom for noisy CI hosts while still catching a
+    # regression of the scheduling fast paths
     ratios = [ratio for *_, ratio in rows]
-    assert all(r < 25 for r in ratios)
+    assert all(r < 8 for r in ratios)
     assert max(ratios) / min(ratios) < 6
 
 

@@ -41,9 +41,19 @@ TIMEOUT = _Timeout()
 
 
 class Command:
-    """Base class of all kernel commands."""
+    """Base class of all kernel commands.
+
+    Every concrete command class carries a class-level ``tag``; the
+    simulator uses it to register an ``_execute_<tag>`` handler in its
+    type-keyed dispatch table (no per-command ``isinstance`` chain on the
+    hot path). Subclasses of a concrete command inherit the tag and are
+    dispatched to the same handler.
+    """
 
     __slots__ = ()
+
+    #: dispatch key — set by each concrete command class
+    tag = None
 
 
 class WaitFor(Command):
@@ -51,10 +61,13 @@ class WaitFor(Command):
 
     ``delay`` must be a non-negative integer. ``WaitFor(0)`` yields control
     to the other runnable processes of the current timestep without
-    advancing time.
+    advancing time; the singleton :data:`YIELD_CONTROL` is a reusable
+    instance of it for allocation-free cooperative yields.
     """
 
     __slots__ = ("delay",)
+
+    tag = "waitfor"
 
     def __init__(self, delay):
         delay = int(delay)
@@ -64,6 +77,11 @@ class WaitFor(Command):
 
     def __repr__(self):
         return f"WaitFor({self.delay})"
+
+
+#: Reusable ``WaitFor(0)`` — yield the processor for the rest of the
+#: current timestep without allocating a command object.
+YIELD_CONTROL = WaitFor(0)
 
 
 class Wait(Command):
@@ -78,6 +96,8 @@ class Wait(Command):
     """
 
     __slots__ = ("events", "timeout")
+
+    tag = "wait"
 
     def __init__(self, *events, timeout=None):
         if not events and timeout is None:
@@ -105,6 +125,8 @@ class Notify(Command):
 
     __slots__ = ("events",)
 
+    tag = "notify"
+
     def __init__(self, *events):
         if not events:
             raise ValueError("Notify() needs at least one event")
@@ -124,6 +146,8 @@ class Par(Command):
 
     __slots__ = ("children",)
 
+    tag = "par"
+
     def __init__(self, *children):
         if not children:
             raise ValueError("Par() needs at least one child")
@@ -142,6 +166,8 @@ class Fork(Command):
 
     __slots__ = ("child", "name")
 
+    tag = "fork"
+
     def __init__(self, child, name=None):
         self.child = child
         self.name = name
@@ -154,6 +180,8 @@ class Join(Command):
     """Block until the given :class:`~repro.kernel.process.Process` ends."""
 
     __slots__ = ("process",)
+
+    tag = "join"
 
     def __init__(self, process):
         self.process = process

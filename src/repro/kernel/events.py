@@ -36,10 +36,15 @@ class Event:
     def __init__(self, name=None):
         self.uid = next(_event_ids)
         self.name = name or f"event{self.uid}"
-        #: processes currently blocked on this event
-        self._waiters = []
+        #: processes currently blocked on this event, keyed by process
+        #: uid — insertion-ordered, so wakeup order stays FIFO while
+        #: removal (every wakeup detaches the process from all events of
+        #: its wait-any set) is O(1) instead of a list scan
+        self._waiters = {}
         #: (time, delta) stamp of the last notification, used for the
-        #: pending-within-delta rule; ``None`` when no notification pends
+        #: pending-within-delta rule; ``None`` when no notification
+        #: pends. The stamp is the simulator's shared ``_stamp`` object,
+        #: so "pending in the current delta" is an identity test.
         self._pending_stamp = None
         #: total number of notifications issued (diagnostics)
         self.notify_count = 0
@@ -50,13 +55,10 @@ class Event:
     # -- kernel-facing API -------------------------------------------------
 
     def _add_waiter(self, process):
-        self._waiters.append(process)
+        self._waiters[process.uid] = process
 
     def _remove_waiter(self, process):
-        try:
-            self._waiters.remove(process)
-        except ValueError:
-            pass
+        self._waiters.pop(process.uid, None)
 
     def _notify(self, sim):
         """Wake all waiters (next delta) and mark the event pending.
@@ -66,15 +68,17 @@ class Event:
         hardware models (timers, interrupt sources).
         """
         self.notify_count += 1
-        self._pending_stamp = (sim.now, sim.delta)
-        if self._waiters:
-            waiters, self._waiters = self._waiters, []
-            for process in waiters:
-                sim._wake_from_event(process, self)
+        self._pending_stamp = sim._stamp
+        waiters = self._waiters
+        if waiters:
+            self._waiters = {}
+            wake = sim._wake_from_event
+            for process in waiters.values():
+                wake(process, self)
 
     def _is_pending(self, sim):
         """True if a notification was issued earlier in the current delta."""
-        return self._pending_stamp == (sim.now, sim.delta)
+        return self._pending_stamp is sim._stamp
 
     def fire(self, sim):
         """Notify this event from non-process context (callbacks, RTOS).

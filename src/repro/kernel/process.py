@@ -43,6 +43,7 @@ class Process:
         "joiners",
         "step_count",
         "consumed_stamps",
+        "timer_cache",
     )
 
     def __init__(self, gen, name, sim):
@@ -70,6 +71,9 @@ class Process:
         #: satisfy at most one wait per process; prevents livelock when a
         #: process re-waits on an event notified earlier in the delta)
         self.consumed_stamps = {}
+        #: fired _Timer kept for reuse by the next timed wait (the
+        #: kernel's WaitFor fast path recycles it instead of allocating)
+        self.timer_cache = None
 
     def __repr__(self):
         return f"Process({self.name!r}, {self.state.value})"
@@ -82,9 +86,13 @@ class Process:
 
     def _clear_waits(self):
         """Detach from all events and cancel any pending timer."""
-        for event in self.waiting_events:
-            event._remove_waiter(self)
-        self.waiting_events = ()
-        if self.timer is not None:
-            self.timer.cancel()
+        if self.waiting_events:
+            for event in self.waiting_events:
+                event._remove_waiter(self)
+            self.waiting_events = ()
+        timer = self.timer
+        if timer is not None:
             self.timer = None
+            # route through the simulator so it can track (and compact
+            # away) the dead heap entry
+            self.sim._cancel_timer(timer)

@@ -9,11 +9,24 @@ The :class:`Simulator` executes processes under SpecC-like semantics:
   process is runnable, time advances to the earliest pending timer.
 * Scheduling is deterministic: processes run in the order they became
   ready (FIFO per delta), and timers fire in (time, insertion) order.
+
+Hot-path design (see DESIGN.md "Performance notes"):
+
+* Commands are dispatched through a type-keyed table
+  (``command class -> bound _execute_* handler``) instead of an
+  ``isinstance`` chain; command classes carry a class-level ``tag`` that
+  names their handler.
+* The timer heap stores ``(time, seq, _Timer)`` tuples so heap
+  comparisons run at C speed; ``_Timer`` objects are recycled per
+  process, making the dominant ``WaitFor`` loop allocation-free in
+  steady state.
+* Lazily-cancelled timers are compacted out of the heap once they
+  outnumber the live entries (bounded garbage in long RTOS runs).
+* ``stats`` counters live in flat attributes aggregated per blocking
+  step, not per-command dict updates.
 """
 
 import heapq
-import itertools
-from collections import deque
 
 from repro.kernel.commands import (
     TIMEOUT,
@@ -28,23 +41,39 @@ from repro.kernel.errors import DeadlockError, KernelError, SimulationError
 from repro.kernel.process import Process, ProcessState
 from repro.kernel.trace import Trace
 
+_READY = ProcessState.READY
+_RUNNING = ProcessState.RUNNING
+_TIMED = ProcessState.TIMED
+_WAITING = ProcessState.WAITING
+_TERMINATED = ProcessState.TERMINATED
+
+#: compact the timer heap only when it holds at least this many entries
+#: (tiny heaps are cheaper to drain lazily than to rebuild)
+_COMPACT_MIN = 64
+
 
 class _Timer:
-    """One entry in the timer heap. Cancellation is lazy."""
+    """One timer entry. Cancellation is lazy; the heap holds
+    ``(time, seq, timer)`` tuples so ordering never calls back into
+    Python-level comparison.
 
-    __slots__ = ("time", "seq", "action", "cancelled")
+    A timer either resumes a process (``process`` is set; ``value`` is
+    sent into its generator) or runs a ``callback``. Fired resume timers
+    are recycled through ``process.timer_cache``.
+    """
 
-    def __init__(self, time, seq, action):
+    __slots__ = ("time", "process", "value", "callback", "cancelled")
+
+    def __init__(self, time, process=None, value=None, callback=None):
         self.time = time
-        self.seq = seq
-        self.action = action
+        self.process = process
+        self.value = value
+        self.callback = callback
         self.cancelled = False
 
     def cancel(self):
+        """Cancel this timer (lazy: the heap entry is dropped later)."""
         self.cancelled = True
-
-    def __lt__(self, other):
-        return (self.time, self.seq) < (other.time, other.seq)
 
 
 class Simulator:
@@ -65,27 +94,68 @@ class Simulator:
     def __init__(self, trace=None, delta_limit=100_000):
         self.now = 0
         self.delta = 0
+        #: shared (time, delta) stamp object: rebuilt whenever time or
+        #: delta advances, so events can test "pending in this delta"
+        #: by identity instead of building a tuple per check
+        self._stamp = (0, 0)
         self.trace = trace if trace is not None else Trace()
         self._delta_limit = delta_limit
-        self._run_queue = deque()  # processes runnable in current delta
-        self._next_delta = deque()  # processes woken for the next delta
-        self._timers = []  # heap of _Timer
-        self._timer_seq = itertools.count()
+        self._run_queue = []  # processes runnable in current delta
+        self._next_delta = []  # processes woken for the next delta
+        self._timers = []  # heap of (time, seq, _Timer)
+        self._timer_seq = 0
+        self._heap_dead = 0  # cancelled entries still in the heap
         self._live = set()  # non-terminated processes
         self._current = None  # process currently executing a step
         self._started = False
-        self.stats = {
-            "spawned": 0,
-            "steps": 0,
-            "notifications": 0,
-            "timer_fires": 0,
-            "deltas": 0,
-            "timesteps": 0,
+        self._n_spawned = 0
+        self._n_steps = 0
+        self._n_notifications = 0
+        self._n_timer_fires = 0
+        self._n_deltas = 0
+        self._n_timesteps = 0
+        # type-keyed command dispatch: class -> bound handler; command
+        # subclasses are resolved through their MRO on first use
+        self._dispatch = {
+            cls: getattr(self, "_execute_" + cls.tag)
+            for cls in (WaitFor, Wait, Notify, Par, Fork, Join)
         }
 
     # ------------------------------------------------------------------
     # public API
     # ------------------------------------------------------------------
+
+    @property
+    def stats(self):
+        """Kernel activity counters, aggregated on access.
+
+        The counters live in flat attributes (cheap to bump on the hot
+        path); this property materializes them as the familiar dict.
+        """
+        return {
+            "spawned": self._n_spawned,
+            "steps": self._n_steps,
+            "notifications": self._n_notifications,
+            "timer_fires": self._n_timer_fires,
+            "deltas": self._n_deltas,
+            "timesteps": self._n_timesteps,
+        }
+
+    def stats_delta(self, since=None):
+        """Snapshot/diff helper for the activity counters.
+
+        ``stats_delta()`` returns the current counters (a snapshot usable
+        as a baseline); ``stats_delta(baseline)`` returns the per-counter
+        difference since that baseline::
+
+            before = sim.stats_delta()
+            sim.run(until=...)
+            assert sim.stats_delta(before)["steps"] == expected
+        """
+        current = self.stats
+        if since is None:
+            return current
+        return {key: current[key] - since.get(key, 0) for key in current}
 
     def spawn(self, runnable, name=None):
         """Create a process from ``runnable`` and schedule it.
@@ -100,7 +170,7 @@ class Simulator:
         process = Process(gen, name, self)
         self._live.add(process)
         self._run_queue.append(process)
-        self.stats["spawned"] += 1
+        self._n_spawned += 1
         return process
 
     def schedule_at(self, time, callback):
@@ -113,7 +183,10 @@ class Simulator:
         time = int(time)
         if time < self.now:
             raise ValueError(f"cannot schedule at {time} < now {self.now}")
-        return self._schedule_timer(time, callback)
+        timer = _Timer(time, callback=callback)
+        self._timer_seq += 1
+        heapq.heappush(self._timers, (time, self._timer_seq, timer))
+        return timer
 
     def schedule_after(self, delay, callback):
         """Run ``callback()`` after ``delay`` time units."""
@@ -131,15 +204,23 @@ class Simulator:
         """
         self._started = True
         deltas_this_step = 0
+        step = self._step
         while True:
-            if self._run_queue:
-                process = self._run_queue.popleft()
-                if not process.terminated:
-                    self._step(process)
-                continue
+            run_queue = self._run_queue
+            if run_queue:
+                # drain the current delta; spawned/timer-woken processes
+                # append to this same list and run within the delta
+                i = 0
+                while i < len(run_queue):
+                    process = run_queue[i]
+                    i += 1
+                    if process.state is not _TERMINATED:
+                        step(process)
+                del run_queue[:]
             if self._next_delta:
                 self.delta += 1
-                self.stats["deltas"] += 1
+                self._stamp = (self.now, self.delta)
+                self._n_deltas += 1
                 deltas_this_step += 1
                 if deltas_this_step > self._delta_limit:
                     raise KernelError(
@@ -156,6 +237,7 @@ class Simulator:
                 break
             if until is not None and next_time > until:
                 self.now = until
+                self._stamp = (until, self.delta)
                 return
             self.now = next_time
             # the delta counter is monotonic across the whole run (never
@@ -163,23 +245,35 @@ class Simulator:
             # globally unique — a zero-delay re-entry at the same time
             # must not match a stale pending stamp
             self.delta += 1
+            self._stamp = (next_time, self.delta)
             deltas_this_step = 0
-            self.stats["timesteps"] += 1
+            self._n_timesteps += 1
             self._fire_timers(next_time)
         if until is not None and self.now < until:
             self.now = until
+            self._stamp = (until, self.delta)
         if check_deadlock:
             blocked = self.blocked_processes()
             if blocked:
                 raise DeadlockError(blocked)
 
     def blocked_processes(self):
-        """Processes that are alive but permanently blocked right now."""
-        return [
-            p
-            for p in self._live
-            if p.state in (ProcessState.WAITING, ProcessState.TIMED)
-        ]
+        """Processes that are alive but permanently blocked right now.
+
+        ``TIMED`` processes whose timer is still pending are *not*
+        blocked — their timer will fire and wake them — so they are
+        excluded (a timed wait must never trip ``check_deadlock``).
+        """
+        blocked = []
+        for p in self._live:
+            state = p.state
+            if state is _WAITING:
+                blocked.append(p)
+            elif state is _TIMED:
+                timer = p.timer
+                if timer is None or timer.cancelled:
+                    blocked.append(p)
+        return blocked
 
     @property
     def live_process_count(self):
@@ -192,21 +286,25 @@ class Simulator:
     def _step(self, process):
         """Resume ``process`` and execute commands until it blocks."""
         self._current = process
-        process.state = ProcessState.RUNNING
+        process.state = _RUNNING
         value = process.send_value
         process.send_value = None
+        send = process.gen.send
+        dispatch_get = self._dispatch.get
+        steps = 0
         try:
             while True:
-                process.step_count += 1
-                self.stats["steps"] += 1
+                steps += 1
                 try:
-                    command = process.gen.send(value)
+                    command = send(value)
                 except StopIteration:
                     self._terminate(process)
                     return
                 value = None
-                blocked = self._execute(process, command)
-                if blocked:
+                handler = dispatch_get(command.__class__)
+                if handler is None:
+                    handler = self._resolve_handler(process, command)
+                if handler(process, command):
                     return
                 value = process.send_value
                 process.send_value = None
@@ -216,82 +314,115 @@ class Simulator:
             self._terminate(process)
             raise SimulationError(process.name, exc) from exc
         finally:
+            process.step_count += steps
+            self._n_steps += steps
             self._current = None
 
-    def _execute(self, process, command):
-        """Execute one command; return True if the process blocked."""
-        if isinstance(command, WaitFor):
-            process.state = ProcessState.TIMED
-            process.timer = self._schedule_timer(
-                self.now + command.delay, ("resume", process, None)
-            )
-            return True
-        if isinstance(command, Notify):
-            self.stats["notifications"] += len(command.events)
-            for event in command.events:
-                event._notify(self)
-            return False
-        if isinstance(command, Wait):
-            for event in command.events:
-                if (
-                    event._is_pending(self)
-                    and process.consumed_stamps.get(event.uid)
-                    != event._pending_stamp
-                ):
-                    process.consumed_stamps[event.uid] = event._pending_stamp
-                    process.send_value = event
-                    return False
-            if command.timeout == 0:
-                process.send_value = TIMEOUT
-                return False
-            process.state = ProcessState.WAITING
-            process.waiting_events = tuple(command.events)
-            for event in command.events:
-                event._add_waiter(process)
-            if command.timeout is not None:
-                process.state = ProcessState.TIMED
-                process.timer = self._schedule_timer(
-                    self.now + command.timeout, ("resume", process, TIMEOUT)
-                )
-            return True
-        if isinstance(command, Par):
-            children = [
-                self.spawn(child, name=_child_name(process, child, i))
-                for i, child in enumerate(command.children)
-            ]
-            for child in children:
-                child.par_parent = process
-            process.pending_children = len(children)
-            process.state = ProcessState.WAITING
-            return True
-        if isinstance(command, Fork):
-            child = self.spawn(command.child, name=command.name)
-            process.send_value = child
-            return False
-        if isinstance(command, Join):
-            target = command.process
-            if target.terminated:
-                return False
-            target.joiners.append(process)
-            process.state = ProcessState.WAITING
-            return True
+    def _resolve_handler(self, process, command):
+        """Slow path: dispatch a command subclass via its MRO (cached)."""
+        for cls in type(command).__mro__:
+            handler = self._dispatch.get(cls)
+            if handler is not None:
+                self._dispatch[type(command)] = handler
+                return handler
         raise KernelError(
             f"process {process.name!r} yielded a non-command: {command!r}"
         )
 
+    # -- command handlers (registered in the dispatch table) -----------
+
+    def _execute_waitfor(self, process, command):
+        process.state = _TIMED
+        process.timer = self._resume_timer(
+            process, self.now + command.delay, None
+        )
+        return True
+
+    def _execute_notify(self, process, command):
+        events = command.events
+        if len(events) == 1:
+            self._n_notifications += 1
+            events[0]._notify(self)
+        else:
+            self._n_notifications += len(events)
+            for event in events:
+                event._notify(self)
+        return False
+
+    def _execute_wait(self, process, command):
+        events = command.events
+        stamp = self._stamp
+        if len(events) == 1:
+            # single-event fast path: no multi-event scan
+            event = events[0]
+            if (
+                event._pending_stamp is stamp
+                and process.consumed_stamps.get(event.uid) is not stamp
+            ):
+                process.consumed_stamps[event.uid] = stamp
+                process.send_value = event
+                return False
+        else:
+            for event in events:
+                if (
+                    event._pending_stamp is stamp
+                    and process.consumed_stamps.get(event.uid) is not stamp
+                ):
+                    process.consumed_stamps[event.uid] = stamp
+                    process.send_value = event
+                    return False
+        timeout = command.timeout
+        if timeout == 0:
+            process.send_value = TIMEOUT
+            return False
+        process.state = _WAITING
+        process.waiting_events = events
+        for event in events:
+            event._add_waiter(process)
+        if timeout is not None:
+            process.state = _TIMED
+            process.timer = self._resume_timer(
+                process, self.now + timeout, TIMEOUT
+            )
+        return True
+
+    def _execute_par(self, process, command):
+        children = [
+            self.spawn(child, name=_child_name(process, child, i))
+            for i, child in enumerate(command.children)
+        ]
+        for child in children:
+            child.par_parent = process
+        process.pending_children = len(children)
+        process.state = _WAITING
+        return True
+
+    def _execute_fork(self, process, command):
+        child = self.spawn(command.child, name=command.name)
+        process.send_value = child
+        return False
+
+    def _execute_join(self, process, command):
+        target = command.process
+        if target.state is _TERMINATED:
+            return False
+        target.joiners.append(process)
+        process.state = _WAITING
+        return True
+
     def _terminate(self, process):
-        process.state = ProcessState.TERMINATED
+        process.state = _TERMINATED
         process._clear_waits()
         self._live.discard(process)
         parent = process.par_parent
         if parent is not None and not parent.terminated:
             parent.pending_children -= 1
             if parent.pending_children == 0:
-                parent.state = ProcessState.READY
+                parent.state = _READY
                 self._next_delta.append(parent)
         for joiner in process.joiners:
             if not joiner.terminated:
-                joiner.state = ProcessState.READY
+                joiner.state = _READY
                 self._next_delta.append(joiner)
         process.joiners = []
 
@@ -302,42 +433,87 @@ class Simulator:
     def _wake_from_event(self, process, event):
         """Called by Event._notify for each waiter; resumes next delta."""
         process._clear_waits()
-        process.state = ProcessState.READY
+        process.state = _READY
         process.send_value = event
         self._next_delta.append(process)
 
-    def _schedule_timer(self, time, action):
-        timer = _Timer(time, next(self._timer_seq), action)
-        heapq.heappush(self._timers, timer)
+    def _resume_timer(self, process, time, value):
+        """Schedule a timer that resumes ``process`` with ``value``.
+
+        Recycles the process's last fired ``_Timer`` when available, so a
+        process looping on ``WaitFor`` allocates no timer objects in
+        steady state.
+        """
+        timer = process.timer_cache
+        if timer is not None:
+            process.timer_cache = None
+            timer.time = time
+            timer.value = value
+            timer.cancelled = False
+        else:
+            timer = _Timer(time, process=process, value=value)
+        self._timer_seq += 1
+        heapq.heappush(self._timers, (time, self._timer_seq, timer))
         return timer
 
+    def _schedule_timer(self, time, action):
+        """Back-compat shim for the pre-dispatch-table internal API."""
+        if callable(action):
+            return self.schedule_at(time, action)
+        _, process, value = action
+        return self._resume_timer(process, time, value)
+
+    def _cancel_timer(self, timer):
+        """Cancel a timer the kernel scheduled; compacts the heap when
+        cancelled entries outnumber live ones (lazy cancellation must
+        not let dead timers accumulate unboundedly in long runs)."""
+        timer.cancelled = True
+        self._heap_dead = dead = self._heap_dead + 1
+        timers = self._timers
+        if dead >= _COMPACT_MIN and dead * 2 > len(timers):
+            alive = [entry for entry in timers if not entry[2].cancelled]
+            heapq.heapify(alive)
+            self._timers = alive
+            self._heap_dead = 0
+
     def _next_timer_time(self):
-        while self._timers and self._timers[0].cancelled:
-            heapq.heappop(self._timers)
-        if not self._timers:
+        timers = self._timers
+        while timers and timers[0][2].cancelled:
+            heapq.heappop(timers)
+            if self._heap_dead:
+                self._heap_dead -= 1
+        if not timers:
             return None
-        return self._timers[0].time
+        return timers[0][0]
 
     def _fire_timers(self, time):
-        while self._timers and (
-            self._timers[0].cancelled or self._timers[0].time == time
-        ):
-            timer = heapq.heappop(self._timers)
+        timers = self._timers
+        run_append = self._run_queue.append
+        fires = 0
+        while timers and (timers[0][2].cancelled or timers[0][0] == time):
+            timer = heapq.heappop(timers)[2]
             if timer.cancelled:
+                if self._heap_dead:
+                    self._heap_dead -= 1
                 continue
-            self.stats["timer_fires"] += 1
-            action = timer.action
-            if isinstance(action, tuple) and action[0] == "resume":
-                _, process, value = action
-                if process.terminated:
+            fires += 1
+            process = timer.process
+            if process is not None:
+                if process.state is _TERMINATED:
                     continue
+                value = timer.value
                 process.timer = None
+                # recycle for the process's next timed wait
+                if process.timer_cache is None:
+                    timer.value = None
+                    process.timer_cache = timer
                 process._clear_waits()
-                process.state = ProcessState.READY
+                process.state = _READY
                 process.send_value = value
-                self._run_queue.append(process)
+                run_append(process)
             else:
-                action()
+                timer.callback()
+        self._n_timer_fires += fires
 
 
 def _as_generator(runnable):

@@ -25,7 +25,7 @@ Record categories used across the project:
 from dataclasses import dataclass, field
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TraceRecord:
     """One timestamped trace entry."""
 
@@ -40,20 +40,50 @@ class TraceRecord:
         return f"[{self.time:>10}] {self.category:<6} {self.actor:<16} {self.info}{extra}"
 
 
+def _noop(*args, **kwargs):
+    """Stand-in for ``record``/``segment`` while tracing is disabled."""
+    return None
+
+
 class Trace:
-    """An append-only list of trace records with query helpers."""
+    """An append-only list of trace records with query helpers.
+
+    Disabling (``trace.enabled = False``) swaps the ``record`` and
+    ``segment`` entry points for a module-level no-op on the *instance*,
+    so call sites pay one attribute lookup and an empty call — no
+    ``if enabled`` branch, no :class:`TraceRecord` construction — when
+    tracing is off.
+    """
 
     def __init__(self):
         self.records = []
-        self.enabled = True
+        self._enabled = True
+
+    @property
+    def enabled(self):
+        return self._enabled
+
+    @enabled.setter
+    def enabled(self, value):
+        value = bool(value)
+        self._enabled = value
+        if value:
+            # drop the instance-level no-ops; the class methods show again
+            self.__dict__.pop("record", None)
+            self.__dict__.pop("segment", None)
+        else:
+            self.record = _noop
+            self.segment = _noop
 
     def record(self, time, category, actor, info="", **data):
-        if self.enabled:
-            self.records.append(TraceRecord(time, category, actor, info, data))
+        self.records.append(TraceRecord(time, category, actor, info, data))
 
     def segment(self, actor, start, end, info="run"):
         """Record one contiguous execution segment of ``actor``."""
-        self.record(end, "exec", actor, info, start=start, end=end)
+        self.records.append(
+            TraceRecord(end, "exec", actor, info,
+                        {"start": start, "end": end})
+        )
 
     # -- queries -----------------------------------------------------------
 

@@ -101,6 +101,10 @@ class RTOSModel(Channel):
         self._last_occupant = None
         self._started = False
         self._dispatch_pending = False
+        #: reusable WaitFor for time_wait's step mode — the kernel reads
+        #: ``delay`` synchronously at the yield, so one mutable instance
+        #: per model suffices (at most one task executes at a time)
+        self._waitfor = WaitFor(0)
 
     # ------------------------------------------------------------------
     # operating system management
@@ -376,18 +380,39 @@ class RTOSModel(Channel):
         nsec = int(nsec)
         if nsec < 0:
             raise RTOSError(f"negative delay: {nsec}")
-        task = yield from self._enter()
+        # inlined _enter: time_wait is the hottest RTOS call, and in the
+        # common case (caller owns the CPU, not killed) the entry
+        # protocol never yields — skip the nested-generator round trip
+        task = self._current_task()
+        if task is None:
+            raise RTOSError("RTOS call from a process that is not a task")
+        if task.killed:
+            raise TaskKilled(task.name)
+        if self._running is not task:
+            yield from self._wait_until_running(task)
         if nsec == 0:
             yield from self._schedule_point(task)
             return
         if self.preemption == "step":
-            yield WaitFor(nsec)
+            self._waitfor.delay = nsec
+            yield self._waitfor
+            # inlined _schedule_point fast path: when no ready task
+            # preempts the caller, the scheduling point is a pure check
+            # and must not cost a generator; fall back for the rare
+            # preemption/kill/lost-CPU cases
+            if not task.killed and self._running is task:
+                candidate = self.scheduler.peek(self.sim.now)
+                if candidate is None or not self.scheduler.preempts(
+                    candidate, task, self.sim.now
+                ):
+                    return
             yield from self._schedule_point(task)
             return
         remaining = nsec
         while remaining > 0:
             started = self.sim.now
-            fired = yield Wait(task.preempt_evt, timeout=remaining)
+            task.preempt_wait.timeout = remaining
+            fired = yield task.preempt_wait
             remaining -= self.sim.now - started
             if task.killed:
                 raise TaskKilled(task.name)
@@ -551,7 +576,7 @@ class RTOSModel(Channel):
             while self._running is not task:
                 if task.killed:
                     raise TaskKilled(task.name)
-                yield Wait(task.dispatch_evt)
+                yield task.dispatch_wait
             if task.killed:
                 raise TaskKilled(task.name)
             previous = self._last_occupant

@@ -17,13 +17,24 @@ _ready_seq = itertools.count()
 
 
 class Scheduler:
-    """Base class; concrete policies override the key methods."""
+    """Base class; concrete policies override the key methods.
+
+    :meth:`peek` memoizes its selection between ready-queue mutations:
+    every concrete policy's :meth:`key` is a function of task state alone
+    (priority, period, deadline, arrival order) — never of ``now`` — and
+    key-relevant task state only changes on (re-)insertion, so the best
+    ready task cannot change while the queue is untouched. The RTOS model
+    peeks at every scheduling point (each ``time_wait``), making this the
+    dominant scheduler cost in long runs.
+    """
 
     #: short identifier used by ``RTOSModel.start(sched_alg)`` lookups
     name = "base"
 
     def __init__(self):
         self._ready = []
+        self._peek_cache = None
+        self._peek_valid = False
 
     # -- ready-queue maintenance -------------------------------------------
 
@@ -31,6 +42,7 @@ class Scheduler:
         """Insert ``task`` into the ready queue."""
         task.ready_seq = next(_ready_seq)
         self._ready.append(task)
+        self._peek_valid = False
 
     def remove(self, task):
         """Remove ``task`` from the ready queue if present."""
@@ -38,6 +50,7 @@ class Scheduler:
             self._ready.remove(task)
         except ValueError:
             pass
+        self._peek_valid = False
 
     # -- policy -------------------------------------------------------------
 
@@ -51,9 +64,19 @@ class Scheduler:
 
     def peek(self, now):
         """Best ready task, or None. Does not remove it."""
-        if not self._ready:
-            return None
-        return min(self._ready, key=lambda t: (self.key(t, now), t.ready_seq))
+        if self._peek_valid:
+            return self._peek_cache
+        ready = self._ready
+        if not ready:
+            best = None
+        elif len(ready) == 1:
+            best = ready[0]
+        else:
+            key = self.key
+            best = min(ready, key=lambda t: (key(t, now), t.ready_seq))
+        self._peek_cache = best
+        self._peek_valid = True
+        return best
 
     def preempts(self, candidate, running, now):
         """Should ``candidate`` (ready) preempt ``running`` at a

@@ -27,6 +27,7 @@ highest), the convention of most fixed-priority kernels.
 import enum
 import itertools
 
+from repro.kernel.commands import Wait
 from repro.kernel.events import Event
 
 #: aperiodic real-time task with a fixed priority (paper's non-periodic)
@@ -69,6 +70,8 @@ class Task:
         "state",
         "dispatch_evt",
         "preempt_evt",
+        "dispatch_wait",
+        "preempt_wait",
         "process",
         "ready_seq",
         "release_time",
@@ -96,6 +99,13 @@ class Task:
         #: SLDL event aborting an in-flight timed delay (immediate
         #: preemption mode and task_kill)
         self.preempt_evt = Event(f"{name}.preempt")
+        #: reusable kernel commands for the two hottest RTOS waits —
+        #: blocking on dispatch and the interruptible delay of the
+        #: immediate preemption mode. The kernel consumes a command
+        #: synchronously at the yield, so each task can safely re-yield
+        #: the same instance (preempt_wait's timeout is set per use).
+        self.dispatch_wait = Wait(self.dispatch_evt)
+        self.preempt_wait = Wait(self.preempt_evt, timeout=0)
         #: kernel Process bound at first activation
         self.process = None
         #: FIFO tie-break within equal scheduler keys
