@@ -5,64 +5,34 @@ round-robin, FIFO, EDF and RMS; this bench runs the same periodic
 workload under each policy and reports deadline misses, worst response
 times and context switches — the design-space exploration the paper's
 flow enables.
+
+The workload and the sweep both live in :mod:`repro.farm`: the run
+target is :func:`repro.farm.workloads.periodic_taskset_run` and the
+fan-out goes through :func:`repro.farm.run_sweep` (in-process serial
+here, so pytest-benchmark measures simulation cost, not process
+spawning).
 """
 
-from repro.kernel import Simulator, WaitFor
-from repro.rtos import PERIODIC, RTOSModel
+from repro.farm import SweepSpec, run_sweep
+from repro.farm.workloads import DEFAULT_HORIZON, DEFAULT_TASK_SET
+from repro.farm.workloads import periodic_taskset_run as run_policy_config
 
-#: (name, period, exec_time) — U ~ 0.94
-TASK_SET = (
-    ("t1", 400_000, 100_000),
-    ("t2", 500_000, 100_000),
-    ("t3", 750_000, 370_000),
-)
-HORIZON = 6_000_000
-GRANULARITY = 10_000
+TASK_SET = DEFAULT_TASK_SET
+HORIZON = DEFAULT_HORIZON
 POLICIES = ("priority", "priority_np", "rr", "fifo", "edf", "rms")
 
 
 def run_policy(policy):
-    sim = Simulator()
-    sim.trace.enabled = False
-    os_ = RTOSModel(sim, sched=policy)
-    tasks = []
-    for index, (name, period, exec_time) in enumerate(TASK_SET):
-        task = os_.task_create(
-            name, PERIODIC, period, exec_time, priority=index + 1
-        )
-        tasks.append(task)
-
-        def body(task=task, exec_time=exec_time):
-            while True:
-                remaining = exec_time
-                while remaining > 0:
-                    step = min(GRANULARITY, remaining)
-                    yield from os_.time_wait(step)
-                    remaining -= step
-                yield from os_.task_endcycle()
-
-        sim.spawn(os_.task_body(task, body()), name=task.name)
-
-    def boot():
-        yield WaitFor(0)
-        os_.start()
-
-    sim.spawn(boot(), name="boot")
-    sim.run(until=HORIZON)
-    return {
-        "policy": policy,
-        "misses": os_.metrics.deadline_misses,
-        "switches": os_.metrics.context_switches,
-        "preemptions": os_.metrics.preemptions,
-        "worst_response": {
-            t.name: t.stats.worst_response for t in tasks
-        },
-        "utilization": os_.metrics.utilization(sim.now),
-    }
+    return run_policy_config(policy=policy)
 
 
 def sweep():
-    return [run_policy(p) for p in POLICIES]
+    spec = SweepSpec(
+        "repro.farm.workloads:periodic_taskset_run"
+    ).axis("policy", list(POLICIES))
+    result = run_sweep(spec, parallel=False, cache=None, retries=0)
+    assert not result.failed, result.failed
+    return result.values()
 
 
 def test_scheduler_comparison(report, benchmark):

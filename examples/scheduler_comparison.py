@@ -3,7 +3,10 @@
 
 Part 1 runs one periodic task set under every scheduling policy of the
 RTOS model and tabulates deadline misses / response times — the early
-exploration the paper's flow is built for.
+exploration the paper's flow is built for. The sweep is declared and
+executed with the experiment farm (``repro.farm``): on a multi-core
+host the policies run in parallel worker processes; on a single-core
+host the farm falls back to in-process serial execution.
 
 Part 2 demonstrates priority inversion with a shared resource and how
 the priority-inheritance mutex bounds it.
@@ -12,41 +15,20 @@ Run:  python examples/scheduler_comparison.py
 """
 
 from repro.channels import RTOSMutex
+from repro.farm import SweepSpec, run_sweep
+from repro.farm.workloads import DEFAULT_TASK_SET
 from repro.kernel import Simulator, WaitFor
-from repro.rtos import APERIODIC, PERIODIC, RTOSModel
+from repro.rtos import APERIODIC, RTOSModel
 
-TASK_SET = (("t1", 400_000, 100_000), ("t2", 500_000, 100_000),
-            ("t3", 750_000, 370_000))
+TASK_SET = DEFAULT_TASK_SET
+POLICIES = ("priority", "priority_np", "rr", "fifo", "edf", "rms")
 
 
-def run_policy(policy, horizon=6_000_000):
-    sim = Simulator()
-    sim.trace.enabled = False
-    os_ = RTOSModel(sim, sched=policy)
-    tasks = []
-    for index, (name, period, exec_time) in enumerate(TASK_SET):
-        task = os_.task_create(name, PERIODIC, period, exec_time,
-                               priority=index + 1)
-        tasks.append(task)
-
-        def body(task=task, exec_time=exec_time):
-            while True:
-                remaining = exec_time
-                while remaining > 0:
-                    step = min(10_000, remaining)
-                    yield from os_.time_wait(step)
-                    remaining -= step
-                yield from os_.task_endcycle()
-
-        sim.spawn(os_.task_body(task, body()), name=task.name)
-
-    def boot():
-        yield WaitFor(0)
-        os_.start()
-
-    sim.spawn(boot())
-    sim.run(until=horizon)
-    return os_, tasks
+def policy_sweep():
+    spec = SweepSpec(
+        "repro.farm.workloads:periodic_taskset_run"
+    ).axis("policy", list(POLICIES))
+    return run_sweep(spec, cache=None)
 
 
 def priority_inversion(inheritance):
@@ -97,13 +79,14 @@ def priority_inversion(inheritance):
 
 def main():
     print("Part 1 — scheduling policies on a U=0.94 periodic set")
+    result = policy_sweep()
     print(f"{'policy':<14}{'misses':>8}{'switches':>10}"
           f"{'worst t3 response (us)':>24}")
-    for policy in ("priority", "priority_np", "rr", "fifo", "edf", "rms"):
-        os_, tasks = run_policy(policy)
-        worst = tasks[2].stats.worst_response or 0
-        print(f"{policy:<14}{os_.metrics.deadline_misses:>8}"
-              f"{os_.metrics.context_switches:>10}{worst / 1000:>24.0f}")
+    for metrics in result.values():
+        worst = metrics["worst_response"]["t3"] or 0
+        print(f"{metrics['policy']:<14}{metrics['misses']:>8}"
+              f"{metrics['switches']:>10}{worst / 1000:>24.0f}")
+    print(f"(farm: {result.summary()})")
     print()
     print("Part 2 — priority inversion on a shared resource")
     without = priority_inversion(False)

@@ -42,7 +42,7 @@ def schedule_report(os_model, sim, title="schedule report"):
         f"scheduler           : {type(os_model.scheduler).__name__}",
         f"preemption mode     : {os_model.preemption}",
         f"CPU utilization     : {metrics.utilization(total):.1%}"
-        f" (busy {metrics.busy_time}, idle {metrics.idle_time(total) - metrics.overhead_time})",
+        f" (busy {metrics.busy_time}, idle {metrics.idle_time(total)})",
         f"context switches    : {metrics.context_switches}"
         + (f" (overhead {metrics.overhead_time})" if metrics.overhead_time else ""),
         f"preemptions         : {metrics.preemptions}",

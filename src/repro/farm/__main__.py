@@ -1,0 +1,198 @@
+"""``python -m repro.farm`` — run experiment sweeps from the shell.
+
+Built-in sweeps::
+
+    python -m repro.farm vocoder            # scheduler x preemption, Table-1 app
+    python -m repro.farm taskset            # scheduler ablation task set
+    python -m repro.farm table1             # the three Table-1 models
+    python -m repro.farm spec sweep.json    # any target, declarative JSON
+
+Common flags: ``--serial`` (in-process), ``--jobs N``, ``--timeout S``,
+``--retries N``, ``--no-cache``, ``--refresh``, ``--cache-dir DIR``,
+``--clear-cache``, ``--json FILE``, ``--csv FILE``, ``--quiet``.
+
+A second invocation of the same sweep is served from the cache; pass
+``--refresh`` to force re-execution or ``--no-cache`` to bypass the
+cache entirely.
+"""
+
+import argparse
+import json
+import sys
+
+from repro.farm.cache import DEFAULT_CACHE_DIR, ResultCache
+from repro.farm.runner import run_sweep
+from repro.farm.sweep import SweepSpec
+
+SCHEDULERS = ("priority", "priority_np", "rr", "fifo", "edf", "rms")
+PREEMPTION_MODES = ("step", "immediate")
+
+
+def _csv_list(text):
+    return [item for item in text.split(",") if item]
+
+
+def _int_list(text):
+    return [int(item) for item in _csv_list(text)]
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.farm",
+        description="Parallel experiment-sweep farm for the RTOS models.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument("--serial", action="store_true",
+                        help="run in-process (no worker pool)")
+    common.add_argument("--jobs", type=int, default=None, metavar="N",
+                        help="worker processes (default: one per CPU)")
+    common.add_argument("--timeout", type=float, default=None, metavar="SEC",
+                        help="per-run wall-clock limit (parallel mode)")
+    common.add_argument("--retries", type=int, default=1, metavar="N",
+                        help="extra attempts for failed runs (default 1)")
+    common.add_argument("--no-cache", action="store_true",
+                        help="do not read or write the result cache")
+    common.add_argument("--refresh", action="store_true",
+                        help="ignore cached results (still store fresh ones)")
+    common.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR,
+                        metavar="DIR", help="cache directory")
+    common.add_argument("--clear-cache", action="store_true",
+                        help="drop all cached results first")
+    common.add_argument("--json", metavar="FILE", dest="json_out",
+                        help="write full results as JSON")
+    common.add_argument("--csv", metavar="FILE", dest="csv_out",
+                        help="write flat result rows as CSV")
+    common.add_argument("--quiet", action="store_true",
+                        help="suppress per-run progress lines")
+
+    voc = sub.add_parser(
+        "vocoder", parents=[common],
+        help="vocoder architecture model: scheduler x preemption sweep",
+    )
+    voc.add_argument("--frames", type=int, default=10)
+    voc.add_argument("--seed", type=int, default=2003)
+    voc.add_argument("--sched", type=_csv_list,
+                     default=list(SCHEDULERS), metavar="LIST")
+    voc.add_argument("--preemption", type=_csv_list,
+                     default=list(PREEMPTION_MODES), metavar="LIST")
+    voc.add_argument("--overhead", type=_int_list, default=[0],
+                     metavar="LIST", help="switch_overhead values (ns)")
+
+    tsk = sub.add_parser(
+        "taskset", parents=[common],
+        help="scheduler ablation on the synthetic periodic task set",
+    )
+    tsk.add_argument("--policies", type=_csv_list,
+                     default=list(SCHEDULERS), metavar="LIST")
+    tsk.add_argument("--preemption", type=_csv_list,
+                     default=["step"], metavar="LIST")
+    tsk.add_argument("--granularity", type=_int_list, default=[10_000],
+                     metavar="LIST")
+    tsk.add_argument("--horizon", type=int, default=6_000_000)
+    tsk.add_argument("--overhead", type=_int_list, default=[0],
+                     metavar="LIST", help="switch_overhead values (ns)")
+
+    tbl = sub.add_parser(
+        "table1", parents=[common],
+        help="the three Table-1 vocoder models (spec/arch/impl)",
+    )
+    tbl.add_argument("--frames", type=int, default=10)
+    tbl.add_argument("--seed", type=int, default=2003)
+
+    spc = sub.add_parser(
+        "spec", parents=[common],
+        help="run a declarative sweep from a JSON file",
+    )
+    spc.add_argument("file", help="JSON sweep spec "
+                     '({"target": ..., "base": ..., "axes": ...})')
+    return parser
+
+
+def build_spec(args):
+    if args.command == "vocoder":
+        return (
+            SweepSpec("repro.farm.workloads:vocoder_architecture_run",
+                      base={"n_frames": args.frames, "seed": args.seed})
+            .axis("sched", args.sched)
+            .axis("preemption", args.preemption)
+            .axis("switch_overhead", args.overhead)
+        )
+    if args.command == "taskset":
+        return (
+            SweepSpec("repro.farm.workloads:periodic_taskset_run",
+                      base={"horizon": args.horizon})
+            .axis("policy", args.policies)
+            .axis("preemption", args.preemption)
+            .axis("granularity", args.granularity)
+            .axis("switch_overhead", args.overhead)
+        )
+    if args.command == "table1":
+        base = {"n_frames": args.frames, "seed": args.seed}
+        spec = SweepSpec(
+            "repro.farm.workloads:vocoder_specification_run", base=base
+        )
+        # heterogeneous targets: expand() covers the spec model; the
+        # other two levels ride along as explicit configs
+        configs = spec.expand()
+        from repro.farm.sweep import RunConfig
+
+        configs.append(RunConfig(
+            "repro.farm.workloads:vocoder_architecture_run", base))
+        configs.append(RunConfig(
+            "repro.farm.workloads:vocoder_implementation_run", base))
+        return configs
+    if args.command == "spec":
+        with open(args.file) as fh:
+            return SweepSpec.from_dict(json.load(fh))
+    raise SystemExit(f"unknown command {args.command!r}")
+
+
+def main(argv=None):
+    args = build_parser().parse_args(argv)
+    cache = None
+    if not args.no_cache:
+        cache = ResultCache(args.cache_dir)
+        if args.clear_cache:
+            dropped = cache.invalidate()
+            print(f"cleared {dropped} cached results from {cache.root}")
+
+    spec = build_spec(args)
+    print(f"farm: {args.command} sweep, {len(spec)} configurations"
+          f"{' (serial)' if args.serial else ''}")
+
+    def progress(run):
+        if args.quiet:
+            return
+        tag = run.status + (" cache" if run.from_cache else "")
+        print(f"  [{tag:>9}] {run.config.label()}  {run.elapsed:.3f}s")
+
+    result = run_sweep(
+        spec,
+        parallel=not args.serial,
+        processes=args.jobs,
+        timeout=args.timeout,
+        retries=args.retries,
+        cache=cache,
+        refresh=args.refresh,
+        progress=progress,
+    )
+
+    print()
+    print(result.format_table(title=f"{args.command} sweep"))
+    if args.json_out:
+        result.to_json(args.json_out)
+        print(f"wrote {args.json_out}")
+    if args.csv_out:
+        result.to_csv(args.csv_out)
+        print(f"wrote {args.csv_out}")
+    for run in result.failed:
+        print(f"FAILED {run.config.label()}: {run.status}", file=sys.stderr)
+        if run.error:
+            print(run.error, file=sys.stderr)
+    return 1 if result.failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,101 @@
+"""On-disk JSON result cache for sweep runs.
+
+One file per run config, named by the config's content hash, holding the
+run's JSON result plus enough metadata to detect staleness. A record is
+served only when both the config hash *and* the package version match —
+bumping ``repro.__version__`` invalidates every cached point, and any
+parameter change produces a different hash. Results that are not
+JSON-serializable are silently not cached (the run still succeeds).
+"""
+
+import json
+import os
+import pathlib
+import tempfile
+
+import repro
+
+#: default cache location, relative to the current working directory
+DEFAULT_CACHE_DIR = ".farm_cache"
+
+
+class ResultCache:
+    """Directory of ``<config-hash>.json`` result records."""
+
+    def __init__(self, root=DEFAULT_CACHE_DIR, version=None):
+        self.root = pathlib.Path(root)
+        self.version = version if version is not None else repro.__version__
+
+    def _path(self, config):
+        return self.root / f"{config.key()}.json"
+
+    def get(self, config):
+        """The cached record for ``config``, or None (miss/stale)."""
+        path = self._path(config)
+        try:
+            with open(path) as fh:
+                record = json.load(fh)
+        except (OSError, ValueError):
+            return None
+        if record.get("version") != self.version:
+            return None
+        if record.get("target") != config.target:
+            return None
+        return record
+
+    def put(self, config, result, elapsed):
+        """Store a successful run; atomic write (tmp file + rename)."""
+        record = {
+            "key": config.key(),
+            "target": config.target,
+            "params": config.kwargs,
+            "version": self.version,
+            "result": result,
+            "elapsed": elapsed,
+        }
+        try:
+            payload = json.dumps(record, indent=1, sort_keys=True)
+        except (TypeError, ValueError):
+            return False  # non-JSON result: run fine, just not cached
+        self.root.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as fh:
+                fh.write(payload)
+            os.replace(tmp, self._path(config))
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            return False
+        return True
+
+    def invalidate(self, config=None):
+        """Drop one config's record, or the whole cache (config=None).
+
+        Returns the number of records removed.
+        """
+        if config is not None:
+            try:
+                self._path(config).unlink()
+                return 1
+            except OSError:
+                return 0
+        removed = 0
+        if self.root.is_dir():
+            for path in self.root.glob("*.json"):
+                try:
+                    path.unlink()
+                    removed += 1
+                except OSError:
+                    pass
+        return removed
+
+    def __len__(self):
+        if not self.root.is_dir():
+            return 0
+        return sum(1 for _ in self.root.glob("*.json"))
+
+    def __repr__(self):
+        return f"ResultCache({str(self.root)!r}, {len(self)} records)"

@@ -40,14 +40,26 @@ class RTOSMetrics:
         self.overhead_time = 0
 
     def idle_time(self, total_time):
-        """Simulated idle time given the total simulated span."""
-        return total_time - self.busy_time
+        """Simulated idle time given the total simulated span.
+
+        Modeled kernel overhead occupies the CPU just like task
+        execution does, so it is *not* idle time.
+        """
+        return total_time - self.busy_time - self.overhead_time
 
     def utilization(self, total_time):
-        """CPU utilization over the simulated span (0..1)."""
+        """Fraction of the simulated span the CPU was occupied (0..1):
+        task execution plus modeled kernel overhead."""
         if total_time <= 0:
             return 0.0
-        return self.busy_time / total_time
+        return (self.busy_time + self.overhead_time) / total_time
+
+    def overhead_ratio(self, total_time):
+        """Fraction of the simulated span spent in modeled kernel
+        overhead (context-switch cost), 0..1."""
+        if total_time <= 0:
+            return 0.0
+        return self.overhead_time / total_time
 
     def as_dict(self):
         return {name: getattr(self, name) for name in self.__slots__}

@@ -130,9 +130,18 @@ class RTOSModel(Channel):
         """
         if sched_alg is not None:
             new_scheduler = make_scheduler(sched_alg)
+            now = self.sim.now
             # migrate tasks that queued up before the policy switch
             for task in self.scheduler.ready_tasks:
-                new_scheduler.on_ready(task, self.sim.now)
+                new_scheduler.on_ready(task, now)
+            # the old policy's time-slicing state is meaningless under
+            # the new one: the current occupant starts a fresh slice,
+            # everyone else gets theirs at their next dispatch
+            for task in self.tasks:
+                if task is self._running:
+                    new_scheduler.on_dispatch(task, now)
+                else:
+                    task.slice_start = None
             self.scheduler = new_scheduler
         self._started = True
         self._dispatch_if_idle()
@@ -211,8 +220,18 @@ class RTOSModel(Channel):
         """Terminate the calling task (generator); does not return the CPU
         to the caller."""
         task = yield from self._enter()
-        if task.activation_time is not None and not task.is_periodic:
-            task.stats.response_times.append(self.sim.now - task.activation_time)
+        if task.activation_time is not None:
+            if not task.is_periodic:
+                task.stats.response_times.append(
+                    self.sim.now - task.activation_time
+                )
+            elif task.worked_since_release:
+                # final (incomplete) cycle of a periodic task that
+                # terminates mid-cycle: record it against the release,
+                # like task_endcycle does for completed cycles
+                task.stats.response_times.append(
+                    self.sim.now - task.release_time
+                )
         self.trace.record(self.sim.now, "task", task.name, "terminate")
         self._yield_cpu(task, TaskState.TERMINATED)
 
@@ -318,9 +337,19 @@ class RTOSModel(Channel):
         return event
 
     def event_del(self, event):
-        """Deallocate an RTOS event; it must have no waiting tasks."""
+        """Deallocate an RTOS event; it must have no waiting tasks and
+        no undelivered same-instant notification."""
         if event.queue:
             raise RTOSError(f"event_del on {event.name!r} with waiting tasks")
+        if event.pending_time == self.sim.now:
+            # a notify issued this timestep has not been consumed yet;
+            # deleting the event now would silently lose it
+            raise RTOSError(
+                f"event_del on {event.name!r} with a pending notification"
+            )
+        # a pending_time from an earlier timestep is already stale
+        # (notifications never persist across timesteps) — clear it
+        event.pending_time = None
         event.deleted = True
         if event in self.events:
             self.events.remove(event)
@@ -330,6 +359,7 @@ class RTOSModel(Channel):
         task = yield from self._enter()
         if event.deleted:
             raise RTOSError(f"event_wait on deleted event {event.name!r}")
+        task.worked_since_release = True
         if event.pending_time == self.sim.now:
             # same-timestep rendezvous (see repro.rtos.events)
             event.pending_time = None
@@ -393,6 +423,7 @@ class RTOSModel(Channel):
         if nsec == 0:
             yield from self._schedule_point(task)
             return
+        task.worked_since_release = True
         if self.preemption == "step":
             self._waitfor.delay = nsec
             yield self._waitfor
@@ -496,6 +527,7 @@ class RTOSModel(Channel):
 
     def _set_release(self, task, release_time):
         task.release_time = release_time
+        task.worked_since_release = False
         if task.is_periodic:
             deadline = task.rel_deadline if task.rel_deadline is not None else task.period
             task.abs_deadline = release_time + deadline

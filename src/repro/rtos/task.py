@@ -79,6 +79,7 @@ class Task:
         "activation_time",
         "run_start",
         "slice_start",
+        "worked_since_release",
         "killed",
         "stats",
     )
@@ -119,6 +120,9 @@ class Task:
         self.run_start = None
         #: time of last dispatch (round-robin slicing)
         self.slice_start = None
+        #: did this task consume execution time / block since its
+        #: current release? (final-cycle response-time accounting)
+        self.worked_since_release = False
         self.killed = False
         self.stats = TaskStats()
 

@@ -1,0 +1,59 @@
+"""On-disk result cache: round-trips, staleness, invalidation."""
+
+from repro.farm import ResultCache, RunConfig
+from tests.farm import targets
+
+
+def make_config(**params):
+    return RunConfig(targets.add, params or {"a": 1, "b": 2})
+
+
+def test_put_get_roundtrip(tmp_path):
+    cache = ResultCache(tmp_path / "cache", version="1")
+    config = make_config()
+    assert cache.get(config) is None
+    assert cache.put(config, {"sum": 3}, elapsed=0.5)
+    record = cache.get(config)
+    assert record["result"] == {"sum": 3}
+    assert record["elapsed"] == 0.5
+    assert record["params"] == {"a": 1, "b": 2}
+    assert len(cache) == 1
+
+
+def test_version_bump_invalidates(tmp_path):
+    root = tmp_path / "cache"
+    ResultCache(root, version="1").put(make_config(), {"sum": 3}, 0.0)
+    assert ResultCache(root, version="1").get(make_config()) is not None
+    assert ResultCache(root, version="2").get(make_config()) is None
+
+
+def test_different_params_miss(tmp_path):
+    cache = ResultCache(tmp_path / "cache", version="1")
+    cache.put(make_config(a=1), {"sum": 1}, 0.0)
+    assert cache.get(make_config(a=2)) is None
+
+
+def test_non_json_result_not_cached(tmp_path):
+    cache = ResultCache(tmp_path / "cache", version="1")
+    assert cache.put(make_config(), {"gen": (i for i in range(3))}, 0.0) is False
+    assert cache.get(make_config()) is None
+
+
+def test_corrupt_record_is_a_miss(tmp_path):
+    cache = ResultCache(tmp_path / "cache", version="1")
+    config = make_config()
+    cache.put(config, {"sum": 3}, 0.0)
+    (cache.root / f"{config.key()}.json").write_text("{not json")
+    assert cache.get(config) is None
+
+
+def test_invalidate_one_and_all(tmp_path):
+    cache = ResultCache(tmp_path / "cache", version="1")
+    one, two = make_config(a=1), make_config(a=2)
+    cache.put(one, {"sum": 1}, 0.0)
+    cache.put(two, {"sum": 2}, 0.0)
+    assert cache.invalidate(one) == 1
+    assert cache.get(one) is None
+    assert cache.get(two) is not None
+    assert cache.invalidate() == 1
+    assert len(cache) == 0

@@ -1,0 +1,86 @@
+"""``python -m repro.farm`` CLI smoke tests (serial, tiny sweeps)."""
+
+import json
+
+from repro.farm.__main__ import main
+
+
+def run_cli(args, capsys):
+    code = main(args)
+    out = capsys.readouterr().out
+    return code, out
+
+
+def test_taskset_serial_sweep(tmp_path, capsys):
+    code, out = run_cli([
+        "taskset", "--policies", "priority,fifo", "--preemption", "step",
+        "--horizon", "1000000", "--serial",
+        "--cache-dir", str(tmp_path / "cache"),
+        "--json", str(tmp_path / "out.json"),
+        "--csv", str(tmp_path / "out.csv"),
+    ], capsys)
+    assert code == 0
+    assert "2 runs, 2 ok" in out
+    assert "priority" in out and "fifo" in out
+
+    payload = json.loads((tmp_path / "out.json").read_text())
+    assert payload["n_ok"] == 2
+    header = (tmp_path / "out.csv").read_text().splitlines()[0]
+    assert "policy" in header and "misses" in header
+
+
+def test_second_invocation_is_cached(tmp_path, capsys):
+    args = [
+        "taskset", "--policies", "priority", "--preemption", "step",
+        "--horizon", "1000000", "--serial",
+        "--cache-dir", str(tmp_path / "cache"),
+    ]
+    code, _ = run_cli(args, capsys)
+    assert code == 0
+    code, out = run_cli(args, capsys)
+    assert code == 0
+    assert "1 from cache" in out
+
+
+def test_no_cache_and_clear_cache(tmp_path, capsys):
+    cache_dir = str(tmp_path / "cache")
+    base = [
+        "taskset", "--policies", "priority", "--preemption", "step",
+        "--horizon", "1000000", "--serial", "--cache-dir", cache_dir,
+    ]
+    run_cli(base, capsys)
+    code, out = run_cli(base + ["--no-cache"], capsys)
+    assert code == 0
+    assert "from cache" not in out
+    code, out = run_cli(base + ["--clear-cache"], capsys)
+    assert code == 0
+    assert "cleared 1 cached results" in out
+
+
+def test_spec_file_sweep(tmp_path, capsys):
+    spec_file = tmp_path / "sweep.json"
+    spec_file.write_text(json.dumps({
+        "target": "tests.farm.targets:add",
+        "base": {"b": 40},
+        "axes": {"a": [1, 2]},
+    }))
+    code, out = run_cli([
+        "spec", str(spec_file), "--serial", "--no-cache", "--quiet",
+    ], capsys)
+    assert code == 0
+    assert "2 runs, 2 ok" in out
+
+
+def test_failures_exit_nonzero(tmp_path, capsys):
+    spec_file = tmp_path / "sweep.json"
+    spec_file.write_text(json.dumps({
+        "target": "tests.farm.targets:boom",
+        "axes": {"message": ["bad"]},
+    }))
+    code = main([
+        "spec", str(spec_file), "--serial", "--no-cache",
+        "--retries", "0", "--quiet",
+    ])
+    captured = capsys.readouterr()
+    assert code == 1
+    assert "FAILED" in captured.err

@@ -1,0 +1,190 @@
+"""Sweep execution: serial fallback, process farm, cache integration."""
+
+import pytest
+
+from repro.farm import (
+    STATUS_CRASHED,
+    STATUS_ERROR,
+    STATUS_OK,
+    STATUS_TIMEOUT,
+    ResultCache,
+    RunConfig,
+    SweepSpec,
+    run_sweep,
+)
+
+
+def add_spec(n=4):
+    return SweepSpec("tests.farm.targets:add", base={"b": 10}).axis(
+        "a", list(range(n))
+    )
+
+
+# -- serial ----------------------------------------------------------------
+
+def test_serial_results_in_sweep_order():
+    result = run_sweep(add_spec(4), parallel=False)
+    assert len(result) == 4
+    assert all(r.ok for r in result)
+    assert [r.value["sum"] for r in result] == [10, 11, 12, 13]
+    assert result.varying == ["a"]
+
+
+def test_serial_error_after_retries_exhausted():
+    spec = SweepSpec("tests.farm.targets:boom").point(message="nope")
+    result = run_sweep(spec, parallel=False, retries=2)
+    (run,) = result
+    assert run.status == STATUS_ERROR
+    assert run.attempts == 3
+    assert "nope" in run.error
+
+
+def test_serial_retry_then_success(tmp_path):
+    marker = tmp_path / "marker"
+    spec = SweepSpec("tests.farm.targets:flaky").point(
+        marker=str(marker), fail_times=1
+    )
+    result = run_sweep(spec, parallel=False, retries=1)
+    (run,) = result
+    assert run.ok
+    assert run.attempts == 2
+    assert run.value["attempts"] == 2
+
+
+def test_plain_config_list_accepted():
+    configs = [
+        RunConfig("tests.farm.targets:add", {"a": a, "b": 1})
+        for a in (1, 2)
+    ]
+    result = run_sweep(configs, parallel=False)
+    assert [r.value["sum"] for r in result] == [2, 3]
+
+
+def test_progress_callback_sees_every_run():
+    seen = []
+    run_sweep(add_spec(3), parallel=False, progress=seen.append)
+    assert len(seen) == 3
+    assert all(r.ok for r in seen)
+
+
+# -- parallel --------------------------------------------------------------
+
+def test_parallel_results_complete_and_ordered():
+    result = run_sweep(add_spec(6), parallel=True, processes=2)
+    assert [r.value["sum"] for r in result] == [10, 11, 12, 13, 14, 15]
+    assert all(r.ok for r in result)
+
+
+def test_parallel_error_reported():
+    spec = SweepSpec("tests.farm.targets:boom").point(message="kaboom")
+    result = run_sweep(spec, parallel=True, processes=2, retries=0)
+    (run,) = result
+    assert run.status == STATUS_ERROR
+    assert "kaboom" in run.error
+
+
+def test_parallel_worker_crash_detected():
+    spec = (
+        SweepSpec("tests.farm.targets:add", base={"a": 1, "b": 1})
+        .point(a=2)
+    )
+    configs = spec.expand()
+    configs.append(RunConfig("tests.farm.targets:crasher", {"code": 3}))
+    result = run_sweep(configs, parallel=True, processes=2, retries=0)
+    by_target = {r.config.target.rpartition(":")[2]: r for r in result}
+    assert by_target["crasher"].status == STATUS_CRASHED
+    assert "exited" in by_target["crasher"].error
+    assert by_target["add"].ok
+
+
+def test_parallel_timeout_kills_hung_run():
+    configs = [
+        RunConfig("tests.farm.targets:sleeper", {"seconds": 30.0}),
+        RunConfig("tests.farm.targets:add", {"a": 1, "b": 2}),
+    ]
+    result = run_sweep(
+        configs, parallel=True, processes=2, timeout=0.5, retries=0
+    )
+    assert result[0].status == STATUS_TIMEOUT
+    assert "0.5" in result[0].error
+    assert result[1].ok
+    assert result.wall_seconds < 20.0
+
+
+def test_parallel_retry_then_success(tmp_path):
+    marker = tmp_path / "marker"
+    configs = [
+        RunConfig(
+            "tests.farm.targets:flaky",
+            {"marker": str(marker), "fail_times": 1},
+        )
+    ]
+    result = run_sweep(configs, parallel=True, processes=2, retries=1)
+    (run,) = result
+    assert run.ok
+    assert run.attempts == 2
+
+
+def test_parallel_unpicklable_result_is_an_error():
+    configs = [RunConfig("tests.farm.targets:generator_result")]
+    result = run_sweep(configs, parallel=True, processes=2, retries=0)
+    (run,) = result
+    assert run.status == STATUS_ERROR
+    assert "pickle" in run.error.lower()
+
+
+# -- cache integration -----------------------------------------------------
+
+def test_second_sweep_served_from_cache(tmp_path):
+    cache = ResultCache(tmp_path / "cache", version="1")
+    first = run_sweep(add_spec(4), parallel=False, cache=cache)
+    assert not first.cached
+    assert len(cache) == 4
+    second = run_sweep(add_spec(4), parallel=False, cache=cache)
+    assert len(second.cached) == 4  # >= 90% cache criterion, here 100%
+    assert [r.value["sum"] for r in second] == [10, 11, 12, 13]
+
+
+def test_refresh_ignores_cache_but_restores_it(tmp_path):
+    cache = ResultCache(tmp_path / "cache", version="1")
+    run_sweep(add_spec(2), parallel=False, cache=cache)
+    refreshed = run_sweep(
+        add_spec(2), parallel=False, cache=cache, refresh=True
+    )
+    assert not refreshed.cached
+    assert len(cache) == 2
+
+
+def test_failed_runs_are_not_cached(tmp_path):
+    cache = ResultCache(tmp_path / "cache", version="1")
+    spec = SweepSpec("tests.farm.targets:boom").point()
+    result = run_sweep(spec, parallel=False, retries=0, cache=cache)
+    assert result.failed
+    assert len(cache) == 0
+
+
+# -- result aggregation ----------------------------------------------------
+
+def test_rows_and_exports(tmp_path):
+    result = run_sweep(add_spec(2), parallel=False)
+    rows = result.rows()
+    assert rows[0]["a"] == 0
+    assert rows[0]["sum"] == 10
+    assert rows[0]["status"] == STATUS_OK
+
+    table = result.format_table(title="adds")
+    assert "adds" in table and "sum" in table
+
+    json_path = tmp_path / "out.json"
+    csv_path = tmp_path / "out.csv"
+    result.to_json(json_path)
+    result.to_csv(csv_path)
+    assert '"n_ok": 2' in json_path.read_text()
+    assert csv_path.read_text().splitlines()[0].startswith("a,")
+
+
+@pytest.mark.parametrize("n", [1, 5])
+def test_summary_counts(n):
+    result = run_sweep(add_spec(n), parallel=False)
+    assert f"{n} runs" in result.summary()
+    assert f"{n} ok" in result.summary()

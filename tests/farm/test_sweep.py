@@ -1,0 +1,112 @@
+"""Sweep specs, run configs and content hashing."""
+
+import pytest
+
+from repro.farm import RunConfig, SweepSpec, resolve_target, target_name
+from tests.farm import targets
+
+
+def test_target_name_from_callable():
+    assert target_name(targets.add) == "tests.farm.targets:add"
+
+
+def test_target_name_passthrough_string():
+    assert target_name("tests.farm.targets:add") == "tests.farm.targets:add"
+
+
+def test_target_name_rejects_bare_string():
+    with pytest.raises(ValueError):
+        target_name("not_a_dotted_path")
+
+
+def test_target_name_rejects_lambda_and_closure():
+    with pytest.raises(TypeError):
+        target_name(lambda: None)
+
+    def outer():
+        def inner():
+            return None
+        return inner
+
+    with pytest.raises(TypeError):
+        target_name(outer())
+
+
+def test_resolve_target_roundtrip():
+    fn = resolve_target("tests.farm.targets:add")
+    assert fn is targets.add
+
+
+def test_runconfig_key_is_param_order_insensitive():
+    a = RunConfig(targets.add, {"a": 1, "b": 2})
+    b = RunConfig(targets.add, {"b": 2, "a": 1})
+    assert a == b
+    assert hash(a) == hash(b)
+    assert a.key() == b.key()
+
+
+def test_runconfig_key_changes_with_params_and_target():
+    base = RunConfig(targets.add, {"a": 1})
+    assert base.key() != RunConfig(targets.add, {"a": 2}).key()
+    assert base.key() != RunConfig(targets.boom, {"a": 1}).key()
+
+
+def test_runconfig_label_shows_varying_only():
+    config = RunConfig(targets.add, {"a": 1, "b": 2})
+    assert config.label() == "add(a=1,b=2)"
+    assert config.label(varying=["b"]) == "add(b=2)"
+
+
+def test_grid_expansion_counts_and_base_merge():
+    spec = (
+        SweepSpec(targets.add, base={"a": 100})
+        .axis("b", [1, 2, 3])
+    )
+    configs = spec.expand()
+    assert len(configs) == 3 == len(spec)
+    assert [c.kwargs for c in configs] == [
+        {"a": 100, "b": 1}, {"a": 100, "b": 2}, {"a": 100, "b": 3},
+    ]
+
+
+def test_grid_is_cartesian_product_in_axis_order():
+    spec = (
+        SweepSpec(targets.add)
+        .axis("a", [0, 1])
+        .axis("b", [10, 20])
+    )
+    assert [c.kwargs for c in spec.expand()] == [
+        {"a": 0, "b": 10}, {"a": 0, "b": 20},
+        {"a": 1, "b": 10}, {"a": 1, "b": 20},
+    ]
+    assert spec.varying == ["a", "b"]
+
+
+def test_explicit_points_merge_and_dedup():
+    spec = (
+        SweepSpec(targets.add, base={"a": 1})
+        .axis("b", [1, 2])
+        .point(b=2)       # duplicate of a grid point
+        .point(a=9, b=9)  # genuinely new
+    )
+    configs = spec.expand()
+    assert len(configs) == 3
+    assert configs[-1].kwargs == {"a": 9, "b": 9}
+
+
+def test_empty_axis_rejected():
+    with pytest.raises(ValueError):
+        SweepSpec(targets.add).axis("a", [])
+
+
+def test_from_dict_roundtrip():
+    spec = SweepSpec.from_dict({
+        "target": "tests.farm.targets:add",
+        "base": {"a": 5},
+        "axes": {"b": [1, 2]},
+        "points": [{"a": 0, "b": 0}],
+    })
+    configs = spec.expand()
+    assert [c.kwargs for c in configs] == [
+        {"a": 5, "b": 1}, {"a": 5, "b": 2}, {"a": 0, "b": 0},
+    ]

@@ -134,3 +134,55 @@ def test_modes_agree_without_interrupts(specs):
     sim_b, os_b, _ = build_and_run(specs, "priority", "immediate")
     assert sim_a.trace.segments() == sim_b.trace.segments()
     assert os_a.metrics.context_switches == os_b.metrics.context_switches
+
+
+OVERHEADS = st.integers(min_value=0, max_value=60)
+
+
+def build_and_run_with_overhead(specs, sched, preemption, overhead):
+    sim = Simulator()
+    os_ = RTOSModel(sim, sched=sched, preemption=preemption,
+                    switch_overhead=overhead)
+    tasks = []
+    for index, (priority, steps) in enumerate(specs):
+        task = os_.task_create(
+            f"t{index}", APERIODIC, 0, sum(steps), priority=priority
+        )
+        tasks.append((task, steps))
+
+        def body(steps=steps):
+            for step in steps:
+                yield from os_.time_wait(step)
+
+        sim.spawn(os_.task_body(task, body()), name=task.name)
+
+    def boot():
+        yield WaitFor(0)
+        os_.start()
+
+    sim.spawn(boot(), name="boot")
+    sim.run()
+    return sim, os_, tasks
+
+
+@given(task_specs, MODES, OVERHEADS)
+@settings(max_examples=50, deadline=None)
+def test_time_accounting_closes(specs, preemption, overhead):
+    """busy + overhead + idle == span, in both preemption modes, with
+    and without modeled switch overhead; and a work-conserving task set
+    (always-ready aperiodic tasks) never leaves the CPU idle."""
+    sim, os_, tasks = build_and_run_with_overhead(
+        specs, "priority", preemption, overhead
+    )
+    m = os_.metrics
+    span = sim.now
+    total = sum(sum(steps) for _, steps in tasks)
+
+    assert m.busy_time == total
+    assert m.overhead_time == overhead * m.context_switches
+    assert m.busy_time + m.overhead_time + m.idle_time(span) == span
+    # work conserving: every instant is task execution or switch cost
+    assert m.idle_time(span) == 0
+    if span > 0:
+        assert m.utilization(span) == 1.0
+        assert 0.0 <= m.overhead_ratio(span) <= 1.0

@@ -124,3 +124,51 @@ def test_overhead_with_interrupt_preemption():
     assert bench.log == [("high", 300), ("low", 325)]
     assert bench.os.metrics.context_switches == 3
     assert bench.os.metrics.overhead_time == 25 * bench.os.metrics.context_switches
+
+
+def test_overhead_accounted_as_occupied_not_idle():
+    """Regression: idle_time/utilization used to ignore overhead_time,
+    double-counting modeled context-switch cost as idle CPU."""
+    bench, a, b = two_task_run(50)
+    m = bench.os.metrics
+    span = bench.sim.now  # 450: 400 task time + one 50-unit switch
+    assert m.busy_time == 400
+    assert m.overhead_time == 50
+    assert m.idle_time(span) == 0
+    assert m.utilization(span) == 1.0
+    assert m.overhead_ratio(span) == pytest.approx(50 / 450)
+    assert m.busy_time + m.overhead_time + m.idle_time(span) == span
+
+
+def test_idle_time_with_real_gaps_excludes_overhead():
+    from repro.rtos import PERIODIC
+
+    bench = OverheadHarness(50)
+
+    def periodic(task):
+        def _b():
+            for _ in range(2):
+                yield from bench.os.time_wait(100)
+                yield from bench.os.task_endcycle()
+
+        return _b()
+
+    def oneshot(task):
+        def _b():
+            yield from bench.os.time_wait(100)
+
+        return _b()
+
+    bench.task("p", periodic, priority=1, tasktype=PERIODIC, period=500)
+    bench.task("a", oneshot, priority=2)
+    bench.run()
+    m = bench.os.metrics
+    span = bench.sim.now
+    assert m.busy_time == 300
+    assert m.overhead_time == 50 * m.context_switches
+    # the identity holds and the real idle gap is span minus occupied
+    assert m.idle_time(span) == span - m.busy_time - m.overhead_time
+    assert m.idle_time(span) > 0
+    assert m.utilization(span) == pytest.approx(
+        (m.busy_time + m.overhead_time) / span
+    )

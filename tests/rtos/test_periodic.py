@@ -112,3 +112,33 @@ def test_killed_periodic_task_release_timer_is_inert():
     assert victim.state is TaskState.TERMINATED
     assert victim.stats.cycles_completed <= 1
     assert bench.sim.now < 500  # no further releases keep the sim alive
+
+
+def test_terminate_mid_cycle_records_final_response():
+    """Regression: a periodic task terminating mid-cycle used to drop
+    its final response-time sample."""
+    bench = Harness()
+
+    def body(task):
+        def _b():
+            for _ in range(2):
+                yield from bench.os.time_wait(30)
+                yield from bench.os.task_endcycle()
+            yield from bench.os.time_wait(40)
+
+        return _b()
+
+    task = bench.task("p", body, tasktype=PERIODIC, period=100)
+    bench.run()
+    # cycles complete at 30 and 130; the final partial cycle is
+    # released at 200, runs 40 units and terminates at 240
+    assert task.stats.response_times == [30, 30, 40]
+
+
+def test_terminate_at_release_instant_records_no_empty_sample():
+    """A task whose body simply ends after its last endcycle terminates
+    at the release instant having done no work — no extra sample."""
+    bench = Harness()
+    task = make_periodic(bench, "p", period=100, exec_time=30, cycles=2)
+    bench.run()
+    assert task.stats.response_times == [30, 30]

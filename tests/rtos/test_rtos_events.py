@@ -209,3 +209,44 @@ def test_event_notify_from_isr_context_is_allowed():
     bench.run()
     assert bench.log == [("woke", 30)]
     assert bench.os.metrics.interrupts == 1
+
+
+def test_event_del_with_pending_notify_rejected():
+    """Regression: event_del used to silently discard an unconsumed
+    same-instant notification."""
+    bench = Harness()
+    evt = bench.os.event_new()
+
+    def worker(task):
+        def _b():
+            yield from bench.os.event_notify(evt)  # no waiters: pending
+            bench.os.event_del(evt)  # same instant -> notify would be lost
+
+        return _b()
+
+    bench.task("worker", worker)
+    with pytest.raises(Exception) as err:
+        bench.run()
+    assert "pending" in str(err.value)
+    assert not evt.deleted
+
+
+def test_event_del_clears_stale_pending_notification():
+    """A notification from an earlier timestep never persists (events
+    are not semaphores), so deleting then is fine — and must not leave
+    the stale pending mark behind."""
+    bench = Harness()
+    evt = bench.os.event_new()
+
+    def worker(task):
+        def _b():
+            yield from bench.os.event_notify(evt)  # pending at t=0
+            yield from bench.os.time_wait(10)  # move to a later timestep
+            bench.os.event_del(evt)
+
+        return _b()
+
+    bench.task("worker", worker)
+    bench.run()
+    assert evt.deleted
+    assert evt.pending_time is None

@@ -314,3 +314,29 @@ def test_rms_periodic_beats_aperiodic():
     bench.run(until=500)
     segs = bench.sim.trace.segments()
     assert segs[0][0] == "per"
+
+
+def test_policy_switch_resets_slice_state():
+    """Regression: start(sched_alg) migrated ready tasks but left the
+    running task's slice_start from the old policy, so a mid-run switch
+    to round-robin could rotate it immediately instead of granting a
+    full quantum from the switch instant."""
+    bench = Harness(sched="priority")
+    bench.task("a", stepper(bench, 8, 100), priority=5)
+    b = bench.task("b", stepper(bench, 8, 100), priority=5)
+
+    def switch():
+        # a has occupied the CPU since t=0 under fixed priority; under
+        # the new policy its slice must start fresh at t=350
+        bench.os.start(RoundRobin(quantum=300))
+        if False:
+            yield
+
+    bench.isr_at(350, switch)
+    bench.run()
+    b_marks = [entry for entry in bench.log if entry[0] == "b"]
+    # a keeps the CPU until its fresh quantum expires (scheduling point
+    # at 700), so b's first step completes at 800 — not at 500, which a
+    # stale slice_start=0 would produce
+    assert b_marks[0] == ("b", 0, 800)
+    assert b.stats.preemptions + b.stats.dispatches >= 1
