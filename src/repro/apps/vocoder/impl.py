@@ -15,7 +15,6 @@ substitutions.
 """
 
 import time
-from dataclasses import dataclass
 
 import numpy as np
 

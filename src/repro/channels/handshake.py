@@ -8,7 +8,8 @@ through the channel c1").
 """
 
 from repro.kernel.channel import Channel
-from repro.channels.sync import RTOSSync, SpecSync
+from repro.kernel.commands import NOW, TIMEOUT
+from repro.channels.sync import RTOSSync, SpecSync, wait_until
 
 
 class HandshakeBase(Channel):
@@ -23,20 +24,68 @@ class HandshakeBase(Channel):
         self.eack = sync.new_event(f"{self.name}.eack")
         self.transfers = 0
 
-    def send(self, item=None):
-        """Offer ``item`` and block until a receiver took it (generator)."""
-        while self._full:
-            yield from self._sync.wait(self.eack)
+    def send(self, item=None, timeout=None):
+        """Offer ``item`` and block until a receiver took it (generator).
+
+        Evaluates to True once the rendezvous completed. With ``timeout=``
+        one budget covers both blocking phases (waiting for the slot and
+        waiting for the receiver); on expiry the offer is *retracted* —
+        the item is taken back out of the channel so a late receiver does
+        not consume a transfer the sender already reported as failed —
+        and the call evaluates to False.
+        """
+        if timeout is None:
+            while self._full:
+                yield from self._sync.wait(self.eack)
+            self._item = item
+            self._full = True
+            yield from self._sync.signal(self.erdy)
+            while self._full:
+                yield from self._sync.wait(self.eack)
+            return True
+        start = yield NOW
+        free = yield from wait_until(
+            self._sync, self.eack, lambda: not self._full, timeout
+        )
+        if not free:
+            return False
         self._item = item
         self._full = True
+        # while our item occupies the slot no other sender can fill it,
+        # so the next transfer to complete is necessarily ours
+        placed_at = self.transfers
         yield from self._sync.signal(self.erdy)
-        while self._full:
-            yield from self._sync.wait(self.eack)
+        elapsed = (yield NOW) - start
+        yield from wait_until(
+            self._sync, self.eack,
+            lambda: self.transfers > placed_at,
+            max(0, timeout - elapsed),
+        )
+        if self.transfers == placed_at:
+            # nobody took it in time: retract the offer and free the
+            # slot for senders blocked behind us
+            self._item = None
+            self._full = False
+            yield from self._sync.signal(self.eack)
+            return False
+        return True
 
-    def recv(self):
-        """Block for an offered item and consume it (generator)."""
-        while not self._full:
-            yield from self._sync.wait(self.erdy)
+    def recv(self, timeout=None):
+        """Block for an offered item and consume it (generator).
+
+        With ``timeout=`` the wait for an offer expires after that much
+        simulated time and the call evaluates to the kernel's
+        :data:`~repro.kernel.commands.TIMEOUT` sentinel.
+        """
+        if timeout is None:
+            while not self._full:
+                yield from self._sync.wait(self.erdy)
+        else:
+            offered = yield from wait_until(
+                self._sync, self.erdy, lambda: self._full, timeout
+            )
+            if not offered:
+                return TIMEOUT
         item = self._item
         self._item = None
         self._full = False

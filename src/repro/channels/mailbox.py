@@ -7,7 +7,8 @@ where it degenerates to an event notify) plus blocking ``collect``.
 from collections import deque
 
 from repro.kernel.channel import Channel
-from repro.channels.sync import RTOSSync, SpecSync
+from repro.kernel.commands import TIMEOUT
+from repro.channels.sync import RTOSSync, SpecSync, wait_until
 
 
 class MailboxBase(Channel):
@@ -24,10 +25,22 @@ class MailboxBase(Channel):
         self.messages.append(message)
         yield from self._sync.signal(self.erdy)
 
-    def collect(self):
-        """Block until a message is available, then take it (generator)."""
-        while not self.messages:
-            yield from self._sync.wait(self.erdy)
+    def collect(self, timeout=None):
+        """Block until a message is available, then take it (generator).
+
+        With ``timeout=`` an empty mailbox is waited on for at most that
+        much simulated time; on expiry the call evaluates to the kernel's
+        :data:`~repro.kernel.commands.TIMEOUT` sentinel.
+        """
+        if timeout is None:
+            while not self.messages:
+                yield from self._sync.wait(self.erdy)
+        else:
+            ready = yield from wait_until(
+                self._sync, self.erdy, lambda: bool(self.messages), timeout
+            )
+            if not ready:
+                return TIMEOUT
         return self.messages.popleft()
 
     def try_collect(self):

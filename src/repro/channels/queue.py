@@ -8,7 +8,8 @@ the ``erdy``/``eack`` pair of the paper's example.
 from collections import deque
 
 from repro.kernel.channel import Channel
-from repro.channels.sync import RTOSSync, SpecSync
+from repro.kernel.commands import TIMEOUT
+from repro.channels.sync import RTOSSync, SpecSync, wait_until
 
 
 class QueueBase(Channel):
@@ -26,21 +27,45 @@ class QueueBase(Channel):
         self.sent = 0
         self.received = 0
 
-    def send(self, item):
-        """Enqueue ``item``, blocking while the queue is full (generator)."""
-        while len(self.buffer) >= self.capacity:
-            yield from self._sync.wait(self.eack)
+    def send(self, item, timeout=None):
+        """Enqueue ``item``, blocking while the queue is full (generator).
+
+        Evaluates to True. With ``timeout=`` the wait for space expires
+        after that much simulated time and evaluates to False (nothing
+        enqueued).
+        """
+        if timeout is None:
+            while len(self.buffer) >= self.capacity:
+                yield from self._sync.wait(self.eack)
+        else:
+            fits = yield from wait_until(
+                self._sync, self.eack,
+                lambda: len(self.buffer) < self.capacity, timeout,
+            )
+            if not fits:
+                return False
         self.buffer.append(item)
         self.sent += 1
         yield from self._sync.signal(self.erdy)
+        return True
 
-    def recv(self):
+    def recv(self, timeout=None):
         """Dequeue one item, blocking while empty (generator).
 
-        Evaluates to the item: ``item = yield from q.recv()``.
+        Evaluates to the item: ``item = yield from q.recv()``. With
+        ``timeout=`` an empty queue is waited on for at most that much
+        simulated time; on expiry the call evaluates to the kernel's
+        :data:`~repro.kernel.commands.TIMEOUT` sentinel.
         """
-        while not self.buffer:
-            yield from self._sync.wait(self.erdy)
+        if timeout is None:
+            while not self.buffer:
+                yield from self._sync.wait(self.erdy)
+        else:
+            ready = yield from wait_until(
+                self._sync, self.erdy, lambda: bool(self.buffer), timeout
+            )
+            if not ready:
+                return TIMEOUT
         item = self.buffer.popleft()
         self.received += 1
         yield from self._sync.signal(self.eack)

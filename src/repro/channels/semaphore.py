@@ -6,7 +6,7 @@ is safe to ``release`` from ISR context (``event_notify`` supports it).
 """
 
 from repro.kernel.channel import Channel
-from repro.channels.sync import RTOSSync, SpecSync
+from repro.channels.sync import RTOSSync, SpecSync, wait_until
 
 
 class SemaphoreBase(Channel):
@@ -22,12 +22,27 @@ class SemaphoreBase(Channel):
         #: diagnostics: blocked acquires observed
         self.contentions = 0
 
-    def acquire(self):
-        """Take one token, blocking while the count is zero (generator)."""
-        while self.count <= 0:
-            self.contentions += 1
-            yield from self._sync.wait(self.evt)
+    def acquire(self, timeout=None):
+        """Take one token, blocking while the count is zero (generator).
+
+        Evaluates to True. With ``timeout=`` the wait expires after that
+        much simulated time and evaluates to False (no token taken); the
+        budget spans re-waits after lost wakeup races.
+        """
+        if timeout is None:
+            while self.count <= 0:
+                self.contentions += 1
+                yield from self._sync.wait(self.evt)
+        else:
+            if self.count <= 0:
+                self.contentions += 1
+            got = yield from wait_until(
+                self._sync, self.evt, lambda: self.count > 0, timeout
+            )
+            if not got:
+                return False
         self.count -= 1
+        return True
 
     def release(self):
         """Return one token and wake blocked acquirers (generator)."""

@@ -12,11 +12,26 @@ paper's design flow:
 
 The channel logic (buffering, counting, rendezvous) is identical in both
 flavors, so it is written once against the two tiny backends below. Each
-backend exposes generator methods ``wait(evt)`` and ``signal(evt)`` plus
-an event factory, and the channel code delegates with ``yield from``.
+backend exposes generator methods ``wait(evt, timeout=None)`` and
+``signal(evt)`` plus an event factory, and the channel code delegates
+with ``yield from``.
+
+Timed waits resolve to the same values in both flavors — the event that
+fired, or the kernel's :data:`~repro.kernel.commands.TIMEOUT` sentinel —
+because both layers sit on the shared wait core
+(:mod:`repro.kernel.waitcore`): kernel ``Wait(timeout=)`` and RTOS
+``event_wait(timeout=)`` arm the same timer queue, so same-instant
+timeout-vs-notify races resolve identically in spec and refined models.
+
+:func:`wait_until` is the deadline loop the timed channel operations
+build on: channels re-wait after spurious wakeups (another consumer took
+the token), so a fixed per-wait timeout would extend the total budget —
+the helper charges every re-wait against one absolute deadline, reading
+the clock through the sim-agnostic :data:`~repro.kernel.commands.NOW`
+command.
 """
 
-from repro.kernel.commands import Notify, Wait
+from repro.kernel.commands import NOW, Notify, Wait
 from repro.kernel.events import Event
 
 
@@ -28,8 +43,11 @@ class SpecSync:
     def new_event(self, name):
         return Event(name)
 
-    def wait(self, evt):
-        yield Wait(evt)
+    def wait(self, evt, timeout=None):
+        if timeout is None:
+            yield Wait(evt)
+            return evt
+        return (yield Wait(evt, timeout=timeout))
 
     def signal(self, evt):
         yield Notify(evt)
@@ -46,8 +64,34 @@ class RTOSSync:
     def new_event(self, name):
         return self.os.event_new(name)
 
-    def wait(self, evt):
-        yield from self.os.event_wait(evt)
+    def wait(self, evt, timeout=None):
+        if timeout is None:
+            yield from self.os.event_wait(evt)
+            return evt
+        return (yield from self.os.event_wait(evt, timeout=timeout))
 
     def signal(self, evt):
         yield from self.os.event_notify(evt)
+
+
+def wait_until(sync, evt, predicate, timeout):
+    """Wait on ``evt`` until ``predicate()`` holds or the deadline passes.
+
+    Generator; evaluates to the final ``predicate()`` value (so ``False``
+    means the timeout budget ran out first). ``timeout`` is a relative
+    budget in simulated time units; every re-wait after a spurious wakeup
+    consumes the remainder of the same budget. ``timeout=0`` polls.
+    """
+    timeout = int(timeout)
+    if timeout < 0:
+        raise ValueError(f"negative timeout: {timeout}")
+    deadline = None
+    while not predicate():
+        now = yield NOW
+        if deadline is None:
+            deadline = now + timeout
+        remaining = deadline - now
+        if remaining <= 0:
+            return False
+        yield from sync.wait(evt, timeout=remaining)
+    return True

@@ -34,10 +34,12 @@ Example
 """
 
 from repro.kernel.commands import (
+    NOW,
     TIMEOUT,
     Fork,
     Join,
     Notify,
+    Now,
     Par,
     Wait,
     WaitFor,
@@ -64,7 +66,9 @@ __all__ = [
     "Fork",
     "Join",
     "KernelError",
+    "NOW",
     "Notify",
+    "Now",
     "Par",
     "Port",
     "Process",

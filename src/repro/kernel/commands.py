@@ -136,6 +136,27 @@ class Notify(Command):
         return f"Notify({', '.join(repr(e) for e in self.events)})"
 
 
+class Now(Command):
+    """Read the current simulated time; never blocks.
+
+    Evaluates to the integer timestamp: ``t = yield Now()``. Lets
+    sim-agnostic library code (channel timeout loops, instrumentation)
+    observe time without holding a simulator reference; the reusable
+    singleton :data:`NOW` avoids per-query allocation.
+    """
+
+    __slots__ = ()
+
+    tag = "now"
+
+    def __repr__(self):
+        return "Now()"
+
+
+#: Reusable ``Now()`` — query the simulation clock without allocating.
+NOW = Now()
+
+
 class Par(Command):
     """Fork child processes and block until all of them terminate.
 

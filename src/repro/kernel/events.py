@@ -19,6 +19,8 @@ Events are plain synchronization points; they carry no data. Channels
 
 import itertools
 
+from repro.kernel.waitcore import WaitQueue
+
 _event_ids = itertools.count()
 
 
@@ -36,11 +38,11 @@ class Event:
     def __init__(self, name=None):
         self.uid = next(_event_ids)
         self.name = name or f"event{self.uid}"
-        #: processes currently blocked on this event, keyed by process
-        #: uid — insertion-ordered, so wakeup order stays FIFO while
-        #: removal (every wakeup detaches the process from all events of
-        #: its wait-any set) is O(1) instead of a list scan
-        self._waiters = {}
+        #: processes currently blocked on this event — a wait-core
+        #: :class:`WaitQueue`: insertion-ordered (FIFO wakeups) with O(1)
+        #: detach (every wakeup removes the process from all events of
+        #: its wait-any set)
+        self._waiters = WaitQueue()
         #: (time, delta) stamp of the last notification, used for the
         #: pending-within-delta rule; ``None`` when no notification
         #: pends. The stamp is the simulator's shared ``_stamp`` object,
@@ -60,6 +62,14 @@ class Event:
     def _remove_waiter(self, process):
         self._waiters.pop(process.uid, None)
 
+    def _pop_waiters(self):
+        """Detach and return all waiters in FIFO order."""
+        waiters = self._waiters
+        if not waiters:
+            return ()
+        self._waiters = WaitQueue()
+        return waiters.values()
+
     def _notify(self, sim):
         """Wake all waiters (next delta) and mark the event pending.
 
@@ -71,7 +81,7 @@ class Event:
         self._pending_stamp = sim._stamp
         waiters = self._waiters
         if waiters:
-            self._waiters = {}
+            self._waiters = WaitQueue()
             wake = sim._wake_from_event
             for process in waiters.values():
                 wake(process, self)

@@ -16,12 +16,10 @@ Hot-path design (see DESIGN.md "Performance notes"):
   (``command class -> bound _execute_* handler``) instead of an
   ``isinstance`` chain; command classes carry a class-level ``tag`` that
   names their handler.
-* The timer heap stores ``(time, seq, _Timer)`` tuples so heap
-  comparisons run at C speed; ``_Timer`` objects are recycled per
-  process, making the dominant ``WaitFor`` loop allocation-free in
-  steady state.
-* Lazily-cancelled timers are compacted out of the heap once they
-  outnumber the live entries (bounded garbage in long RTOS runs).
+* Blocking mechanics — the timer heap with recycling/compaction, waiter
+  queues and wait-any selection — live in the shared wait core
+  (:mod:`repro.kernel.waitcore`), which the RTOS model reuses; the
+  simulator only contributes the process scheduling glue.
 * ``stats`` counters live in flat attributes aggregated per blocking
   step, not per-command dict updates.
 """
@@ -33,6 +31,7 @@ from repro.kernel.commands import (
     Fork,
     Join,
     Notify,
+    Now,
     Par,
     Wait,
     WaitFor,
@@ -40,6 +39,7 @@ from repro.kernel.commands import (
 from repro.kernel.errors import DeadlockError, KernelError, SimulationError
 from repro.kernel.process import Process, ProcessState
 from repro.kernel.trace import Trace
+from repro.kernel.waitcore import Timer, TimerQueue, select_pending
 
 _READY = ProcessState.READY
 _RUNNING = ProcessState.RUNNING
@@ -47,33 +47,8 @@ _TIMED = ProcessState.TIMED
 _WAITING = ProcessState.WAITING
 _TERMINATED = ProcessState.TERMINATED
 
-#: compact the timer heap only when it holds at least this many entries
-#: (tiny heaps are cheaper to drain lazily than to rebuild)
-_COMPACT_MIN = 64
-
-
-class _Timer:
-    """One timer entry. Cancellation is lazy; the heap holds
-    ``(time, seq, timer)`` tuples so ordering never calls back into
-    Python-level comparison.
-
-    A timer either resumes a process (``process`` is set; ``value`` is
-    sent into its generator) or runs a ``callback``. Fired resume timers
-    are recycled through ``process.timer_cache``.
-    """
-
-    __slots__ = ("time", "process", "value", "callback", "cancelled")
-
-    def __init__(self, time, process=None, value=None, callback=None):
-        self.time = time
-        self.process = process
-        self.value = value
-        self.callback = callback
-        self.cancelled = False
-
-    def cancel(self):
-        """Cancel this timer (lazy: the heap entry is dropped later)."""
-        self.cancelled = True
+#: back-compat alias — the timer type moved into the wait core
+_Timer = Timer
 
 
 class Simulator:
@@ -102,9 +77,7 @@ class Simulator:
         self._delta_limit = delta_limit
         self._run_queue = []  # processes runnable in current delta
         self._next_delta = []  # processes woken for the next delta
-        self._timers = []  # heap of (time, seq, _Timer)
-        self._timer_seq = 0
-        self._heap_dead = 0  # cancelled entries still in the heap
+        self._timers = TimerQueue()  # shared wait-core timed-wait engine
         self._live = set()  # non-terminated processes
         self._current = None  # process currently executing a step
         self._started = False
@@ -118,7 +91,7 @@ class Simulator:
         # subclasses are resolved through their MRO on first use
         self._dispatch = {
             cls: getattr(self, "_execute_" + cls.tag)
-            for cls in (WaitFor, Wait, Notify, Par, Fork, Join)
+            for cls in (WaitFor, Wait, Notify, Now, Par, Fork, Join)
         }
 
     # ------------------------------------------------------------------
@@ -183,14 +156,19 @@ class Simulator:
         time = int(time)
         if time < self.now:
             raise ValueError(f"cannot schedule at {time} < now {self.now}")
-        timer = _Timer(time, callback=callback)
-        self._timer_seq += 1
-        heapq.heappush(self._timers, (time, self._timer_seq, timer))
-        return timer
+        return self._timers.schedule_callback(time, callback)
 
     def schedule_after(self, delay, callback):
         """Run ``callback()`` after ``delay`` time units."""
         return self.schedule_at(self.now + int(delay), callback)
+
+    def cancel_scheduled(self, timer):
+        """Cancel a timer returned by :meth:`schedule_at`/:meth:`schedule_after`.
+
+        Cancellation is lazy (wait-core :class:`TimerQueue` semantics):
+        the entry is marked dead and skipped when its time comes.
+        """
+        self._timers.cancel(timer)
 
     def run(self, until=None, check_deadlock=False):
         """Execute the simulation.
@@ -349,28 +327,19 @@ class Simulator:
                 event._notify(self)
         return False
 
+    def _execute_now(self, process, command):
+        process.send_value = self.now
+        return False
+
     def _execute_wait(self, process, command):
         events = command.events
-        stamp = self._stamp
-        if len(events) == 1:
-            # single-event fast path: no multi-event scan
-            event = events[0]
-            if (
-                event._pending_stamp is stamp
-                and process.consumed_stamps.get(event.uid) is not stamp
-            ):
-                process.consumed_stamps[event.uid] = stamp
-                process.send_value = event
+        if events:
+            fired = select_pending(
+                events, self._stamp, process.consumed_stamps
+            )
+            if fired is not None:
+                process.send_value = fired
                 return False
-        else:
-            for event in events:
-                if (
-                    event._pending_stamp is stamp
-                    and process.consumed_stamps.get(event.uid) is not stamp
-                ):
-                    process.consumed_stamps[event.uid] = stamp
-                    process.send_value = event
-                    return False
         timeout = command.timeout
         if timeout == 0:
             process.send_value = TIMEOUT
@@ -438,23 +407,9 @@ class Simulator:
         self._next_delta.append(process)
 
     def _resume_timer(self, process, time, value):
-        """Schedule a timer that resumes ``process`` with ``value``.
-
-        Recycles the process's last fired ``_Timer`` when available, so a
-        process looping on ``WaitFor`` allocates no timer objects in
-        steady state.
-        """
-        timer = process.timer_cache
-        if timer is not None:
-            process.timer_cache = None
-            timer.time = time
-            timer.value = value
-            timer.cancelled = False
-        else:
-            timer = _Timer(time, process=process, value=value)
-        self._timer_seq += 1
-        heapq.heappush(self._timers, (time, self._timer_seq, timer))
-        return timer
+        """Schedule a timer that resumes ``process`` with ``value``
+        (wait-core timer with per-process recycling)."""
+        return self._timers.schedule_resume(process, time, value)
 
     def _schedule_timer(self, time, action):
         """Back-compat shim for the pre-dispatch-table internal API."""
@@ -464,37 +419,27 @@ class Simulator:
         return self._resume_timer(process, time, value)
 
     def _cancel_timer(self, timer):
-        """Cancel a timer the kernel scheduled; compacts the heap when
-        cancelled entries outnumber live ones (lazy cancellation must
-        not let dead timers accumulate unboundedly in long runs)."""
-        timer.cancelled = True
-        self._heap_dead = dead = self._heap_dead + 1
-        timers = self._timers
-        if dead >= _COMPACT_MIN and dead * 2 > len(timers):
-            alive = [entry for entry in timers if not entry[2].cancelled]
-            heapq.heapify(alive)
-            self._timers = alive
-            self._heap_dead = 0
+        """Cancel a timer the kernel scheduled (lazy, with compaction)."""
+        self._timers.cancel(timer)
+
+    @property
+    def _heap_dead(self):
+        """Cancelled entries still in the timer heap (diagnostics)."""
+        return self._timers.dead
 
     def _next_timer_time(self):
-        timers = self._timers
-        while timers and timers[0][2].cancelled:
-            heapq.heappop(timers)
-            if self._heap_dead:
-                self._heap_dead -= 1
-        if not timers:
-            return None
-        return timers[0][0]
+        return self._timers.next_time()
 
     def _fire_timers(self, time):
-        timers = self._timers
+        timer_queue = self._timers
+        timers = timer_queue.heap
         run_append = self._run_queue.append
         fires = 0
         while timers and (timers[0][2].cancelled or timers[0][0] == time):
             timer = heapq.heappop(timers)[2]
             if timer.cancelled:
-                if self._heap_dead:
-                    self._heap_dead -= 1
+                if timer_queue.dead:
+                    timer_queue.dead -= 1
                 continue
             fires += 1
             process = timer.process

@@ -1,0 +1,224 @@
+"""The wait core — one blocking engine for every layer of the stack.
+
+Historically the repo had three parallel wait implementations: the
+kernel's ``Wait``/``WaitFor`` execution, the RTOS model's
+``event_wait``/``time_wait`` handling, and the channel sync backends.
+This module is the single home of the mechanisms they all share:
+
+* :class:`WaitQueue` — an insertion-ordered registry of blocked waiters
+  (kernel processes on SLDL events, RTOS tasks on RTOS events) with
+  FIFO wake order and O(1) detach;
+* :class:`Timer` / :class:`TimerQueue` — timed waits: a heap of
+  ``(time, seq, Timer)`` tuples with lazy cancellation, bounded-garbage
+  compaction and per-waiter timer recycling (the kernel's ``WaitFor``
+  loop stays allocation-free in steady state);
+* :func:`select_pending` — wait-any selection against delta-stamped
+  pending notifications (the SpecC "event pends for the rest of the
+  current delta" rule).
+
+The kernel (:mod:`repro.kernel.simulator`, :mod:`repro.kernel.events`)
+and the RTOS OS services (:mod:`repro.rtos.eventmgr`) both build their
+blocking on these pieces; the ``TIMEOUT`` sentinel of
+:mod:`repro.kernel.commands` is the one timeout marker used everywhere.
+
+Hot-path note: :meth:`TimerQueue.heap` is deliberately public — the
+simulator's timer-firing loop iterates it in place (popping due
+entries) instead of going through per-entry method calls.
+"""
+
+import heapq
+
+from repro.kernel.commands import TIMEOUT  # noqa: F401  (re-export: the
+# wait core owns the timeout protocol; layers import TIMEOUT from here
+# or from commands interchangeably)
+
+#: compact the timer heap only when it holds at least this many entries
+#: (tiny heaps are cheaper to drain lazily than to rebuild)
+_COMPACT_MIN = 64
+
+
+class Timer:
+    """One timer entry. Cancellation is lazy; the heap holds
+    ``(time, seq, timer)`` tuples so ordering never calls back into
+    Python-level comparison.
+
+    A timer either resumes a process (``process`` is set; ``value`` is
+    sent into its generator) or runs a ``callback``. Fired resume timers
+    are recycled through ``process.timer_cache``.
+    """
+
+    __slots__ = ("time", "process", "value", "callback", "cancelled")
+
+    def __init__(self, time, process=None, value=None, callback=None):
+        self.time = time
+        self.process = process
+        self.value = value
+        self.callback = callback
+        self.cancelled = False
+
+    def cancel(self):
+        """Cancel this timer (lazy: the heap entry is dropped later)."""
+        self.cancelled = True
+
+
+class TimerQueue:
+    """Heap of pending :class:`Timer` entries with lazy cancellation.
+
+    Entries are ``(time, seq, Timer)`` tuples so heap comparisons run at
+    C speed; ``seq`` makes ordering stable (insertion order within one
+    instant) and unique. Cancelled entries stay in the heap until they
+    reach the top or until they outnumber the live ones, at which point
+    the heap is compacted (bounded garbage in long runs).
+    """
+
+    __slots__ = ("heap", "seq", "dead")
+
+    def __init__(self):
+        #: the underlying heap — the simulator's firing loop consumes
+        #: due entries from it directly
+        self.heap = []
+        self.seq = 0
+        #: cancelled entries still sitting in the heap
+        self.dead = 0
+
+    def push(self, time, timer):
+        """Insert ``timer`` keyed at ``time``."""
+        self.seq += 1
+        heapq.heappush(self.heap, (time, self.seq, timer))
+
+    def schedule_callback(self, time, callback):
+        """Schedule ``callback()`` to run at ``time``; returns the Timer."""
+        timer = Timer(time, callback=callback)
+        self.push(time, timer)
+        return timer
+
+    def schedule_resume(self, process, time, value):
+        """Schedule a timer that resumes ``process`` with ``value``.
+
+        Recycles the process's last fired :class:`Timer` when available,
+        so a waiter looping on timed waits allocates no timer objects in
+        steady state.
+        """
+        timer = process.timer_cache
+        if timer is not None:
+            process.timer_cache = None
+            timer.time = time
+            timer.value = value
+            timer.cancelled = False
+        else:
+            timer = Timer(time, process=process, value=value)
+        self.push(time, timer)
+        return timer
+
+    def cancel(self, timer):
+        """Cancel ``timer``; compacts the heap when cancelled entries
+        outnumber live ones (lazy cancellation must not let dead timers
+        accumulate unboundedly in long runs)."""
+        timer.cancelled = True
+        self.dead = dead = self.dead + 1
+        heap = self.heap
+        if dead >= _COMPACT_MIN and dead * 2 > len(heap):
+            alive = [entry for entry in heap if not entry[2].cancelled]
+            heapq.heapify(alive)
+            self.heap = alive
+            self.dead = 0
+
+    def next_time(self):
+        """Earliest pending fire time, or None; drains cancelled tops."""
+        heap = self.heap
+        while heap and heap[0][2].cancelled:
+            heapq.heappop(heap)
+            if self.dead:
+                self.dead -= 1
+        if not heap:
+            return None
+        return heap[0][0]
+
+    def __len__(self):
+        return len(self.heap)
+
+    def __bool__(self):
+        return bool(self.heap)
+
+
+class WaitQueue(dict):
+    """Insertion-ordered registry of blocked waiters.
+
+    A thin dict keyed by the waiter's ``uid`` (kernel processes and RTOS
+    tasks both carry one): insertion order gives FIFO wakeups, uid
+    keying gives O(1) detach — every wake of a wait-any set removes the
+    waiter from all other queues of the set. Supports the list-style
+    accessors (``in``, ``remove``, iteration over waiters) the RTOS
+    event queues historically exposed.
+    """
+
+    __slots__ = ()
+
+    def add(self, waiter):
+        self[waiter.uid] = waiter
+
+    #: list-style alias (RTOS event queues were plain lists before)
+    append = add
+
+    def discard(self, waiter):
+        """Detach ``waiter`` if enrolled (no-op otherwise)."""
+        self.pop(waiter.uid, None)
+
+    #: list-style alias; unlike list.remove, absent waiters are ignored
+    remove = discard
+
+    def pop_all(self):
+        """Detach and return all waiters in FIFO order (``()`` if none)."""
+        if not self:
+            return ()
+        waiters = list(self.values())
+        self.clear()
+        return waiters
+
+    def __contains__(self, waiter):
+        return dict.__contains__(self, getattr(waiter, "uid", waiter))
+
+    def __iter__(self):
+        return iter(list(self.values()))
+
+
+def select_pending(events, stamp, consumed):
+    """Wait-any selection: first event with an unconsumed pending notify.
+
+    ``stamp`` is the simulator's shared ``(time, delta)`` identity object
+    and ``consumed`` the waiter's ``event uid -> stamp`` map; an event
+    satisfies the wait when its notification pends in the current delta
+    and this waiter has not already consumed that notification (each
+    notification satisfies at most one wait per waiter — prevents
+    livelock when a waiter re-waits within the delta). The consumed map
+    is updated for the returned event.
+    """
+    if len(events) == 1:
+        # single-event fast path: no multi-event scan
+        event = events[0]
+        if (
+            event._pending_stamp is stamp
+            and consumed.get(event.uid) is not stamp
+        ):
+            consumed[event.uid] = stamp
+            return event
+        return None
+    for event in events:
+        if (
+            event._pending_stamp is stamp
+            and consumed.get(event.uid) is not stamp
+        ):
+            consumed[event.uid] = stamp
+            return event
+    return None
+
+
+def detach_waiter(waiter, events):
+    """Detach ``waiter`` from every wait queue of ``events``.
+
+    Shared by the kernel's wakeup path and the RTOS event manager: a
+    waiter blocked on a wait-any set must leave all queues of the set
+    atomically when any one source wakes it.
+    """
+    for event in events:
+        event._remove_waiter(waiter)

@@ -14,6 +14,7 @@ or an :class:`~repro.channels.semaphore.RTOSSemaphore` plus the PE's
 from collections import deque
 
 from repro.kernel.channel import Channel
+from repro.kernel.commands import TIMEOUT
 
 
 class BusLink(Channel):
@@ -77,13 +78,21 @@ class InterruptDriver(Channel):
         if self.os is not None:
             self.os.interrupt_return()
 
-    def recv(self):
+    def recv(self, timeout=None):
         """Block until a message arrived, then return it (generator).
 
         Called from behaviors (spec model) or tasks (architecture
         model); the blocking goes through the semaphore, so the refined
-        flavor is fully under RTOS control.
+        flavor is fully under RTOS control. With ``timeout=`` the wait
+        expires after that much simulated time and the call evaluates to
+        the kernel's :data:`~repro.kernel.commands.TIMEOUT` sentinel —
+        the basis for modeling driver-level communication deadlines.
         """
-        yield from self.semaphore.acquire()
+        if timeout is None:
+            yield from self.semaphore.acquire()
+        else:
+            got = yield from self.semaphore.acquire(timeout=timeout)
+            if not got:
+                return TIMEOUT
         self.received += 1
         return self.link.take()

@@ -11,29 +11,39 @@ source text, it interprets the *same* application generators and
 translates every SLDL command they yield into the corresponding RTOS
 call, at run time:
 
-====================  ==========================================
-specification yields  architecture model executes
-====================  ==========================================
-``WaitFor(d)``        ``os.time_wait(d)``
-``Wait(e)``           ``os.event_wait(map(e))``
-``Notify(e, ...)``    ``os.event_notify(map(e))`` for each event
-``Par(c1, c2)``       ``os.par_start()``; children refined into
-                      tasks and forked; ``os.par_end()``
-====================  ==========================================
+=======================  ==========================================
+specification yields     architecture model executes
+=======================  ==========================================
+``WaitFor(d)``           ``os.time_wait(d)``
+``Wait(e)``              ``os.event_wait(map(e))``
+``Wait(e, timeout=t)``   ``os.event_wait(map(e), timeout=t)``
+``Wait(e1, e2, ...)``    ``os.event_wait_any(map(e1), map(e2), ...)``
+``Wait(timeout=t)``      ``os.time_wait(t)`` (pure timed sleep)
+``Notify(e, ...)``       ``os.event_notify(map(e))`` for each event
+``Now()``                passed through (reads the simulation clock)
+``Par(c1, c2)``          ``os.par_start()``; children refined into
+                         tasks and forked; ``os.par_end()``
+``Fork(c)``              child refined into a task, spawned, released
+                         via ``os.task_fork``; evaluates to the Task
+``Join(h)``              ``os.task_join(h)`` on the Task from Fork
+=======================  ==========================================
 
 SLDL events are mapped one-to-one onto RTOS events (``event_new``),
 shared across all tasks and ISRs refined by the same instance — so
 specification channels (which synchronize through events) work
-unchanged inside the refined model.
+unchanged inside the refined model. Multi-event and timed waits resolve
+to the *same* spec-level values as the unscheduled model: the SLDL event
+that fired (reverse-mapped from the RTOS event) or the kernel's
+:data:`~repro.kernel.commands.TIMEOUT` sentinel.
 
-Unsupported constructs (``Fork``/``Join``, wait-any over several
-events, waits with timeouts) raise :class:`RefinementError`: the RTOS
-interface of Figure 4 has no counterpart for them, exactly as in the
-paper — such specs must be restructured or refined manually.
+A ``Join`` on anything but a Fork-produced task handle, blocking waits
+inside ISRs, and unknown commands raise :class:`RefinementError` — such
+specs must be restructured or refined manually.
 """
 
-from repro.kernel.commands import Fork, Join, Notify, Par, Wait, WaitFor
+from repro.kernel.commands import TIMEOUT, Fork, Join, Notify, Now, Par, Wait, WaitFor
 from repro.rtos.errors import RTOSError
+from repro.rtos.task import Task
 
 
 class RefinementError(RTOSError):
@@ -53,6 +63,9 @@ class DynamicSchedulingRefinement:
         self.os = os_model
         self.spec = spec if spec is not None else RefinementSpec()
         self.event_map = {}
+        #: RTOS-event uid → SLDL event, to hand wait-any wake-ups back to
+        #: the specification code in its own vocabulary
+        self.rev_event_map = {}
         self.tasks = []
 
     # ------------------------------------------------------------------
@@ -93,6 +106,7 @@ class DynamicSchedulingRefinement:
         if rtos_event is None:
             rtos_event = self.os.event_new(sldl_event.name)
             self.event_map[sldl_event.uid] = rtos_event
+            self.rev_event_map[rtos_event.uid] = sldl_event
         return rtos_event
 
     # ------------------------------------------------------------------
@@ -131,23 +145,59 @@ class DynamicSchedulingRefinement:
                 yield from self.os.event_notify(self.map_event(event))
             return None
         if isinstance(command, Wait):
-            if len(command.events) != 1 or command.timeout is not None:
-                raise RefinementError(
-                    "the RTOS interface has no wait-any/timeout; "
-                    f"cannot refine {command!r}"
-                )
-            event = command.events[0]
-            yield from self.os.event_wait(self.map_event(event))
-            return event
+            return (yield from self._refine_wait(command))
+        if isinstance(command, Now):
+            return (yield command)
         if isinstance(command, Par):
             yield from self._refine_par(command, task)
             return None
-        if isinstance(command, (Fork, Join)):
-            raise RefinementError(
-                f"{type(command).__name__} has no RTOS-interface "
-                "counterpart; use par or refine manually"
-            )
+        if isinstance(command, Fork):
+            return (yield from self._refine_fork(command, task))
+        if isinstance(command, Join):
+            target = command.process
+            if not isinstance(target, Task):
+                raise RefinementError(
+                    f"Join on {target!r}: in the refined model only task "
+                    "handles produced by a refined Fork can be joined"
+                )
+            yield from self.os.task_join(target)
+            return None
         raise RefinementError(f"cannot refine unknown command {command!r}")
+
+    def _refine_wait(self, command):
+        """Figure 7, full command set: waits in all their SLDL flavors."""
+        events = command.events
+        timeout = command.timeout
+        if not events:
+            # pure timed sleep — the Figure-4 interface models all time
+            # through time_wait, so the sleep becomes a delay step
+            yield from self.os.time_wait(timeout)
+            return TIMEOUT
+        if len(events) == 1:
+            event = events[0]
+            if timeout is None:
+                yield from self.os.event_wait(self.map_event(event))
+                return event
+            woke = yield from self.os.event_wait(self.map_event(event),
+                                                 timeout=timeout)
+            return TIMEOUT if woke is TIMEOUT else event
+        mapped = [self.map_event(e) for e in events]
+        woke = yield from self.os.event_wait_any(mapped, timeout=timeout)
+        if woke is TIMEOUT:
+            return TIMEOUT
+        return self.rev_event_map[woke.uid]
+
+    def _refine_fork(self, command, parent_task):
+        """Explicit fork: the child becomes a dynamically created task."""
+        gen, name = self._as_gen(command.child, command.name)
+        if name is None:
+            name = f"{parent_task.name}.fork{len(self.tasks)}"
+        child_task = self._create_task(name)
+        wrapped = self.os.task_body(child_task,
+                                    self._translate(gen, child_task))
+        yield Fork(wrapped, name)
+        yield from self.os.task_fork(child_task)
+        return child_task
 
     def _refine_par(self, command, parent_task):
         """Figure 6: dynamic fork/join of child tasks."""
@@ -181,6 +231,8 @@ class DynamicSchedulingRefinement:
             elif isinstance(command, WaitFor):
                 yield command
                 send_value = None
+            elif isinstance(command, Now):
+                send_value = yield command
             else:
                 raise RefinementError(
                     f"ISR may not block: cannot refine {command!r} in ISR"

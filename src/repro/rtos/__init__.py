@@ -8,9 +8,19 @@ Public surface:
 * :data:`~repro.rtos.task.PERIODIC` / :data:`~repro.rtos.task.APERIODIC`
   task types, :class:`~repro.rtos.task.Task` handles.
 * :class:`~repro.rtos.errors.TaskKilled` control-flow signal.
+* The composable OS services behind the facade —
+  :class:`~repro.rtos.dispatch.Dispatcher`,
+  :class:`~repro.rtos.taskmgr.TaskManager`,
+  :class:`~repro.rtos.eventmgr.EventManager`,
+  :class:`~repro.rtos.timemgr.TimeManager` — for models that need a
+  custom OS composition.
 """
 
+from repro.rtos.dispatch import Dispatcher
 from repro.rtos.errors import RTOSError, TaskKilled
+from repro.rtos.eventmgr import EventManager
+from repro.rtos.taskmgr import TaskManager
+from repro.rtos.timemgr import TimeManager
 from repro.rtos.events import RTOSEvent
 from repro.rtos.metrics import RTOSMetrics
 from repro.rtos.model import RTOSModel
@@ -41,7 +51,9 @@ from repro.rtos.task import (
 __all__ = [
     "APERIODIC",
     "DEFAULT_PRIORITY",
+    "Dispatcher",
     "EDF",
+    "EventManager",
     "FIFO",
     "FixedPriority",
     "PERIODIC",
@@ -60,7 +72,9 @@ __all__ = [
     "Scheduler",
     "Task",
     "TaskKilled",
+    "TaskManager",
     "TaskState",
     "TaskStats",
+    "TimeManager",
     "make_scheduler",
 ]

@@ -1,0 +1,234 @@
+"""The dispatcher OS service: CPU ownership and scheduling decisions.
+
+One :class:`Dispatcher` serializes the tasks of one PE on top of the
+concurrent SLDL kernel (paper Section 4.3): at any simulated instant at
+most one task is *running*; all others block on their per-task dispatch
+events. Every RTOS call that changes task states funnels through the
+dispatcher, which consults the pluggable scheduler and releases exactly
+one dispatch event.
+
+The dispatcher owns the policy-level state (scheduler instance,
+preemption mode, modeled context-switch overhead) and the CPU-occupancy
+state (running task, last occupant, boot flag). The other OS services —
+:class:`~repro.rtos.taskmgr.TaskManager`,
+:class:`~repro.rtos.eventmgr.EventManager`,
+:class:`~repro.rtos.timemgr.TimeManager` — delegate all blocking and
+rescheduling here, so the "who gets the CPU next" logic exists once.
+"""
+
+from repro.kernel.commands import WaitFor
+from repro.rtos.errors import TaskKilled
+from repro.rtos.sched import make_scheduler
+from repro.rtos.task import TaskState
+
+
+class Dispatcher:
+    """Scheduling core of one PE's RTOS model."""
+
+    __slots__ = (
+        "sim",
+        "trace",
+        "metrics",
+        "name",
+        "scheduler",
+        "preemption",
+        "switch_overhead",
+        "tasks",
+        "running",
+        "last_occupant",
+        "started",
+        "_dispatch_pending",
+    )
+
+    def __init__(self, sim, trace, metrics, name, scheduler, preemption,
+                 switch_overhead):
+        self.sim = sim
+        self.trace = trace
+        self.metrics = metrics
+        self.name = name
+        self.scheduler = scheduler
+        self.preemption = preemption
+        self.switch_overhead = switch_overhead
+        #: wired by the facade: the PE's TaskManager (policy migration
+        #: on a live scheduler switch needs the task list)
+        self.tasks = None
+        self.running = None
+        self.last_occupant = None
+        self.started = False
+        self._dispatch_pending = False
+
+    def reset(self):
+        """Forget all occupancy state (RTOSModel.init)."""
+        self.running = None
+        self.last_occupant = None
+        self.started = False
+        self._dispatch_pending = False
+
+    def start(self, sched_alg=None):
+        """Unlock the scheduler, optionally switching the policy live."""
+        if sched_alg is not None:
+            new_scheduler = make_scheduler(sched_alg)
+            now = self.sim.now
+            # migrate tasks that queued up before the policy switch
+            for task in self.scheduler.ready_tasks:
+                new_scheduler.on_ready(task, now)
+            # the old policy's time-slicing state is meaningless under
+            # the new one: the current occupant starts a fresh slice,
+            # everyone else gets theirs at their next dispatch
+            for task in self.tasks.tasks:
+                if task is self.running:
+                    new_scheduler.on_dispatch(task, now)
+                else:
+                    task.slice_start = None
+            self.scheduler = new_scheduler
+        self.started = True
+        self.dispatch_if_idle()
+
+    # ------------------------------------------------------------------
+    # dispatch decisions
+    # ------------------------------------------------------------------
+
+    def release_to_ready(self, task):
+        """Insert ``task`` into the scheduler's ready queue."""
+        task.state = TaskState.READY
+        self.scheduler.on_ready(task, self.sim.now)
+
+    def dispatch_if_idle(self):
+        """Request a dispatch decision for an idle CPU.
+
+        The decision is deferred to the end of the current simulated
+        instant (all delta activity settled) so that a burst of
+        same-instant activations — e.g. the children forked by a ``par``
+        (Figure 6) — is scheduled by priority, not by the incidental
+        order the activations executed in.
+        """
+        if not self.started or self.running is not None:
+            return
+        if self._dispatch_pending:
+            return
+        self._dispatch_pending = True
+        self.sim.schedule_at(self.sim.now, self._deferred_dispatch)
+
+    def _deferred_dispatch(self):
+        self._dispatch_pending = False
+        if not self.started or self.running is not None:
+            return
+        candidate = self.scheduler.peek(self.sim.now)
+        if candidate is None:
+            return
+        self.scheduler.remove(candidate)
+        self._dispatch(candidate)
+
+    def _dispatch(self, task):
+        task.state = TaskState.RUNNING
+        self.running = task
+        task.stats.dispatches += 1
+        self.metrics.dispatches += 1
+        self.scheduler.on_dispatch(task, self.sim.now)
+        self.trace.record(self.sim.now, "sched", self.name, "dispatch", task=task.name)
+        task.dispatch_evt.fire(self.sim)
+
+    def yield_cpu(self, task, new_state):
+        """The calling/affected task gives up the CPU."""
+        now = self.sim.now
+        if task.run_start is not None:
+            self.trace.segment(task.name, task.run_start, now)
+            task.stats.exec_time += now - task.run_start
+            self.metrics.busy_time += now - task.run_start
+            task.run_start = None
+        if new_state is TaskState.READY:
+            self.release_to_ready(task)
+        else:
+            task.state = new_state
+        if self.running is task:
+            self.running = None
+        self.dispatch_if_idle()
+
+    # ------------------------------------------------------------------
+    # blocking protocol (generators driven by task processes)
+    # ------------------------------------------------------------------
+
+    def wait_until_running(self, task):
+        """Block the calling process until ``task`` owns the CPU.
+
+        Accounts context switches and, when configured, consumes the
+        modeled switch overhead before the task's execution resumes.
+        """
+        while True:
+            while self.running is not task:
+                if task.killed:
+                    raise TaskKilled(task.name)
+                yield task.dispatch_wait
+            if task.killed:
+                raise TaskKilled(task.name)
+            previous = self.last_occupant
+            if previous is not task:
+                if previous is not None:
+                    self.metrics.context_switches += 1
+                    self.trace.record(
+                        self.sim.now, "sched", self.name, "switch",
+                        frm=previous.name, to=task.name,
+                    )
+                self.last_occupant = task
+                if self.switch_overhead and previous is not None:
+                    started = self.sim.now
+                    yield WaitFor(self.switch_overhead)
+                    self.metrics.overhead_time += self.sim.now - started
+                    if self.running is not task:
+                        # preempted during the switch itself (immediate
+                        # mode): queue up again
+                        continue
+            break
+        task.run_start = self.sim.now
+
+    def schedule_point(self, task):
+        """Scheduling point reached by the running task (generator)."""
+        if task.killed:
+            raise TaskKilled(task.name)
+        if self.running is not task:
+            # lost the CPU asynchronously (immediate mode)
+            yield from self.wait_until_running(task)
+            return
+        candidate = self.scheduler.peek(self.sim.now)
+        if candidate is None or not self.scheduler.preempts(candidate, task, self.sim.now):
+            return
+        task.stats.preemptions += 1
+        self.metrics.preemptions += 1
+        self.trace.record(
+            self.sim.now, "sched", self.name, "preempt",
+            task=task.name, by=candidate.name,
+        )
+        self.yield_cpu(task, TaskState.READY)
+        yield from self.wait_until_running(task)
+
+    def resched(self, current):
+        """Rescheduling decision after a state change (generator).
+
+        ``current`` is the task bound to the calling process, or None for
+        ISR/bootstrap contexts.
+        """
+        if current is not None and current is self.running:
+            yield from self.schedule_point(current)
+        else:
+            self.resched_from_outside()
+
+    def resched_from_outside(self):
+        """Scheduling decision from ISR/timer/bootstrap context."""
+        if self.running is None:
+            self.dispatch_if_idle()
+            return
+        running = self.running
+        candidate = self.scheduler.peek(self.sim.now)
+        if candidate is None or not self.scheduler.preempts(candidate, running, self.sim.now):
+            return
+        if self.preemption == "immediate":
+            running.stats.preemptions += 1
+            self.metrics.preemptions += 1
+            self.trace.record(
+                self.sim.now, "sched", self.name, "preempt",
+                task=running.name, by=candidate.name,
+            )
+            self.yield_cpu(running, TaskState.READY)
+            running.preempt_evt.fire(self.sim)
+        # step mode: the running task switches at its next scheduling
+        # point (paper: t4 -> t4', Figure 8(b))

@@ -1,0 +1,224 @@
+"""The event-handling OS service (paper Figure 4, *event handling*).
+
+Owns the RTOS events of one PE and implements ``event_new`` /
+``event_del`` / ``event_wait`` / ``event_notify``, plus the beyond-paper
+extensions of the unified wait core: multi-event waits
+(``event_wait_any``) and timed waits (``timeout=``, resolving to the
+kernel's :data:`~repro.kernel.commands.TIMEOUT` sentinel).
+
+Timed waits are armed as kernel timers, so the same-instant rule of the
+wait core holds across layers: timers fire at the start of a timestep,
+before any process runs — a timeout and a task-context ``event_notify``
+scheduled for the same instant resolve to TIMEOUT, while a
+callback-context notify that was scheduled earlier than the timeout's
+deadline wins (timer-queue insertion order decides).
+"""
+
+from repro.kernel.commands import TIMEOUT
+from repro.rtos.errors import RTOSError
+from repro.rtos.events import RTOSEvent
+from repro.rtos.task import TaskState
+
+
+class EventManager:
+    """Event service of one PE's RTOS model."""
+
+    __slots__ = ("sim", "trace", "name", "dispatcher", "tasks", "events")
+
+    def __init__(self, sim, trace, name, dispatcher, tasks):
+        self.sim = sim
+        self.trace = trace
+        self.name = name
+        self.dispatcher = dispatcher
+        self.tasks = tasks
+        self.events = []
+
+    def reset(self):
+        """Drop all event state (RTOSModel.init)."""
+        self.events = []
+
+    # ------------------------------------------------------------------
+    # allocation
+    # ------------------------------------------------------------------
+
+    def new(self, name=None):
+        """Allocate an RTOS event (paper type ``evt``)."""
+        event = RTOSEvent(name)
+        self.events.append(event)
+        return event
+
+    def delete(self, event):
+        """Deallocate an RTOS event; it must have no waiting tasks and
+        no undelivered same-instant notification."""
+        if event.queue:
+            raise RTOSError(f"event_del on {event.name!r} with waiting tasks")
+        if event.pending_time == self.sim.now:
+            # a notify issued this timestep has not been consumed yet;
+            # deleting the event now would silently lose it
+            raise RTOSError(
+                f"event_del on {event.name!r} with a pending notification"
+            )
+        # a pending_time from an earlier timestep is already stale
+        # (notifications never persist across timesteps) — clear it
+        event.pending_time = None
+        event.deleted = True
+        if event in self.events:
+            self.events.remove(event)
+
+    # ------------------------------------------------------------------
+    # wait / notify
+    # ------------------------------------------------------------------
+
+    def wait(self, event, timeout=None):
+        """Block the calling task until ``event`` is notified (generator).
+
+        Returns the event, or :data:`TIMEOUT` when ``timeout`` simulated
+        time units pass first. ``timeout=0`` polls: it consumes a
+        same-timestep pending notification or returns TIMEOUT at once.
+        """
+        task = yield from self.tasks.enter()
+        if event.deleted:
+            raise RTOSError(f"event_wait on deleted event {event.name!r}")
+        task.worked_since_release = True
+        if event.pending_time == self.sim.now:
+            # same-timestep rendezvous (see repro.rtos.events)
+            event.pending_time = None
+            return event
+        if timeout is None:
+            event.queue.add(task)
+            task.waiting_events = (event,)
+            self.trace.record(self.sim.now, "task", task.name, "wait", event=event.name)
+        else:
+            timeout = int(timeout)
+            if timeout < 0:
+                raise RTOSError(f"negative timeout: {timeout}")
+            if timeout == 0:
+                return TIMEOUT
+            event.queue.add(task)
+            task.waiting_events = (event,)
+            self.trace.record(
+                self.sim.now, "task", task.name, "wait",
+                event=event.name, timeout=timeout,
+            )
+            self._arm_timeout(task, timeout)
+        self.dispatcher.yield_cpu(task, TaskState.WAITING)
+        yield from self.dispatcher.wait_until_running(task)
+        woke = task.wake_value
+        task.wake_value = None
+        return woke
+
+    def wait_any(self, events, timeout=None):
+        """Block until any of ``events`` is notified (generator).
+
+        The RTOS counterpart of the kernel's multi-event ``Wait(e1, e2)``.
+        Returns the event that woke the task (first pending event in
+        argument order when several rendezvous at once), or TIMEOUT.
+        """
+        events = tuple(events)
+        if not events:
+            raise RTOSError("event_wait_any needs at least one event")
+        task = yield from self.tasks.enter()
+        now = self.sim.now
+        for event in events:
+            if event.deleted:
+                raise RTOSError(f"event_wait_any on deleted event {event.name!r}")
+        task.worked_since_release = True
+        for event in events:
+            if event.pending_time == now:
+                event.pending_time = None
+                return event
+        if timeout is not None:
+            timeout = int(timeout)
+            if timeout < 0:
+                raise RTOSError(f"negative timeout: {timeout}")
+            if timeout == 0:
+                return TIMEOUT
+        for event in events:
+            event.queue.add(task)
+        task.waiting_events = events
+        self.trace.record(
+            self.sim.now, "task", task.name, "wait_any",
+            events=[e.name for e in events],
+            **({"timeout": timeout} if timeout is not None else {}),
+        )
+        if timeout is not None:
+            self._arm_timeout(task, timeout)
+        self.dispatcher.yield_cpu(task, TaskState.WAITING)
+        yield from self.dispatcher.wait_until_running(task)
+        woke = task.wake_value
+        task.wake_value = None
+        return woke
+
+    def notify(self, event):
+        """Move all tasks waiting on ``event`` into the ready queue.
+
+        Callable from task context (generator — the caller reaches a
+        scheduling point and may be preempted by a woken task) and from
+        ISR/bootstrap context (no task is bound to the calling process;
+        the running task is preempted per the preemption mode).
+        """
+        if event.deleted:
+            raise RTOSError(f"event_notify on deleted event {event.name!r}")
+        event.notify_count += 1
+        woken = event.queue.pop_all()
+        for task in woken:
+            self._unenroll(task, event)
+            self.dispatcher.release_to_ready(task)
+        if not woken:
+            event.pending_time = self.sim.now
+        self.trace.record(
+            self.sim.now, "task", self.name, "notify",
+            event=event.name, woken=len(woken),
+        )
+        current = self.tasks.current_task()
+        yield from self.dispatcher.resched(current)
+
+    # ------------------------------------------------------------------
+    # enrollment bookkeeping (shared by notify / timeout / kill)
+    # ------------------------------------------------------------------
+
+    def _unenroll(self, task, wake):
+        """Clear a woken task's wait-set enrollment; record what woke it."""
+        events = task.waiting_events
+        if len(events) > 1:
+            for event in events:
+                if event is not wake:
+                    event.queue.discard(task)
+        task.waiting_events = ()
+        timer = task.wait_timer
+        if timer is not None:
+            self.sim.cancel_scheduled(timer)
+            task.wait_timer = None
+        task.wake_value = wake
+
+    def detach(self, task):
+        """Remove ``task`` from every wait queue and disarm its timeout.
+
+        Used by ``task_kill``: the victim must not be woken (or time out)
+        after it was condemned.
+        """
+        for event in task.waiting_events:
+            event.queue.discard(task)
+        task.waiting_events = ()
+        timer = task.wait_timer
+        if timer is not None:
+            self.sim.cancel_scheduled(timer)
+            task.wait_timer = None
+
+    def _arm_timeout(self, task, timeout):
+        task.wait_timer = self.sim.schedule_after(
+            timeout, lambda: self._wait_timeout(task)
+        )
+
+    def _wait_timeout(self, task):
+        """Timer callback: the task's event wait expired."""
+        task.wait_timer = None
+        if task.state is not TaskState.WAITING or not task.waiting_events:
+            return
+        for event in task.waiting_events:
+            event.queue.discard(task)
+        task.waiting_events = ()
+        task.wake_value = TIMEOUT
+        self.trace.record(self.sim.now, "task", task.name, "timeout")
+        self.dispatcher.release_to_ready(task)
+        self.dispatcher.resched_from_outside()

@@ -16,9 +16,17 @@ RTOS world, as the paper requires):
   *pending for the remainder of the current timestep* and is consumed by
   the first ``event_wait`` issued in that same timestep. It never
   persists across timesteps (events are not semaphores).
+
+The waiting-task registry is the shared wait-core
+:class:`~repro.kernel.waitcore.WaitQueue` — the same structure the
+kernel's SLDL events use — so FIFO wake order and O(1) detach (wait-any
+sets enroll a task on several events at once) are implemented exactly
+once across both layers.
 """
 
 import itertools
+
+from repro.kernel.waitcore import WaitQueue
 
 _rtos_event_ids = itertools.count()
 
@@ -31,12 +39,20 @@ class RTOSEvent:
     def __init__(self, name=None):
         self.uid = next(_rtos_event_ids)
         self.name = name or f"evt{self.uid}"
-        #: tasks blocked in event_wait on this event
-        self.queue = []
+        #: tasks blocked in event_wait / event_wait_any on this event
+        self.queue = WaitQueue()
         #: timestep of an unconsumed notification (same-timestep rule)
         self.pending_time = None
         self.notify_count = 0
         self.deleted = False
+
+    # -- wait-core facing API (same shape as kernel events) ----------------
+
+    def _add_waiter(self, task):
+        self.queue.add(task)
+
+    def _remove_waiter(self, task):
+        self.queue.discard(task)
 
     def __repr__(self):
         return f"RTOSEvent({self.name!r}, waiting={len(self.queue)})"

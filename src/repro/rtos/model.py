@@ -1,12 +1,28 @@
 """The RTOS model — the paper's core contribution (Section 4).
 
 :class:`RTOSModel` is a channel layered between the application and the
-SLDL kernel (paper Figure 2(b)). It implements the complete interface of
-Figure 4 and serializes task execution on top of the concurrent SLDL:
-at any simulated instant at most one task of a PE is *running*; all other
-tasks are blocked on per-task SLDL dispatch events. Whenever task states
-change inside an RTOS call, the scheduler is invoked and the selected
-task is dispatched by releasing its dispatch event (Section 4.3).
+SLDL kernel (paper Figure 2(b)). It exposes the complete interface of
+Figure 4 — extended with multi-event waits, timed waits and
+``task_fork``/``task_join`` (the full SLDL command set) — and serializes
+task execution on top of the concurrent SLDL: at any simulated instant
+at most one task of a PE is *running*; all other tasks are blocked on
+per-task SLDL dispatch events. Whenever task states change inside an
+RTOS call, the scheduler is invoked and the selected task is dispatched
+by releasing its dispatch event (Section 4.3).
+
+Internally the model is a facade over four composable OS services, one
+per Figure-4 interface group:
+
+* :class:`~repro.rtos.dispatch.Dispatcher` — CPU ownership, the
+  pluggable scheduler, preemption modes, context-switch accounting;
+* :class:`~repro.rtos.taskmgr.TaskManager` — task management;
+* :class:`~repro.rtos.eventmgr.EventManager` — event handling (on the
+  shared wait core of :mod:`repro.kernel.waitcore`);
+* :class:`~repro.rtos.timemgr.TimeManager` — time modeling.
+
+The facade adds no generator frames: blocking calls return the service's
+generator directly, so the call depth (and simulation speed) matches the
+former monolithic implementation.
 
 Calling convention
 ------------------
@@ -35,25 +51,13 @@ task is re-dispatched. Used by the accuracy ablation benches.
 """
 
 from repro.kernel.channel import Channel
-from repro.kernel.commands import TIMEOUT, Wait, WaitFor
-from repro.rtos.errors import RTOSError, TaskKilled
-from repro.rtos.events import RTOSEvent
+from repro.rtos.dispatch import Dispatcher
+from repro.rtos.eventmgr import EventManager
+from repro.rtos.errors import TaskKilled
 from repro.rtos.metrics import RTOSMetrics
 from repro.rtos.sched import make_scheduler
-from repro.rtos.task import (
-    APERIODIC,
-    DEFAULT_PRIORITY,
-    PERIODIC,
-    Task,
-    TaskState,
-)
-
-_BLOCKED_STATES = (
-    TaskState.WAITING,
-    TaskState.SLEEPING,
-    TaskState.PARENT_WAIT,
-    TaskState.IDLE_PERIOD,
-)
+from repro.rtos.taskmgr import TaskManager
+from repro.rtos.timemgr import TimeManager
 
 
 class RTOSModel(Channel):
@@ -88,23 +92,21 @@ class RTOSModel(Channel):
             raise ValueError(f"unknown preemption mode: {preemption!r}")
         if switch_overhead < 0:
             raise ValueError(f"negative switch overhead: {switch_overhead}")
-        self.switch_overhead = int(switch_overhead)
         self.sim = sim
         self.trace = sim.trace
-        self.scheduler = make_scheduler(sched)
-        self.preemption = preemption
         self.metrics = RTOSMetrics()
-        self.tasks = []
-        self.events = []
-        self._by_process = {}
-        self._running = None
-        self._last_occupant = None
-        self._started = False
-        self._dispatch_pending = False
-        #: reusable WaitFor for time_wait's step mode — the kernel reads
-        #: ``delay`` synchronously at the yield, so one mutable instance
-        #: per model suffices (at most one task executes at a time)
-        self._waitfor = WaitFor(0)
+        self._dispatcher = Dispatcher(
+            sim, self.trace, self.metrics, name,
+            make_scheduler(sched), preemption, int(switch_overhead),
+        )
+        self._tasks = TaskManager(sim, self.trace, self.metrics, name,
+                                  self._dispatcher)
+        self._events = EventManager(sim, self.trace, name, self._dispatcher,
+                                    self._tasks)
+        self._time = TimeManager(sim, self._dispatcher, self._tasks)
+        # cross-service wiring (see the services' docstrings)
+        self._dispatcher.tasks = self._tasks
+        self._tasks.events = self._events
 
     # ------------------------------------------------------------------
     # operating system management
@@ -112,13 +114,9 @@ class RTOSModel(Channel):
 
     def init(self):
         """Initialize (or reset) the kernel data structures."""
-        self.tasks = []
-        self.events = []
-        self._by_process = {}
-        self._running = None
-        self._last_occupant = None
-        self._started = False
-        self._dispatch_pending = False
+        self._tasks.reset()
+        self._events.reset()
+        self._dispatcher.reset()
         self.metrics.reset()
 
     def start(self, sched_alg=None):
@@ -128,23 +126,7 @@ class RTOSModel(Channel):
         dispatched — mirroring an RTOS that boots with the scheduler
         locked.
         """
-        if sched_alg is not None:
-            new_scheduler = make_scheduler(sched_alg)
-            now = self.sim.now
-            # migrate tasks that queued up before the policy switch
-            for task in self.scheduler.ready_tasks:
-                new_scheduler.on_ready(task, now)
-            # the old policy's time-slicing state is meaningless under
-            # the new one: the current occupant starts a fresh slice,
-            # everyone else gets theirs at their next dispatch
-            for task in self.tasks:
-                if task is self._running:
-                    new_scheduler.on_dispatch(task, now)
-                else:
-                    task.slice_start = None
-            self.scheduler = new_scheduler
-        self._started = True
-        self._dispatch_if_idle()
+        self._dispatcher.start(sched_alg)
 
     def interrupt_return(self):
         """Notify the kernel that an interrupt service routine finished.
@@ -156,7 +138,7 @@ class RTOSModel(Channel):
         """
         self.metrics.interrupts += 1
         self.trace.record(self.sim.now, "irq", self.name, "return")
-        self._resched_from_outside()
+        self._dispatcher.resched_from_outside()
 
     # ------------------------------------------------------------------
     # task management
@@ -172,16 +154,8 @@ class RTOSModel(Channel):
         :data:`~repro.rtos.task.DEFAULT_PRIORITY`. ``rel_deadline``
         overrides the implicit deadline (= period) used by EDF.
         """
-        if tasktype not in (PERIODIC, APERIODIC):
-            raise RTOSError(f"unknown task type: {tasktype!r}")
-        if tasktype == PERIODIC and period <= 0:
-            raise RTOSError(f"periodic task {name!r} needs a positive period")
-        if priority is None:
-            priority = DEFAULT_PRIORITY
-        task = Task(name, tasktype, period, wcet, priority, rel_deadline)
-        self.tasks.append(task)
-        self.trace.record(self.sim.now, "task", name, "create")
-        return task
+        return self._tasks.create(name, tasktype, period, wcet, priority,
+                                  rel_deadline)
 
     def task_activate(self, tid):
         """Activate a task (generator).
@@ -195,52 +169,16 @@ class RTOSModel(Channel):
           into the ready queue; the caller continues (it may be preempted
           by the activated task at this scheduling point).
         """
-        current = self._current_task()
-        process = self.sim._current
-        if tid.process is None and current is None:
-            # self-activation: first RTOS contact of this task's process
-            if process is None:
-                raise RTOSError("task_activate outside of a process")
-            tid.process = process
-            self._by_process[process.uid] = tid
-            if tid.state is TaskState.NEW:
-                self._release_task(tid)
-            self._dispatch_if_idle()
-            yield from self._wait_until_running(tid)
-            return
-        if tid.state in (TaskState.SLEEPING, TaskState.NEW):
-            self._release_task(tid)
-            yield from self._resched(current)
-            return
-        if tid.state is TaskState.TERMINATED:
-            raise RTOSError(f"cannot activate terminated task {tid.name!r}")
-        # already ready/running/waiting: activation is a no-op
+        return self._tasks.activate(tid)
 
     def task_terminate(self):
         """Terminate the calling task (generator); does not return the CPU
         to the caller."""
-        task = yield from self._enter()
-        if task.activation_time is not None:
-            if not task.is_periodic:
-                task.stats.response_times.append(
-                    self.sim.now - task.activation_time
-                )
-            elif task.worked_since_release:
-                # final (incomplete) cycle of a periodic task that
-                # terminates mid-cycle: record it against the release,
-                # like task_endcycle does for completed cycles
-                task.stats.response_times.append(
-                    self.sim.now - task.release_time
-                )
-        self.trace.record(self.sim.now, "task", task.name, "terminate")
-        self._yield_cpu(task, TaskState.TERMINATED)
+        return self._tasks.terminate()
 
     def task_sleep(self):
         """Suspend the calling task until someone ``task_activate``-s it."""
-        task = yield from self._enter()
-        self.trace.record(self.sim.now, "task", task.name, "sleep")
-        self._yield_cpu(task, TaskState.SLEEPING)
-        yield from self._wait_until_running(task)
+        return self._tasks.sleep()
 
     def task_endcycle(self):
         """End the current execution cycle of the calling task.
@@ -249,30 +187,7 @@ class RTOSModel(Channel):
         for the next release (``release_time + period``). Aperiodic
         tasks: equivalent to going to sleep until re-activated.
         """
-        task = yield from self._enter()
-        now = self.sim.now
-        task.stats.cycles_completed += 1
-        if task.is_periodic:
-            task.stats.response_times.append(now - task.release_time)
-            deadline = task.abs_deadline
-            if deadline is not None and now > deadline:
-                task.stats.deadline_misses += 1
-                self.metrics.deadline_misses += 1
-                self.trace.record(now, "task", task.name, "deadline_miss")
-            next_release = task.release_time + task.period
-            if next_release <= now:
-                # overrun: the next instance is already due
-                self._set_release(task, next_release)
-                yield from self._schedule_point(task)
-                return
-            self._yield_cpu(task, TaskState.IDLE_PERIOD)
-            self.sim.schedule_at(
-                next_release, lambda: self._periodic_release(task, next_release)
-            )
-            yield from self._wait_until_running(task)
-        else:
-            self._yield_cpu(task, TaskState.SLEEPING)
-            yield from self._wait_until_running(task)
+        return self._tasks.endcycle()
 
     def task_kill(self, tid):
         """Forcibly terminate another task (generator).
@@ -282,22 +197,25 @@ class RTOSModel(Channel):
         with the model's preemption granularity). Killing yourself is
         equivalent to ``task_terminate``.
         """
-        task = yield from self._enter()
-        if tid is task:
-            # self-kill: unwind via TaskKilled so execution stops here
-            # (the task_body wrapper finalizes the bookkeeping)
-            raise TaskKilled(task.name)
-        if tid.state is TaskState.TERMINATED:
-            return
-        tid.killed = True
-        self.scheduler.remove(tid)
-        for event in self.events:
-            if tid in event.queue:
-                event.queue.remove(tid)
-        self.trace.record(self.sim.now, "task", tid.name, "kill")
-        # wake the victim wherever it blocks so it can unwind
-        tid.dispatch_evt.fire(self.sim)
-        tid.preempt_evt.fire(self.sim)
+        return self._tasks.kill(tid)
+
+    def task_fork(self, tid):
+        """Release a created child task from the calling task (generator).
+
+        Beyond-paper extension (full SLDL command set): the dynamic
+        counterpart of an SLDL ``Fork``. The child's SLDL process is
+        spawned by the caller; ``task_fork`` makes the child's TCB ready
+        so the *scheduler* decides when it runs. Returns ``tid`` as the
+        join handle.
+        """
+        return self._tasks.fork(tid)
+
+    def task_join(self, targets):
+        """Block the calling task until the target task(s) terminate
+        (generator). Beyond-paper counterpart of an SLDL ``Join``;
+        accepts one task handle or an iterable of handles.
+        """
+        return self._tasks.join(targets)
 
     def par_start(self):
         """Suspend the calling (parent) task before forking children.
@@ -306,25 +224,11 @@ class RTOSModel(Channel):
         time) and each child gates itself via ``task_activate``. Returns
         the parent's task handle (paper: ``proc par_start(void)``).
         """
-        task = yield from self._enter()
-        self.trace.record(self.sim.now, "task", task.name, "par_start")
-        self._yield_cpu(task, TaskState.PARENT_WAIT)
-        return task
+        return self._tasks.par_start()
 
     def par_end(self, parent=None):
         """Resume the calling parent task after its ``par`` joined."""
-        task = self._current_task()
-        if task is None:
-            raise RTOSError("par_end outside of a task")
-        if parent is not None and parent is not task:
-            raise RTOSError("par_end called with a foreign task handle")
-        if task.killed:
-            raise TaskKilled(task.name)
-        self.trace.record(self.sim.now, "task", task.name, "par_end")
-        task.state = TaskState.READY
-        self.scheduler.on_ready(task, self.sim.now)
-        self._resched_from_outside()
-        yield from self._wait_until_running(task)
+        return self._tasks.par_end(parent)
 
     # ------------------------------------------------------------------
     # event handling
@@ -332,42 +236,31 @@ class RTOSModel(Channel):
 
     def event_new(self, name=None):
         """Allocate an RTOS event (paper type ``evt``)."""
-        event = RTOSEvent(name)
-        self.events.append(event)
-        return event
+        return self._events.new(name)
 
     def event_del(self, event):
         """Deallocate an RTOS event; it must have no waiting tasks and
         no undelivered same-instant notification."""
-        if event.queue:
-            raise RTOSError(f"event_del on {event.name!r} with waiting tasks")
-        if event.pending_time == self.sim.now:
-            # a notify issued this timestep has not been consumed yet;
-            # deleting the event now would silently lose it
-            raise RTOSError(
-                f"event_del on {event.name!r} with a pending notification"
-            )
-        # a pending_time from an earlier timestep is already stale
-        # (notifications never persist across timesteps) — clear it
-        event.pending_time = None
-        event.deleted = True
-        if event in self.events:
-            self.events.remove(event)
+        self._events.delete(event)
 
-    def event_wait(self, event):
-        """Block the calling task until ``event`` is notified (generator)."""
-        task = yield from self._enter()
-        if event.deleted:
-            raise RTOSError(f"event_wait on deleted event {event.name!r}")
-        task.worked_since_release = True
-        if event.pending_time == self.sim.now:
-            # same-timestep rendezvous (see repro.rtos.events)
-            event.pending_time = None
-            return
-        event.queue.append(task)
-        self.trace.record(self.sim.now, "task", task.name, "wait", event=event.name)
-        self._yield_cpu(task, TaskState.WAITING)
-        yield from self._wait_until_running(task)
+    def event_wait(self, event, timeout=None):
+        """Block the calling task until ``event`` is notified (generator).
+
+        Returns the event. With ``timeout=`` (beyond-paper extension) the
+        wait additionally expires after that much simulated time and
+        returns the kernel's :data:`~repro.kernel.commands.TIMEOUT`
+        sentinel; ``timeout=0`` polls.
+        """
+        return self._events.wait(event, timeout)
+
+    def event_wait_any(self, events, timeout=None):
+        """Block until any event of ``events`` is notified (generator).
+
+        Beyond-paper extension mirroring the kernel's multi-event
+        ``Wait(e1, e2, ...)``. Returns the event that woke the task, or
+        :data:`~repro.kernel.commands.TIMEOUT`.
+        """
+        return self._events.wait_any(events, timeout)
 
     def event_notify(self, event):
         """Move all tasks waiting on ``event`` into the ready queue.
@@ -377,21 +270,7 @@ class RTOSModel(Channel):
         ISR/bootstrap context (no task is bound to the calling process;
         the running task is preempted per the preemption mode).
         """
-        if event.deleted:
-            raise RTOSError(f"event_notify on deleted event {event.name!r}")
-        event.notify_count += 1
-        woken = event.queue
-        event.queue = []
-        for task in woken:
-            self._release_to_ready(task)
-        if not woken:
-            event.pending_time = self.sim.now
-        self.trace.record(
-            self.sim.now, "task", self.name, "notify",
-            event=event.name, woken=len(woken),
-        )
-        current = self._current_task()
-        yield from self._resched(current)
+        return self._events.notify(event)
 
     # ------------------------------------------------------------------
     # time modeling
@@ -407,52 +286,7 @@ class RTOSModel(Channel):
         in ``immediate`` mode the delay can be interrupted by a
         preemption and its remainder is consumed after re-dispatch.
         """
-        nsec = int(nsec)
-        if nsec < 0:
-            raise RTOSError(f"negative delay: {nsec}")
-        # inlined _enter: time_wait is the hottest RTOS call, and in the
-        # common case (caller owns the CPU, not killed) the entry
-        # protocol never yields — skip the nested-generator round trip
-        task = self._current_task()
-        if task is None:
-            raise RTOSError("RTOS call from a process that is not a task")
-        if task.killed:
-            raise TaskKilled(task.name)
-        if self._running is not task:
-            yield from self._wait_until_running(task)
-        if nsec == 0:
-            yield from self._schedule_point(task)
-            return
-        task.worked_since_release = True
-        if self.preemption == "step":
-            self._waitfor.delay = nsec
-            yield self._waitfor
-            # inlined _schedule_point fast path: when no ready task
-            # preempts the caller, the scheduling point is a pure check
-            # and must not cost a generator; fall back for the rare
-            # preemption/kill/lost-CPU cases
-            if not task.killed and self._running is task:
-                candidate = self.scheduler.peek(self.sim.now)
-                if candidate is None or not self.scheduler.preempts(
-                    candidate, task, self.sim.now
-                ):
-                    return
-            yield from self._schedule_point(task)
-            return
-        remaining = nsec
-        while remaining > 0:
-            started = self.sim.now
-            task.preempt_wait.timeout = remaining
-            fired = yield task.preempt_wait
-            remaining -= self.sim.now - started
-            if task.killed:
-                raise TaskKilled(task.name)
-            if fired is TIMEOUT:
-                break
-            # preempted mid-delay: CPU was already handed over by the
-            # preemptor; queue up for re-dispatch, then resume the rest
-            yield from self._wait_until_running(task)
-        yield from self._schedule_point(task)
+        return self._time.time_wait(nsec)
 
     # ------------------------------------------------------------------
     # helpers for task wrappers
@@ -469,233 +303,70 @@ class RTOSModel(Channel):
 
         def _runner():
             try:
-                yield from self.task_activate(task)
+                yield from self._tasks.activate(task)
                 yield from body
-                yield from self.task_terminate()
+                yield from self._tasks.terminate()
             except TaskKilled:
-                self._finalize_killed(task)
+                self._tasks.finalize_killed(task)
 
         return _runner()
 
     @property
     def running_task(self):
         """The task currently occupying the CPU (None when idle)."""
-        return self._running
+        return self._dispatcher.running
 
     def self_task(self):
         """Task bound to the calling process (None in ISR context)."""
-        return self._current_task()
+        return self._tasks.current_task()
 
     # ------------------------------------------------------------------
-    # internals
+    # state exposed for tests, benches and refinement tooling
     # ------------------------------------------------------------------
 
-    def _current_task(self):
-        process = self.sim._current
-        if process is None:
-            return None
-        return self._by_process.get(process.uid)
+    @property
+    def tasks(self):
+        """All task control blocks created on this model."""
+        return self._tasks.tasks
 
-    def _enter(self):
-        """Entry protocol of blocking RTOS calls (generator).
+    @property
+    def events(self):
+        """All live RTOS events allocated on this model."""
+        return self._events.events
 
-        Ensures the caller is a bound task and owns the CPU; a task that
-        was asynchronously preempted (immediate mode) between calls first
-        waits to be re-dispatched.
-        """
-        task = self._current_task()
-        if task is None:
-            raise RTOSError("RTOS call from a process that is not a task")
-        if task.killed:
-            raise TaskKilled(task.name)
-        if self._running is not task:
-            yield from self._wait_until_running(task)
-        return task
+    @property
+    def scheduler(self):
+        """The active scheduling policy (settable while stopped)."""
+        return self._dispatcher.scheduler
 
-    def _release_task(self, task):
-        """First (or re-) activation bookkeeping + ready insertion."""
-        now = self.sim.now
-        if task.activation_time is None:
-            task.activation_time = now
-            task.stats.activations += 1
-            self._set_release(task, now)
-        else:
-            task.stats.activations += 1
-        task.killed = False
-        self._release_to_ready(task)
-        self.trace.record(now, "task", task.name, "activate")
+    @scheduler.setter
+    def scheduler(self, scheduler):
+        self._dispatcher.scheduler = scheduler
 
-    def _set_release(self, task, release_time):
-        task.release_time = release_time
-        task.worked_since_release = False
-        if task.is_periodic:
-            deadline = task.rel_deadline if task.rel_deadline is not None else task.period
-            task.abs_deadline = release_time + deadline
-        elif task.rel_deadline is not None:
-            task.abs_deadline = release_time + task.rel_deadline
+    @property
+    def preemption(self):
+        """Preemption mode, ``"step"`` or ``"immediate"``."""
+        return self._dispatcher.preemption
 
-    def _release_to_ready(self, task):
-        task.state = TaskState.READY
-        self.scheduler.on_ready(task, self.sim.now)
+    @preemption.setter
+    def preemption(self, mode):
+        if mode not in ("step", "immediate"):
+            raise ValueError(f"unknown preemption mode: {mode!r}")
+        self._dispatcher.preemption = mode
 
-    def _periodic_release(self, task, release_time):
-        """Timer callback releasing the next instance of a periodic task."""
-        if task.killed or task.state is not TaskState.IDLE_PERIOD:
-            return
-        self._set_release(task, release_time)
-        self._release_to_ready(task)
-        self.trace.record(self.sim.now, "task", task.name, "release")
-        self._resched_from_outside()
+    @property
+    def switch_overhead(self):
+        """Modeled context-switch cost (simulated time units)."""
+        return self._dispatcher.switch_overhead
 
-    def _dispatch_if_idle(self):
-        """Request a dispatch decision for an idle CPU.
-
-        The decision is deferred to the end of the current simulated
-        instant (all delta activity settled) so that a burst of
-        same-instant activations — e.g. the children forked by a ``par``
-        (Figure 6) — is scheduled by priority, not by the incidental
-        order the activations executed in.
-        """
-        if not self._started or self._running is not None:
-            return
-        if self._dispatch_pending:
-            return
-        self._dispatch_pending = True
-        self.sim.schedule_at(self.sim.now, self._deferred_dispatch)
-
-    def _deferred_dispatch(self):
-        self._dispatch_pending = False
-        if not self._started or self._running is not None:
-            return
-        candidate = self.scheduler.peek(self.sim.now)
-        if candidate is None:
-            return
-        self.scheduler.remove(candidate)
-        self._dispatch(candidate)
-
-    def _dispatch(self, task):
-        task.state = TaskState.RUNNING
-        self._running = task
-        task.stats.dispatches += 1
-        self.metrics.dispatches += 1
-        self.scheduler.on_dispatch(task, self.sim.now)
-        self.trace.record(self.sim.now, "sched", self.name, "dispatch", task=task.name)
-        task.dispatch_evt.fire(self.sim)
-
-    def _yield_cpu(self, task, new_state):
-        """The calling/affected task gives up the CPU."""
-        now = self.sim.now
-        if task.run_start is not None:
-            self.trace.segment(task.name, task.run_start, now)
-            task.stats.exec_time += now - task.run_start
-            self.metrics.busy_time += now - task.run_start
-            task.run_start = None
-        if new_state is TaskState.READY:
-            self._release_to_ready(task)
-        else:
-            task.state = new_state
-        if self._running is task:
-            self._running = None
-        self._dispatch_if_idle()
-
-    def _wait_until_running(self, task):
-        """Block the calling process until ``task`` owns the CPU.
-
-        Accounts context switches and, when configured, consumes the
-        modeled switch overhead before the task's execution resumes.
-        """
-        while True:
-            while self._running is not task:
-                if task.killed:
-                    raise TaskKilled(task.name)
-                yield task.dispatch_wait
-            if task.killed:
-                raise TaskKilled(task.name)
-            previous = self._last_occupant
-            if previous is not task:
-                if previous is not None:
-                    self.metrics.context_switches += 1
-                    self.trace.record(
-                        self.sim.now, "sched", self.name, "switch",
-                        frm=previous.name, to=task.name,
-                    )
-                self._last_occupant = task
-                if self.switch_overhead and previous is not None:
-                    started = self.sim.now
-                    yield WaitFor(self.switch_overhead)
-                    self.metrics.overhead_time += self.sim.now - started
-                    if self._running is not task:
-                        # preempted during the switch itself (immediate
-                        # mode): queue up again
-                        continue
-            break
-        task.run_start = self.sim.now
-
-    def _schedule_point(self, task):
-        """Scheduling point reached by the running task (generator)."""
-        if task.killed:
-            raise TaskKilled(task.name)
-        if self._running is not task:
-            # lost the CPU asynchronously (immediate mode)
-            yield from self._wait_until_running(task)
-            return
-        candidate = self.scheduler.peek(self.sim.now)
-        if candidate is None or not self.scheduler.preempts(candidate, task, self.sim.now):
-            return
-        task.stats.preemptions += 1
-        self.metrics.preemptions += 1
-        self.trace.record(
-            self.sim.now, "sched", self.name, "preempt",
-            task=task.name, by=candidate.name,
-        )
-        self._yield_cpu(task, TaskState.READY)
-        yield from self._wait_until_running(task)
-
-    def _resched(self, current):
-        """Rescheduling decision after a state change (generator).
-
-        ``current`` is the task bound to the calling process, or None for
-        ISR/bootstrap contexts.
-        """
-        if current is not None and current is self._running:
-            yield from self._schedule_point(current)
-        else:
-            self._resched_from_outside()
-
-    def _resched_from_outside(self):
-        """Scheduling decision from ISR/timer/bootstrap context."""
-        if self._running is None:
-            self._dispatch_if_idle()
-            return
-        running = self._running
-        candidate = self.scheduler.peek(self.sim.now)
-        if candidate is None or not self.scheduler.preempts(candidate, running, self.sim.now):
-            return
-        if self.preemption == "immediate":
-            running.stats.preemptions += 1
-            self.metrics.preemptions += 1
-            self.trace.record(
-                self.sim.now, "sched", self.name, "preempt",
-                task=running.name, by=candidate.name,
-            )
-            self._yield_cpu(running, TaskState.READY)
-            running.preempt_evt.fire(self.sim)
-        # step mode: the running task switches at its next scheduling
-        # point (paper: t4 -> t4', Figure 8(b))
-
-    def _finalize_killed(self, task):
-        """Clean up a task whose process unwound via TaskKilled."""
-        if task.run_start is not None:
-            self._yield_cpu(task, TaskState.TERMINATED)
-        else:
-            task.state = TaskState.TERMINATED
-            if self._running is task:
-                self._running = None
-                self._dispatch_if_idle()
-        self.trace.record(self.sim.now, "task", task.name, "killed")
+    @switch_overhead.setter
+    def switch_overhead(self, overhead):
+        if overhead < 0:
+            raise ValueError(f"negative switch overhead: {overhead}")
+        self._dispatcher.switch_overhead = int(overhead)
 
     # -- diagnostics ---------------------------------------------------
 
     def snapshot(self):
         """State of all tasks, for tests and debugging."""
-        return {t.name: t.state.value for t in self.tasks}
+        return {t.name: t.state.value for t in self._tasks.tasks}

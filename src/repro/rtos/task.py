@@ -82,6 +82,13 @@ class Task:
         "worked_since_release",
         "killed",
         "stats",
+        "waiting_events",
+        "wait_timer",
+        "wake_value",
+        "joiners",
+        "join_target",
+        "base_priority",
+        "pi_locks",
     )
 
     def __init__(self, name, tasktype, period, wcet, priority, rel_deadline=None):
@@ -125,6 +132,22 @@ class Task:
         self.worked_since_release = False
         self.killed = False
         self.stats = TaskStats()
+        #: RTOS events this task is currently enrolled on (wait-any set)
+        self.waiting_events = ()
+        #: armed timeout timer of the current event wait, if any
+        self.wait_timer = None
+        #: what woke the last event wait: the fired RTOSEvent or TIMEOUT
+        self.wake_value = None
+        #: tasks blocked in task_join on this task's termination
+        self.joiners = []
+        #: the task this task is blocked joining on, if any
+        self.join_target = None
+        #: pre-inheritance priority while boosted by a PI mutex (None
+        #: when the task holds no priority-inheritance locks)
+        self.base_priority = None
+        #: priority-inheritance mutexes currently held; unlock recomputes
+        #: the inherited priority over the waiters of the remaining ones
+        self.pi_locks = []
 
     # -- scheduler helpers --------------------------------------------------
 

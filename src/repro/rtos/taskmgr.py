@@ -1,0 +1,319 @@
+"""The task-management OS service (paper Figure 4, *task management*).
+
+Owns the task control blocks of one PE and implements every Figure-4
+call that creates, activates, suspends or terminates tasks, plus the
+beyond-paper ``task_fork`` / ``task_join`` pair used by the refinement of
+SLDL ``Fork``/``Join`` commands. All CPU handover goes through the
+:class:`~repro.rtos.dispatch.Dispatcher`; event enrollments of killed
+tasks are cleaned up through the
+:class:`~repro.rtos.eventmgr.EventManager`.
+"""
+
+from repro.rtos.errors import RTOSError, TaskKilled
+from repro.rtos.task import (
+    APERIODIC,
+    DEFAULT_PRIORITY,
+    PERIODIC,
+    Task,
+    TaskState,
+)
+
+
+class TaskManager:
+    """Task lifecycle service of one PE's RTOS model."""
+
+    __slots__ = ("sim", "trace", "metrics", "name", "dispatcher", "events",
+                 "tasks", "by_process")
+
+    def __init__(self, sim, trace, metrics, name, dispatcher):
+        self.sim = sim
+        self.trace = trace
+        self.metrics = metrics
+        self.name = name
+        self.dispatcher = dispatcher
+        #: wired by the facade: the PE's EventManager (kill-time detach)
+        self.events = None
+        self.tasks = []
+        self.by_process = {}
+
+    def reset(self):
+        """Drop all task state (RTOSModel.init)."""
+        self.tasks = []
+        self.by_process = {}
+
+    # ------------------------------------------------------------------
+    # Figure-4 calls
+    # ------------------------------------------------------------------
+
+    def create(self, name, tasktype, period, wcet, priority=None, rel_deadline=None):
+        """Allocate a task control block; returns the task handle."""
+        if tasktype not in (PERIODIC, APERIODIC):
+            raise RTOSError(f"unknown task type: {tasktype!r}")
+        if tasktype == PERIODIC and period <= 0:
+            raise RTOSError(f"periodic task {name!r} needs a positive period")
+        if priority is None:
+            priority = DEFAULT_PRIORITY
+        task = Task(name, tasktype, period, wcet, priority, rel_deadline)
+        self.tasks.append(task)
+        self.trace.record(self.sim.now, "task", name, "create")
+        return task
+
+    def activate(self, tid):
+        """Activate a task (generator): self-activation binds and blocks
+        until dispatched; activating another readies it."""
+        current = self.current_task()
+        process = self.sim._current
+        if tid.process is None and current is None:
+            # self-activation: first RTOS contact of this task's process
+            if process is None:
+                raise RTOSError("task_activate outside of a process")
+            tid.process = process
+            self.by_process[process.uid] = tid
+            if tid.state is TaskState.NEW:
+                self._release_task(tid)
+            self.dispatcher.dispatch_if_idle()
+            yield from self.dispatcher.wait_until_running(tid)
+            return
+        if tid.state in (TaskState.SLEEPING, TaskState.NEW):
+            self._release_task(tid)
+            yield from self.dispatcher.resched(current)
+            return
+        if tid.state is TaskState.TERMINATED:
+            raise RTOSError(f"cannot activate terminated task {tid.name!r}")
+        # already ready/running/waiting: activation is a no-op
+
+    def terminate(self):
+        """Terminate the calling task (generator); does not return the CPU
+        to the caller."""
+        task = yield from self.enter()
+        if task.activation_time is not None:
+            if not task.is_periodic:
+                task.stats.response_times.append(
+                    self.sim.now - task.activation_time
+                )
+            elif task.worked_since_release:
+                # final (incomplete) cycle of a periodic task that
+                # terminates mid-cycle: record it against the release,
+                # like task_endcycle does for completed cycles
+                task.stats.response_times.append(
+                    self.sim.now - task.release_time
+                )
+        self.trace.record(self.sim.now, "task", task.name, "terminate")
+        self._wake_joiners(task)
+        self.dispatcher.yield_cpu(task, TaskState.TERMINATED)
+
+    def sleep(self):
+        """Suspend the calling task until someone ``task_activate``-s it."""
+        task = yield from self.enter()
+        self.trace.record(self.sim.now, "task", task.name, "sleep")
+        self.dispatcher.yield_cpu(task, TaskState.SLEEPING)
+        yield from self.dispatcher.wait_until_running(task)
+
+    def endcycle(self):
+        """End the current execution cycle of the calling task."""
+        task = yield from self.enter()
+        now = self.sim.now
+        task.stats.cycles_completed += 1
+        if task.is_periodic:
+            task.stats.response_times.append(now - task.release_time)
+            deadline = task.abs_deadline
+            if deadline is not None and now > deadline:
+                task.stats.deadline_misses += 1
+                self.metrics.deadline_misses += 1
+                self.trace.record(now, "task", task.name, "deadline_miss")
+            next_release = task.release_time + task.period
+            if next_release <= now:
+                # overrun: the next instance is already due
+                self._set_release(task, next_release)
+                yield from self.dispatcher.schedule_point(task)
+                return
+            self.dispatcher.yield_cpu(task, TaskState.IDLE_PERIOD)
+            self.sim.schedule_at(
+                next_release, lambda: self._periodic_release(task, next_release)
+            )
+            yield from self.dispatcher.wait_until_running(task)
+        else:
+            self.dispatcher.yield_cpu(task, TaskState.SLEEPING)
+            yield from self.dispatcher.wait_until_running(task)
+
+    def kill(self, tid):
+        """Forcibly terminate another task (generator)."""
+        task = yield from self.enter()
+        if tid is task:
+            # self-kill: unwind via TaskKilled so execution stops here
+            # (the task_body wrapper finalizes the bookkeeping)
+            raise TaskKilled(task.name)
+        if tid.state is TaskState.TERMINATED:
+            return
+        tid.killed = True
+        self.dispatcher.scheduler.remove(tid)
+        self.events.detach(tid)
+        if tid.join_target is not None:
+            # the victim was blocked joining someone: unhook it so the
+            # target's termination does not touch a dead TCB
+            try:
+                tid.join_target.joiners.remove(tid)
+            except ValueError:
+                pass
+            tid.join_target = None
+        self.trace.record(self.sim.now, "task", tid.name, "kill")
+        # wake the victim wherever it blocks so it can unwind
+        tid.dispatch_evt.fire(self.sim)
+        tid.preempt_evt.fire(self.sim)
+
+    def par_start(self):
+        """Suspend the calling (parent) task before forking children."""
+        task = yield from self.enter()
+        self.trace.record(self.sim.now, "task", task.name, "par_start")
+        self.dispatcher.yield_cpu(task, TaskState.PARENT_WAIT)
+        return task
+
+    def par_end(self, parent=None):
+        """Resume the calling parent task after its ``par`` joined."""
+        task = self.current_task()
+        if task is None:
+            raise RTOSError("par_end outside of a task")
+        if parent is not None and parent is not task:
+            raise RTOSError("par_end called with a foreign task handle")
+        if task.killed:
+            raise TaskKilled(task.name)
+        self.trace.record(self.sim.now, "task", task.name, "par_end")
+        task.state = TaskState.READY
+        self.dispatcher.scheduler.on_ready(task, self.sim.now)
+        self.dispatcher.resched_from_outside()
+        yield from self.dispatcher.wait_until_running(task)
+
+    # ------------------------------------------------------------------
+    # fork / join (beyond-paper: full SLDL command set, Figure-4 style)
+    # ------------------------------------------------------------------
+
+    def fork(self, tid):
+        """Release a child task from the calling task (generator).
+
+        The dynamic counterpart of an SLDL ``Fork``: the child's process
+        is spawned by the caller at the SLDL level; ``fork`` makes the
+        child's TCB ready *now* so the scheduler — not spawn order —
+        decides who runs. The caller keeps the CPU until this scheduling
+        point decides otherwise. Returns ``tid`` as the join handle.
+        """
+        task = yield from self.enter()
+        if tid.state is TaskState.TERMINATED:
+            raise RTOSError(f"cannot fork terminated task {tid.name!r}")
+        if tid.state is TaskState.NEW:
+            self._release_task(tid)
+        self.trace.record(self.sim.now, "task", task.name, "fork", child=tid.name)
+        yield from self.dispatcher.resched(task)
+        return tid
+
+    def join(self, targets):
+        """Block the calling task until the target task(s) terminated.
+
+        The dynamic counterpart of an SLDL ``Join``. Accepts one task or
+        an iterable of tasks; returns once all of them reached
+        ``TERMINATED`` (tasks killed while joined-on count as terminated).
+        """
+        task = yield from self.enter()
+        if isinstance(targets, Task):
+            targets = (targets,)
+        for target in targets:
+            if target is task:
+                raise RTOSError(f"task {task.name!r} cannot join itself")
+            while target.state is not TaskState.TERMINATED:
+                task.worked_since_release = True
+                target.joiners.append(task)
+                task.join_target = target
+                self.trace.record(
+                    self.sim.now, "task", task.name, "join", on=target.name
+                )
+                self.dispatcher.yield_cpu(task, TaskState.WAITING)
+                yield from self.dispatcher.wait_until_running(task)
+                task.join_target = None
+
+    def _wake_joiners(self, task):
+        """Ready every task blocked in ``join`` on ``task``'s termination.
+
+        Called with the terminating task still holding the CPU, so the
+        joiners land in the ready queue before the dispatch decision in
+        ``yield_cpu`` picks a successor.
+        """
+        if not task.joiners:
+            return
+        for joiner in task.joiners:
+            if joiner.state is TaskState.WAITING and joiner.join_target is task:
+                joiner.join_target = None
+                self.dispatcher.release_to_ready(joiner)
+        task.joiners = []
+
+    # ------------------------------------------------------------------
+    # wrappers / shared entry protocol
+    # ------------------------------------------------------------------
+
+    def current_task(self):
+        """Task bound to the calling process (None in ISR context)."""
+        process = self.sim._current
+        if process is None:
+            return None
+        return self.by_process.get(process.uid)
+
+    def enter(self):
+        """Entry protocol of blocking RTOS calls (generator).
+
+        Ensures the caller is a bound task and owns the CPU; a task that
+        was asynchronously preempted (immediate mode) between calls first
+        waits to be re-dispatched.
+        """
+        task = self.current_task()
+        if task is None:
+            raise RTOSError("RTOS call from a process that is not a task")
+        if task.killed:
+            raise TaskKilled(task.name)
+        if self.dispatcher.running is not task:
+            yield from self.dispatcher.wait_until_running(task)
+        return task
+
+    def finalize_killed(self, task):
+        """Clean up a task whose process unwound via TaskKilled."""
+        self._wake_joiners(task)
+        if task.run_start is not None:
+            self.dispatcher.yield_cpu(task, TaskState.TERMINATED)
+        else:
+            task.state = TaskState.TERMINATED
+            if self.dispatcher.running is task:
+                self.dispatcher.running = None
+                self.dispatcher.dispatch_if_idle()
+        self.trace.record(self.sim.now, "task", task.name, "killed")
+
+    # ------------------------------------------------------------------
+    # release bookkeeping
+    # ------------------------------------------------------------------
+
+    def _release_task(self, task):
+        """First (or re-) activation bookkeeping + ready insertion."""
+        now = self.sim.now
+        if task.activation_time is None:
+            task.activation_time = now
+            task.stats.activations += 1
+            self._set_release(task, now)
+        else:
+            task.stats.activations += 1
+        task.killed = False
+        self.dispatcher.release_to_ready(task)
+        self.trace.record(now, "task", task.name, "activate")
+
+    def _set_release(self, task, release_time):
+        task.release_time = release_time
+        task.worked_since_release = False
+        if task.is_periodic:
+            deadline = task.rel_deadline if task.rel_deadline is not None else task.period
+            task.abs_deadline = release_time + deadline
+        elif task.rel_deadline is not None:
+            task.abs_deadline = release_time + task.rel_deadline
+
+    def _periodic_release(self, task, release_time):
+        """Timer callback releasing the next instance of a periodic task."""
+        if task.killed or task.state is not TaskState.IDLE_PERIOD:
+            return
+        self._set_release(task, release_time)
+        self.dispatcher.release_to_ready(task)
+        self.trace.record(self.sim.now, "task", task.name, "release")
+        self.dispatcher.resched_from_outside()

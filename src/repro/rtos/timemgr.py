@@ -1,0 +1,79 @@
+"""The time-modeling OS service (paper Figure 4, *time modeling*).
+
+Implements ``time_wait`` — the replacement for SLDL ``waitfor`` that
+gives the RTOS a scheduling point whenever simulated time advances
+(Section 4.3). This is the hottest RTOS call: the delay itself is a
+reusable kernel :class:`~repro.kernel.commands.WaitFor` / timed
+:class:`~repro.kernel.commands.Wait` and the post-delay scheduling check
+is inlined so the common no-preemption case costs no extra generator
+frame.
+"""
+
+from repro.kernel.commands import TIMEOUT, WaitFor
+from repro.rtos.errors import RTOSError, TaskKilled
+
+
+class TimeManager:
+    """Execution-time modeling service of one PE's RTOS model."""
+
+    __slots__ = ("sim", "dispatcher", "tasks", "_waitfor")
+
+    def __init__(self, sim, dispatcher, tasks):
+        self.sim = sim
+        self.dispatcher = dispatcher
+        self.tasks = tasks
+        #: reusable WaitFor for time_wait's step mode — the kernel reads
+        #: ``delay`` synchronously at the yield, so one mutable instance
+        #: per model suffices (at most one task executes at a time)
+        self._waitfor = WaitFor(0)
+
+    def time_wait(self, nsec):
+        """Model task execution time (generator; see RTOSModel.time_wait)."""
+        nsec = int(nsec)
+        if nsec < 0:
+            raise RTOSError(f"negative delay: {nsec}")
+        dispatcher = self.dispatcher
+        # inlined entry protocol: time_wait is the hottest RTOS call, and
+        # in the common case (caller owns the CPU, not killed) the entry
+        # protocol never yields — skip the nested-generator round trip
+        task = self.tasks.current_task()
+        if task is None:
+            raise RTOSError("RTOS call from a process that is not a task")
+        if task.killed:
+            raise TaskKilled(task.name)
+        if dispatcher.running is not task:
+            yield from dispatcher.wait_until_running(task)
+        if nsec == 0:
+            yield from dispatcher.schedule_point(task)
+            return
+        task.worked_since_release = True
+        if dispatcher.preemption == "step":
+            self._waitfor.delay = nsec
+            yield self._waitfor
+            # inlined schedule-point fast path: when no ready task
+            # preempts the caller, the scheduling point is a pure check
+            # and must not cost a generator; fall back for the rare
+            # preemption/kill/lost-CPU cases
+            if not task.killed and dispatcher.running is task:
+                scheduler = dispatcher.scheduler
+                candidate = scheduler.peek(self.sim.now)
+                if candidate is None or not scheduler.preempts(
+                    candidate, task, self.sim.now
+                ):
+                    return
+            yield from dispatcher.schedule_point(task)
+            return
+        remaining = nsec
+        while remaining > 0:
+            started = self.sim.now
+            task.preempt_wait.timeout = remaining
+            fired = yield task.preempt_wait
+            remaining -= self.sim.now - started
+            if task.killed:
+                raise TaskKilled(task.name)
+            if fired is TIMEOUT:
+                break
+            # preempted mid-delay: CPU was already handed over by the
+            # preemptor; queue up for re-dispatch, then resume the rest
+            yield from dispatcher.wait_until_running(task)
+        yield from dispatcher.schedule_point(task)

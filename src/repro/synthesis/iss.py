@@ -28,7 +28,6 @@ from repro.synthesis.isa import (
     VEC_EXTERNAL,
     VEC_SYSCALL,
     VEC_TIMER,
-    IRQ_EXTERNAL,
     IRQ_TIMER,
     to_signed,
 )

@@ -10,7 +10,6 @@ from repro.analysis import (
     serialized,
 )
 from repro.apps.fig3 import (
-    DEFAULT_PRIORITIES,
     Fig3Delays,
     run_architecture,
     run_unscheduled,

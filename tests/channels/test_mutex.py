@@ -1,0 +1,187 @@
+"""Mutex ownership checks and priority-inheritance bookkeeping.
+
+Regression tests for the shared ``MutexBase`` template:
+
+* unlocking from a non-owner raises — ``RuntimeError`` in the spec
+  flavor (label mismatch), :class:`~repro.rtos.errors.RTOSError` in the
+  refined one (task identity mismatch);
+* the inherited priority survives a second waiter raising the boost and
+  locks released out of acquisition order: ``Task.base_priority`` is
+  recorded once at the first boost, and every unlock recomputes the
+  effective priority over the waiters of the PI locks still held.
+"""
+
+import pytest
+
+from repro.channels import Mutex, RTOSMutex
+from tests.rtos.conftest import Harness
+
+
+def drain(gen):
+    """Run an uncontended channel generator to completion outside a sim."""
+    try:
+        while True:
+            next(gen)
+    except StopIteration as stop:
+        return stop.value
+
+
+# ----------------------------------------------------------------------
+# spec flavor: who-label ownership
+# ----------------------------------------------------------------------
+
+def test_spec_unlock_label_mismatch_raises():
+    mtx = Mutex(name="m")
+    drain(mtx.lock(who="writer"))
+    assert mtx.owner == "writer"
+    with pytest.raises(RuntimeError) as err:
+        next(mtx.unlock(who="reader"))
+    assert "non-owner" in str(err.value)
+    # the failed unlock must not have released the lock
+    assert mtx.locked() and mtx.owner == "writer"
+    drain(mtx.unlock(who="writer"))
+    assert not mtx.locked()
+
+
+def test_spec_anonymous_unlock_skips_label_check():
+    """An unlabeled unlock cannot be identified, so it is trusted —
+    matching the paper-level spec model where ownership is structural."""
+    mtx = Mutex(name="m")
+    drain(mtx.lock(who="writer"))
+    drain(mtx.unlock())
+    assert not mtx.locked()
+
+
+def test_spec_labeled_unlock_of_anonymous_owner_allowed():
+    mtx = Mutex(name="m")
+    drain(mtx.lock())  # owner is the anonymous sentinel True
+    drain(mtx.unlock(who="anyone"))
+    assert not mtx.locked()
+
+
+# ----------------------------------------------------------------------
+# refined flavor: task-identity ownership
+# ----------------------------------------------------------------------
+
+def test_rtos_unlock_by_non_owner_task_raises():
+    bench = Harness()
+    mtx = RTOSMutex(bench.os, name="m")
+    evt = bench.os.event_new("hold")
+
+    def owner(task):
+        yield from mtx.lock()
+        yield from bench.os.event_wait(evt)  # hold the lock off-CPU
+
+    def thief(task):
+        yield from mtx.unlock()
+
+    bench.task("owner", owner, priority=1)
+    bench.task("thief", thief, priority=2)
+    with pytest.raises(Exception) as err:
+        bench.run()
+    assert "non-owner" in str(err.value)
+    assert "thief" in str(err.value)
+
+
+def test_rtos_pi_second_waiter_raises_boost_base_recorded_once():
+    """Two successive waiters boost the owner twice; the restore must go
+    back to the owner's *original* priority, not the first boost."""
+    bench = Harness()
+    mtx = RTOSMutex(bench.os, name="m", priority_inheritance=True)
+    evt1, evt2 = bench.os.event_new("w1"), bench.os.event_new("w2")
+    snaps = []
+
+    def low(task):
+        yield from mtx.lock()
+        for _ in range(6):
+            yield from bench.os.time_wait(10)
+            snaps.append((bench.sim.now, task.priority, task.base_priority))
+        yield from mtx.unlock()
+        snaps.append(("after", task.priority, task.base_priority))
+
+    def waiter(evt):
+        def _body(task):
+            yield from bench.os.event_wait(evt)
+            yield from mtx.lock()
+            yield from mtx.unlock()
+            bench.mark(task.name)
+
+        return _body
+
+    bench.task("low", low, priority=9)
+    bench.task("w1", waiter(evt1), priority=5)
+    bench.task("w2", waiter(evt2), priority=2)
+
+    def isr(evt):
+        def _gen():
+            yield from bench.os.event_notify(evt)
+            bench.os.interrupt_return()
+
+        return _gen
+
+    bench.isr_at(15, isr(evt1))  # w1 blocks on the lock at t=20
+    bench.isr_at(35, isr(evt2))  # w2 raises the boost at t=40
+    bench.run()
+    assert snaps == [
+        (10, 9, None),   # unboosted
+        (20, 5, 9),      # first waiter: boosted, base recorded
+        (30, 5, 9),
+        (40, 2, 9),      # second waiter raises the boost, base unchanged
+        (50, 2, 9),
+        (60, 2, 9),
+        ("after", 9, None),  # restored to the original, not to 5
+    ]
+    assert [e[0] for e in bench.log] == ["w2", "w1"]  # urgency order
+    assert not mtx.locked()
+
+
+def test_rtos_pi_out_of_order_release_keeps_boost_of_held_lock():
+    """Releasing in acquisition order (not LIFO nesting order) must keep
+    the boost owed to the still-held lock's waiter."""
+    bench = Harness()
+    m1 = RTOSMutex(bench.os, name="m1", priority_inheritance=True)
+    m2 = RTOSMutex(bench.os, name="m2", priority_inheritance=True)
+    evt_a, evt_b = bench.os.event_new("a"), bench.os.event_new("b")
+    snaps = []
+
+    def low(task):
+        yield from m1.lock()
+        yield from m2.lock()
+        for _ in range(5):
+            yield from bench.os.time_wait(10)
+        yield from m1.unlock()  # acquisition order, not nesting order
+        snaps.append(("rel-m1", task.priority, task.base_priority))
+        yield from bench.os.time_wait(10)
+        yield from m2.unlock()
+        snaps.append(("rel-m2", task.priority, task.base_priority))
+
+    def contender(evt, mtx):
+        def _body(task):
+            yield from bench.os.event_wait(evt)
+            yield from mtx.lock()
+            yield from mtx.unlock()
+            bench.mark(task.name)
+
+        return _body
+
+    bench.task("low", low, priority=9)
+    bench.task("wa", contender(evt_a, m1), priority=4)
+    bench.task("wb", contender(evt_b, m2), priority=2)
+
+    def isr(evt):
+        def _gen():
+            yield from bench.os.event_notify(evt)
+            bench.os.interrupt_return()
+
+        return _gen
+
+    bench.isr_at(15, isr(evt_a))  # wa blocks on m1 -> boost to 4
+    bench.isr_at(25, isr(evt_b))  # wb blocks on m2 -> boost to 2
+    bench.run()
+    assert snaps == [
+        # m1's waiter (4) is released, but m2's waiter (2) still holds
+        # a claim on us: stay boosted at 2, base kept
+        ("rel-m1", 2, 9),
+        ("rel-m2", 9, None),
+    ]
+    assert not m1.locked() and not m2.locked()

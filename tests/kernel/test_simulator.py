@@ -14,8 +14,7 @@ from repro.kernel import (
     Simulator,
     Wait,
     WaitFor,
-    TIMEOUT,
-)
+    )
 
 
 def test_time_starts_at_zero():

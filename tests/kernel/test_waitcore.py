@@ -1,0 +1,220 @@
+"""The shared wait core: same-instant semantics, Now, data structures.
+
+These tests pin the timeout-vs-notify resolution rules that both the
+kernel and the RTOS model inherit from :mod:`repro.kernel.waitcore`:
+
+* timers fire at the **start** of a timestep, before any process of that
+  instant runs — so a TIMEOUT always beats a *process-context* notify
+  issued at the same instant;
+* between two timers of the same instant, **insertion order** into the
+  timer queue decides — a callback notify scheduled before the wait
+  armed its timeout beats the TIMEOUT, one scheduled after loses.
+"""
+
+from repro.kernel import (
+    NOW,
+    TIMEOUT,
+    Event,
+    Notify,
+    Now,
+    Simulator,
+    Wait,
+    WaitFor,
+)
+from repro.kernel.waitcore import TimerQueue, WaitQueue
+
+
+# ----------------------------------------------------------------------
+# same-instant TIMEOUT vs notify
+# ----------------------------------------------------------------------
+
+def test_timeout_beats_process_context_notify_at_same_instant():
+    """Delta-cycle pin: the timer fires before processes run at t=10."""
+    sim = Simulator()
+    evt = Event("e")
+    log = []
+
+    def waiter():
+        fired = yield Wait(evt, timeout=10)
+        log.append((sim.now, fired))
+
+    def notifier():
+        yield WaitFor(10)
+        yield Notify(evt)
+
+    sim.spawn(waiter())
+    sim.spawn(notifier())
+    sim.run()
+    assert log == [(10, TIMEOUT)]
+    # the notify found no waiters left — it became a pending notification
+    assert evt.waiter_count == 0
+
+
+def test_earlier_scheduled_callback_notify_beats_timeout():
+    """A callback notify armed before the wait's timer wins the race."""
+    sim = Simulator()
+    evt = Event("e")
+    log = []
+
+    # scheduled first: lower timer sequence number than the timeout below
+    sim.schedule_at(10, lambda: evt.fire(sim))
+
+    def waiter():
+        fired = yield Wait(evt, timeout=10)
+        log.append((sim.now, fired))
+
+    sim.spawn(waiter())
+    sim.run()
+    assert log == [(10, evt)]
+
+
+def test_later_scheduled_callback_notify_loses_to_timeout():
+    """Insertion order decides: a callback armed after the wait loses."""
+    sim = Simulator()
+    evt = Event("e")
+    log = []
+
+    def waiter():
+        fired = yield Wait(evt, timeout=10)
+        log.append((sim.now, fired))
+
+    def arm_late():
+        # runs in the same delta as the waiter but after it (spawn order),
+        # so its timer lands behind the timeout in the queue
+        sim.schedule_at(10, lambda: evt.fire(sim))
+        return
+        yield
+
+    sim.spawn(waiter())
+    sim.spawn(arm_late())
+    sim.run()
+    assert log == [(10, TIMEOUT)]
+
+
+def test_wait_any_timeout_detaches_from_all_events():
+    """A timed-out wait-any leaves no stale waiter on any of its events."""
+    sim = Simulator()
+    e1, e2, e3 = Event("a"), Event("b"), Event("c")
+    log = []
+
+    def waiter():
+        fired = yield Wait(e1, e2, e3, timeout=5)
+        log.append(fired)
+
+    sim.spawn(waiter())
+    sim.run()
+    assert log == [TIMEOUT]
+    assert e1.waiter_count == e2.waiter_count == e3.waiter_count == 0
+
+
+def test_wait_any_wake_detaches_from_losing_events():
+    sim = Simulator()
+    e1, e2 = Event("a"), Event("b")
+    log = []
+
+    def waiter():
+        fired = yield Wait(e1, e2, timeout=50)
+        log.append((sim.now, fired.name))
+
+    def notifier():
+        yield WaitFor(7)
+        yield Notify(e2)
+
+    sim.spawn(waiter())
+    sim.spawn(notifier())
+    sim.run()
+    assert log == [(7, "b")]
+    assert e1.waiter_count == 0
+
+
+# ----------------------------------------------------------------------
+# the Now command
+# ----------------------------------------------------------------------
+
+def test_now_reads_clock_without_advancing_it():
+    sim = Simulator()
+    log = []
+
+    def proc():
+        t0 = yield NOW
+        t1 = yield Now()
+        yield WaitFor(25)
+        t2 = yield NOW
+        log.append((t0, t1, t2))
+
+    sim.spawn(proc())
+    sim.run()
+    assert log == [(0, 0, 25)]
+    assert sim.now == 25
+
+
+def test_now_does_not_yield_the_processor():
+    """Now is synchronous: no other process runs between two NOW reads."""
+    sim = Simulator()
+    log = []
+
+    def reader():
+        yield NOW
+        log.append("reader-a")
+        yield NOW
+        log.append("reader-b")
+        yield WaitFor(0)
+        log.append("reader-c")
+
+    def other():
+        yield WaitFor(0)
+        log.append("other")
+
+    sim.spawn(reader())
+    sim.spawn(other())
+    sim.run()
+    # both NOW reads complete before control ever reaches `other`
+    assert log.index("reader-b") < log.index("other")
+
+
+# ----------------------------------------------------------------------
+# wait-core data structures
+# ----------------------------------------------------------------------
+
+class _FakeWaiter:
+    def __init__(self, uid):
+        self.uid = uid
+
+
+def test_waitqueue_fifo_and_discard():
+    q = WaitQueue()
+    a, b, c = _FakeWaiter(1), _FakeWaiter(2), _FakeWaiter(3)
+    q.add(a)
+    q.append(b)  # list-style alias used by legacy call sites
+    q.add(c)
+    assert a in q and b in q
+    assert len(q) == 3
+    q.discard(b)
+    assert b not in q
+    assert q.pop_all() == [a, c]
+    assert not q
+    assert q.pop_all() == ()
+    q.remove(a)  # discard alias: removing an absent waiter is a no-op
+
+
+def test_timerqueue_orders_by_time_then_insertion():
+    fired = []
+    tq = TimerQueue()
+    tq.schedule_callback(10, lambda: fired.append("second"))
+    tq.schedule_callback(5, lambda: fired.append("first"))
+    tq.schedule_callback(10, lambda: fired.append("third"))
+    assert tq.next_time() == 5
+    assert len(tq) == 3
+    order = [t for (t, _, _) in sorted(tq.heap)]
+    assert order == [5, 10, 10]
+
+
+def test_timerqueue_cancel_is_lazy_and_compacts():
+    tq = TimerQueue()
+    timers = [tq.schedule_callback(i + 1, lambda: None) for i in range(200)]
+    for t in timers[:150]:
+        tq.cancel(t)
+    # compaction kicked in: dead entries were physically removed
+    assert len(tq.heap) < 200
+    assert tq.dead * 2 <= len(tq.heap)
+    assert tq.next_time() == 151

@@ -9,7 +9,6 @@ CPU can only serialize)."""
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.analysis import exec_time_per_actor
 from repro.kernel import Par, Simulator, WaitFor
 from repro.refinement import DynamicSchedulingRefinement, RefinementSpec
 from repro.rtos import RTOSModel

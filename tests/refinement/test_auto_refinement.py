@@ -4,8 +4,10 @@ import pytest
 
 from repro.channels import Queue, Semaphore
 from repro.kernel import (
+    TIMEOUT,
     Event,
     Fork,
+    Join,
     Notify,
     Par,
     Simulator,
@@ -14,7 +16,6 @@ from repro.kernel import (
 )
 from repro.refinement import (
     DynamicSchedulingRefinement,
-    RefinementError,
     RefinementSpec,
 )
 from repro.rtos import RTOSModel
@@ -189,28 +190,97 @@ def test_nested_par_refines_recursively():
     assert len(ref.tasks) == 5
 
 
-def test_wait_any_rejected():
+def wait_any_app(sim, log):
+    a, b = Event("a"), Event("b")
+
+    def signaller():
+        yield WaitFor(40)
+        yield Notify(b)
+
+    def waiter():
+        fired = yield Wait(a, b)
+        log.append(("woke", fired.name, sim.now))
+
+    def _app():
+        yield Par(signaller(), waiter())
+
+    return _app()
+
+
+def test_wait_any_refines_to_event_wait_any():
+    """A multi-event Wait resolves to the same SLDL event in both models."""
+    _, spec_log = run_spec(wait_any_app)
+    spec = RefinementSpec(priorities={"Task_PE.child0": 2, "Task_PE.child1": 1})
+    _, ref_log, os_, ref = run_refined(wait_any_app, spec)
+    assert spec_log == [("woke", "b", 40)]
+    assert ref_log == [("woke", "b", 40)]
+    # both SLDL events got an RTOS stand-in, the fired one reverse-maps
+    assert len(ref.event_map) == 2
+
+
+def timed_wait_app(sim, log):
+    evt = Event("never")
+
+    def _app():
+        fired = yield Wait(evt, timeout=70)
+        log.append(("result", fired is TIMEOUT, sim.now))
+
+    return _app()
+
+
+def test_timed_wait_refines_with_timeout_sentinel():
+    from repro.kernel import TIMEOUT as sentinel
+
+    _, spec_log = run_spec(timed_wait_app)
+    _, ref_log, _, _ = run_refined(timed_wait_app)
+    assert spec_log == [("result", True, 70)]
+    assert ref_log == [("result", True, 70)]
+    assert sentinel is TIMEOUT
+
+
+def fork_join_app(sim, log):
+    def child(name, delay):
+        yield WaitFor(delay)
+        log.append((name, sim.now))
+
+    def _app():
+        h1 = yield Fork(child("f1", 30), "f1")
+        h2 = yield Fork(child("f2", 50), "f2")
+        yield WaitFor(10)
+        log.append(("parent", sim.now))
+        yield Join(h1)
+        yield Join(h2)
+        log.append(("joined", sim.now))
+
+    return _app()
+
+
+def test_fork_join_refines_to_task_fork_join():
+    _, spec_log = run_spec(fork_join_app)
+    # unscheduled: children run concurrently with the parent
+    assert spec_log == [("parent", 10), ("f1", 30), ("f2", 50), ("joined", 50)]
+
+    spec = RefinementSpec(auto_priority="order")
+    _, ref_log, os_, ref = run_refined(fork_join_app, spec)
+    # refined: serialized on one CPU — parent (prio 0) runs its 10 first,
+    # then f1 (prio 1) its 30, then f2 (prio 2) its 50
+    assert ref_log == [("parent", 10), ("f1", 40), ("f2", 90), ("joined", 90)]
+    assert {t.name for t in ref.tasks} == {"Task_PE", "f1", "f2"}
+    from repro.rtos import TaskState
+
+    assert all(t.state is TaskState.TERMINATED for t in ref.tasks)
+
+
+def test_join_on_foreign_handle_rejected():
     def app(sim, log):
         def _app():
-            yield Wait(Event("a"), Event("b"))
+            yield Join(object())
 
         return _app()
 
     with pytest.raises(Exception) as err:
         run_refined(app)
-    assert "wait-any" in str(err.value)
-
-
-def test_fork_rejected():
-    def app(sim, log):
-        def _app():
-            yield Fork(iter(()))
-
-        return _app()
-
-    with pytest.raises(Exception) as err:
-        run_refined(app)
-    assert "Fork" in str(err.value)
+    assert "Join" in str(err.value)
 
 
 def test_refined_isr_signals_task():

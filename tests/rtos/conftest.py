@@ -3,7 +3,7 @@
 import pytest
 
 from repro.kernel import Simulator, WaitFor
-from repro.rtos import APERIODIC, PERIODIC, RTOSModel
+from repro.rtos import APERIODIC, RTOSModel
 
 
 class Harness:

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.kernel import Simulator, WaitFor
-from repro.rtos import APERIODIC, PERIODIC, RTOSError, RTOSModel, TaskState
+from repro.rtos import APERIODIC, PERIODIC, RTOSModel, TaskState
 from tests.rtos.conftest import Harness
 
 

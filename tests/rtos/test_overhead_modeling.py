@@ -2,8 +2,8 @@
 
 import pytest
 
-from repro.kernel import Simulator, WaitFor
-from repro.rtos import APERIODIC, RTOSModel
+from repro.kernel import Simulator
+from repro.rtos import RTOSModel
 from tests.rtos.conftest import Harness
 
 

@@ -8,7 +8,6 @@ must conserve total execution time.
 
 import pytest
 
-from repro.rtos import TaskState
 from tests.rtos.conftest import Harness
 
 

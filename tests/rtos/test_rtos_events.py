@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.rtos import RTOSError
 from tests.rtos.conftest import Harness
 
 

@@ -3,16 +3,13 @@
 import pytest
 
 from repro.rtos import (
-    APERIODIC,
     PERIODIC,
     RoundRobin,
     make_scheduler,
-    SCHED_EDF,
     SCHED_FIFO,
     SCHED_PRIORITY,
     SCHED_PRIORITY_NP,
     SCHED_RMS,
-    SCHED_RR,
 )
 from repro.rtos.sched import EDF, FIFO, FixedPriority, RMS
 from tests.rtos.conftest import Harness

@@ -1,0 +1,322 @@
+"""Facade extensions on the unified wait core: wait-any, timeouts,
+task_fork/task_join.
+
+The same-instant rule pinned here mirrors the kernel layer (see
+``tests/kernel/test_waitcore.py``): RTOS wait timeouts are kernel
+timers, timers fire at the start of a timestep before any process runs,
+and RTOS notifies always execute from process context (tasks, ISRs) —
+so at the RTOS level a TIMEOUT beats *any* notify of the same instant.
+"""
+
+import pytest
+
+from repro.kernel import TIMEOUT
+from repro.rtos import APERIODIC, RTOSError, TaskState
+
+
+# ----------------------------------------------------------------------
+# event_wait_any
+# ----------------------------------------------------------------------
+
+def test_wait_any_returns_the_fired_event(bench):
+    os = bench.os
+    e1, e2 = os.event_new("a"), os.event_new("b")
+
+    def waiter(task):
+        fired = yield from os.event_wait_any([e1, e2])
+        bench.mark("woke", fired.name)
+
+    def notifier(task):
+        yield from os.time_wait(40)
+        yield from os.event_notify(e2)
+
+    bench.task("waiter", waiter, priority=1)
+    bench.task("notifier", notifier, priority=2)
+    bench.run()
+    assert bench.log == [("woke", "b", 40)]
+    # the loser event holds no stale enrollment
+    assert len(e1.queue) == 0 and len(e2.queue) == 0
+
+
+def test_wait_any_consumes_same_timestep_pending_notification(bench):
+    """The rendezvous rule applies per event, in argument order."""
+    os = bench.os
+    e1, e2 = os.event_new("a"), os.event_new("b")
+
+    def notifier(task):
+        yield from os.event_notify(e2)
+        bench.mark("notified")
+
+    def waiter(task):
+        fired = yield from os.event_wait_any([e1, e2])
+        bench.mark("woke", fired.name)
+
+    bench.task("notifier", notifier, priority=1)
+    bench.task("waiter", waiter, priority=2)
+    bench.run()
+    assert bench.log == [("notified", 0), ("woke", "b", 0)]
+
+
+def test_wait_any_rejects_empty_set(bench):
+    os = bench.os
+
+    def waiter(task):
+        yield from os.event_wait_any([])
+
+    bench.task("waiter", waiter)
+    with pytest.raises(Exception) as err:
+        bench.run()
+    assert "at least one event" in str(err.value)
+
+
+# ----------------------------------------------------------------------
+# timed event_wait
+# ----------------------------------------------------------------------
+
+def test_event_wait_timeout_expires(bench):
+    os = bench.os
+    evt = os.event_new("never")
+
+    def waiter(task):
+        fired = yield from os.event_wait(evt, timeout=30)
+        bench.mark("result", fired is TIMEOUT)
+        yield from os.time_wait(5)
+        bench.mark("alive")
+
+    bench.task("waiter", waiter)
+    bench.run()
+    assert bench.log == [("result", True, 30), ("alive", 35)]
+    assert len(evt.queue) == 0
+
+
+def test_event_wait_notify_before_deadline_cancels_timer(bench):
+    os = bench.os
+    evt = os.event_new("e")
+
+    def waiter(task):
+        fired = yield from os.event_wait(evt, timeout=100)
+        bench.mark("woke", fired is evt)
+        # stay alive past the original deadline: a stale timeout firing
+        # at t=100 would wrongly wake the second wait below
+        fired2 = yield from os.event_wait(evt, timeout=300)
+        bench.mark("second", fired2 is TIMEOUT)
+
+    def notifier(task):
+        yield from os.time_wait(20)
+        yield from os.event_notify(evt)
+
+    bench.task("waiter", waiter, priority=1)
+    bench.task("notifier", notifier, priority=2)
+    bench.run()
+    assert bench.log == [("woke", True, 20), ("second", True, 320)]
+
+
+def test_timeout_beats_same_instant_task_notify(bench):
+    """Delta-cycle pin, RTOS flavor: the timeout timer fires at the start
+    of t=50, before the notifier task's process resumes at t=50."""
+    os = bench.os
+    evt = os.event_new("e")
+
+    def waiter(task):
+        fired = yield from os.event_wait(evt, timeout=50)
+        bench.mark("waiter", "timeout" if fired is TIMEOUT else fired.name)
+
+    def notifier(task):
+        yield from os.time_wait(50)
+        yield from os.event_notify(evt)
+        bench.mark("notified")
+
+    bench.task("waiter", waiter, priority=1)
+    bench.task("notifier", notifier, priority=2)
+    bench.run()
+    assert ("waiter", "timeout", 50) in bench.log
+    assert ("notified", 50) in bench.log
+
+
+def test_timeout_beats_same_instant_isr_notify(bench):
+    """ISRs are processes too: a same-instant ISR notify also loses."""
+    os = bench.os
+    evt = os.event_new("e")
+
+    def waiter(task):
+        fired = yield from os.event_wait(evt, timeout=60)
+        bench.mark("waiter", "timeout" if fired is TIMEOUT else fired.name)
+
+    def isr():
+        yield from os.event_notify(evt)
+        os.interrupt_return()
+
+    bench.task("waiter", waiter)
+    bench.isr_at(60, isr)
+    bench.run()
+    assert bench.log == [("waiter", "timeout", 60)]
+
+
+def test_event_wait_timeout_zero_polls(bench):
+    os = bench.os
+    evt = os.event_new("e")
+
+    def poller(task):
+        first = yield from os.event_wait(evt, timeout=0)
+        bench.mark("empty", first is TIMEOUT)
+        yield from os.event_notify(evt)  # 0 woken -> becomes pending
+        second = yield from os.event_wait(evt, timeout=0)
+        bench.mark("pending", second is evt)
+
+    bench.task("poller", poller)
+    bench.run()
+    assert bench.log == [("empty", True, 0), ("pending", True, 0)]
+
+
+def test_wait_any_timeout_covers_all_events(bench):
+    os = bench.os
+    e1, e2 = os.event_new("a"), os.event_new("b")
+
+    def waiter(task):
+        fired = yield from os.event_wait_any([e1, e2], timeout=25)
+        bench.mark("result", fired is TIMEOUT)
+
+    bench.task("waiter", waiter)
+    bench.run()
+    assert bench.log == [("result", True, 25)]
+    assert len(e1.queue) == 0 and len(e2.queue) == 0
+
+
+def test_kill_during_timed_wait_disarms_timeout(bench):
+    os = bench.os
+    evt = os.event_new("e")
+
+    def victim(task):
+        yield from os.event_wait(evt, timeout=100)
+        bench.mark("never")
+
+    def killer(task):
+        yield from os.time_wait(10)
+        yield from os.task_kill(victim_t)
+        yield from os.time_wait(200)  # outlive the victim's deadline
+        bench.mark("done")
+
+    victim_t = bench.task("victim", victim, priority=1)
+    bench.task("killer", killer, priority=2)
+    bench.run()
+    assert bench.log == [("done", 210)]
+    assert victim_t.state is TaskState.TERMINATED
+    assert victim_t.wait_timer is None
+    # the disarmed timeout left no "timeout" record in the trace
+    assert not [r for r in bench.sim.trace.records if r.info == "timeout"]
+
+
+# ----------------------------------------------------------------------
+# task_fork / task_join
+# ----------------------------------------------------------------------
+
+def test_task_fork_and_join(bench):
+    os = bench.os
+
+    def child_body(task):
+        yield from os.time_wait(30)
+        bench.mark("child-done")
+
+    def parent_body(task):
+        child = os.task_create("child", APERIODIC, 0, 0, priority=5)
+        bench.sim.spawn(os.task_body(child, child_body(child)), name="child")
+        yield from os.task_fork(child)
+        bench.mark("forked")
+        yield from os.time_wait(10)
+        yield from os.task_join(child)
+        bench.mark("joined")
+        # joining an already-terminated task returns immediately
+        yield from os.task_join(child)
+        bench.mark("rejoined")
+
+    bench.task("parent", parent_body, priority=1)
+    bench.run()
+    assert bench.log == [
+        ("forked", 0),
+        ("child-done", 40),
+        ("joined", 40),
+        ("rejoined", 40),
+    ]
+    assert all(t.state is TaskState.TERMINATED for t in os.tasks)
+
+
+def test_task_join_many(bench):
+    os = bench.os
+
+    def worker(delay):
+        def _body(task):
+            yield from os.time_wait(delay)
+            bench.mark(task.name)
+
+        return _body
+
+    def parent_body(task):
+        children = []
+        for i, delay in enumerate((20, 35)):
+            c = os.task_create(f"w{i}", APERIODIC, 0, 0, priority=5 + i)
+            bench.sim.spawn(os.task_body(c, worker(delay)(c)), name=c.name)
+            yield from os.task_fork(c)
+            children.append(c)
+        yield from os.task_join(children)
+        bench.mark("all-joined")
+
+    bench.task("parent", parent_body, priority=1)
+    bench.run()
+    # serialized on one CPU: w0 runs its 20, then w1 its 35
+    assert bench.log == [("w0", 20), ("w1", 55), ("all-joined", 55)]
+
+
+def test_task_join_self_rejected(bench):
+    os = bench.os
+
+    def body(task):
+        yield from os.task_join(task)
+
+    bench.task("loner", body)
+    with pytest.raises(Exception) as err:
+        bench.run()
+    assert "join itself" in str(err.value)
+
+
+def test_killed_join_target_wakes_joiner(bench):
+    os = bench.os
+    evt = os.event_new("never-notified")
+
+    def sleeper(task):
+        # block off the CPU (WAITING) so the killer can run at t=15
+        yield from os.event_wait(evt)
+        bench.mark("never")
+
+    def parent_body(task):
+        yield from os.task_join(sleeper_t)
+        bench.mark("joined", sleeper_t.state is TaskState.TERMINATED)
+
+    def killer(task):
+        yield from os.time_wait(15)
+        yield from os.task_kill(sleeper_t)
+
+    sleeper_t = bench.task("sleeper", sleeper, priority=1)
+    bench.task("parent", parent_body, priority=2)
+    bench.task("killer", killer, priority=3)
+    bench.run()
+    assert ("joined", True, 15) in bench.log
+    assert ("never", 15) not in bench.log
+
+
+def test_fork_terminated_task_rejected(bench):
+    os = bench.os
+
+    def short(task):
+        yield from os.time_wait(1)
+
+    def parent_body(task):
+        yield from os.time_wait(10)  # let `short` finish first
+        with pytest.raises(RTOSError):
+            yield from os.task_fork(short_t)
+        bench.mark("caught")
+
+    short_t = bench.task("short", short, priority=1)
+    bench.task("parent", parent_body, priority=2)
+    bench.run()
+    # short (higher priority) runs its 1 first, then the parent's 10
+    assert bench.log == [("caught", 11)]

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.kernel import Simulator, WaitFor
+from repro.kernel import Simulator
 from repro.platform import IrqLine
 from repro.synthesis import (
     CodeGenerator,
