@@ -40,10 +40,29 @@ DEFAULT_OUT = pathlib.Path(__file__).parent / "out" / "BENCH_kernel.json"
 # workloads — each returns (wall_seconds, kernel_steps)
 # ----------------------------------------------------------------------
 
+def _assert_uninstrumented(sim, os_=None):
+    """The gate measures the *disabled* observability path.
+
+    Disabled tracing must be the instance-level no-op swap (the PR-1
+    invariant), the wall-clock profiler must be off, and no metrics
+    bundle may be attached to the OS services — so the numbers compared
+    against the PR-1 baseline are the bare hot path.
+    """
+    from repro.kernel.trace import _noop
+
+    assert sim.trace.record is _noop, "tracing not swapped to no-op"
+    assert sim.trace.segment is _noop, "tracing not swapped to no-op"
+    assert sim.profiler is None, "profiler unexpectedly enabled"
+    if os_ is not None:
+        services = (os_._dispatcher, os_._tasks, os_._events, os_._time)
+        assert all(s.obs is None for s in services), "metrics attached"
+
+
 def bench_raw_kernel(n_tasks, steps):
     """N concurrent processes each running a WaitFor delay loop."""
     sim = Simulator()
     sim.trace.enabled = False
+    _assert_uninstrumented(sim)
 
     def worker():
         for _ in range(steps):
@@ -63,6 +82,7 @@ def bench_event_pingpong(pairs, rounds):
     """Notify/Wait ping-pong pairs — the single-event hot path."""
     sim = Simulator()
     sim.trace.enabled = False
+    _assert_uninstrumented(sim)
 
     def ping(evt_a, evt_b):
         for _ in range(rounds):
@@ -89,6 +109,7 @@ def bench_rtos_model(n_tasks, steps, sched="priority"):
     sim = Simulator()
     sim.trace.enabled = False
     os_ = RTOSModel(sim, sched=sched)
+    _assert_uninstrumented(sim, os_)
 
     def body():
         for _ in range(steps):
@@ -114,6 +135,7 @@ def bench_rtos_preemption(n_periodic, cycles):
     sim = Simulator()
     sim.trace.enabled = False
     os_ = RTOSModel(sim, sched="priority", preemption="immediate")
+    _assert_uninstrumented(sim, os_)
     irq = IrqLine(sim, "irq0")
     pic = InterruptController(sim, "pic")
 

@@ -10,6 +10,8 @@ Layers (bottom-up, mirroring the paper's Figure 2):
 * :mod:`repro.synthesis` — backend: ISA/assembler/ISS + custom RTOS kernel.
 * :mod:`repro.apps` — Figure-3 example and the vocoder of Table 1.
 * :mod:`repro.analysis` — trace analysis, validation, LoC metrics.
+* :mod:`repro.obs` — observability: trace sinks, metrics, profiler,
+  Chrome-Trace export.
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"

@@ -6,9 +6,15 @@ the natural interchange format for this EDA-flavored simulator.
 
 Each actor becomes a one-bit wire that is high while the actor executes;
 an optional string variable carries scheduler events.
+
+Edge ordering: a wire is high while its actor has at least one *open*
+segment (segment starts count +1, ends count -1), and within one
+timestamp falling edges are emitted before rising edges. Zero-width
+segments and back-to-back segments therefore net out — neither can
+leave a wire stuck high (or glitching low) in the dump.
 """
 
-from repro.analysis.trace_analysis import exec_segments
+from collections import defaultdict
 
 _IDENT_CHARS = "!\"#$%&'()*+,-./0123456789:;<=>?@ABCDEFGHIJKLMNOPQRSTUVWXYZ"
 
@@ -23,7 +29,7 @@ def _identifier(index):
 
 def to_vcd(trace, actors=None, timescale="1 ns", module="system"):
     """Render the trace as a VCD document (returned as a string)."""
-    segments = exec_segments(trace)
+    segments = trace.segments()
     if actors is None:
         actors = []
         for actor, *_ in segments:
@@ -31,13 +37,15 @@ def to_vcd(trace, actors=None, timescale="1 ns", module="system"):
                 actors.append(actor)
     idents = {actor: _identifier(i) for i, actor in enumerate(actors)}
 
-    # change list: (time, ident, value)
-    changes = []
-    for actor in actors:
-        for _, start, end, _ in exec_segments(trace, actor):
-            changes.append((start, idents[actor], 1))
-            changes.append((end, idents[actor], 0))
-    changes.sort(key=lambda c: c[0])
+    # signed edge deltas per (time, wire): +1 opens a segment, -1
+    # closes one; the wire level is "open-segment depth > 0"
+    deltas = defaultdict(lambda: defaultdict(int))
+    for actor, start, end, _ in segments:
+        ident = idents.get(actor)
+        if ident is None:
+            continue
+        deltas[start][ident] += 1
+        deltas[end][ident] -= 1
 
     lines = [
         "$date reproduced RTOS-model trace $end",
@@ -55,16 +63,28 @@ def to_vcd(trace, actors=None, timescale="1 ns", module="system"):
         lines.append(f"0{idents[actor]}")
     lines.append("$end")
 
-    current_time = None
+    depth = {ident: 0 for ident in idents.values()}
     state = {ident: 0 for ident in idents.values()}
-    for time, ident, value in changes:
-        if state[ident] == value:
-            continue
-        if time != current_time:
+    for time in sorted(deltas):
+        falling, rising = [], []
+        for ident, delta in deltas[time].items():
+            if not delta:
+                continue
+            depth[ident] += delta
+            value = 1 if depth[ident] > 0 else 0
+            if value == state[ident]:
+                continue
+            state[ident] = value
+            (rising if value else falling).append(ident)
+        if falling or rising:
             lines.append(f"#{time}")
-            current_time = time
-        lines.append(f"{value}{ident}")
-        state[ident] = value
+            # falling edges strictly before rising edges at one
+            # timestamp: a viewer replaying the dump in order never
+            # sees a wire spuriously held high
+            for ident in falling:
+                lines.append(f"0{ident}")
+            for ident in rising:
+                lines.append(f"1{ident}")
     return "\n".join(lines) + "\n"
 
 

@@ -206,10 +206,20 @@ def _build_platform(sim, delays, external_payload):
     return bus, line, link
 
 
-def run_unscheduled(delays=None, payload="ext-data"):
-    """Execute the unscheduled (specification) model — Figure 8(a)."""
+def run_unscheduled(delays=None, payload="ext-data", trace=None,
+                    registry=None, profile=False):
+    """Execute the unscheduled (specification) model — Figure 8(a).
+
+    ``trace=`` injects a pre-built :class:`~repro.kernel.trace.Trace`
+    (e.g. one backed by a streaming or ring-buffer sink); ``registry=``
+    attaches channel metrics to a
+    :class:`~repro.obs.metrics.MetricsRegistry`; ``profile=True`` turns
+    on the simulator's wall-clock profiler for the run.
+    """
     delays = delays or Fig3Delays()
-    sim = Simulator()
+    sim = Simulator(trace=trace)
+    if profile:
+        sim.enable_profiling()
     _, line, link = _build_platform(sim, delays, payload)
     sem = Semaphore(0, name="sem")
     driver = InterruptDriver(link, sem, name="driver")
@@ -218,6 +228,9 @@ def run_unscheduled(delays=None, payload="ext-data"):
 
     c1 = Handshake(name="c1")
     c2 = Handshake(name="c2")
+    if registry is not None:
+        for channel in (sem, c1, c2):
+            channel.attach_metrics(registry)
     b1 = B1(delays, record_exec=True).bind(sim)
     b2 = B2(delays, record_exec=True).bind(sim)
     b3 = B3(delays, record_exec=True).bind(sim)
@@ -230,19 +243,27 @@ def run_unscheduled(delays=None, payload="ext-data"):
 
 
 def run_architecture(delays=None, payload="ext-data", sched="priority",
-                     preemption="step", priorities=None):
+                     preemption="step", priorities=None, trace=None,
+                     registry=None, profile=False):
     """Refine the same behaviors onto an RTOS model — Figure 8(b).
 
     The refinement is fully automatic: the unchanged behavior generators
     are translated command-by-command onto the RTOS interface, and the
     driver's ISR is refined to notify through the RTOS and end with
-    ``interrupt_return``.
+    ``interrupt_return``. ``trace=`` injects a pre-built trace recorder
+    (e.g. one backed by a streaming or ring-buffer sink); ``registry=``
+    attaches OS-service and channel metrics to a
+    :class:`~repro.obs.metrics.MetricsRegistry`; ``profile=True`` turns
+    on the simulator's wall-clock profiler for the run.
     """
     from repro.rtos import RTOSModel
 
     delays = delays or Fig3Delays()
-    sim = Simulator()
-    os_ = RTOSModel(sim, sched=sched, preemption=preemption, name="pe.os")
+    sim = Simulator(trace=trace)
+    if profile:
+        sim.enable_profiling()
+    os_ = RTOSModel(sim, sched=sched, preemption=preemption, name="pe.os",
+                    registry=registry)
     ref = DynamicSchedulingRefinement(
         os_, RefinementSpec(priorities=dict(priorities or DEFAULT_PRIORITIES))
     )
@@ -255,6 +276,9 @@ def run_architecture(delays=None, payload="ext-data", sched="priority",
 
     c1 = Handshake(name="c1")
     c2 = Handshake(name="c2")
+    if registry is not None:
+        for channel in (sem, c1, c2):
+            channel.attach_metrics(registry)
     b1 = B1(delays, record_exec=False).bind(sim)
     b2 = B2(delays, record_exec=False).bind(sim)
     b3 = B3(delays, record_exec=False).bind(sim)

@@ -24,6 +24,13 @@ class HandshakeBase(Channel):
         self.eack = sync.new_event(f"{self.name}.eack")
         self.transfers = 0
 
+    def attach_metrics(self, registry):
+        """Register the rendezvous-transfer counter."""
+        from repro.obs.instruments import HandshakeObs
+
+        self._obs = HandshakeObs(registry, self.name)
+        return self._obs
+
     def send(self, item=None, timeout=None):
         """Offer ``item`` and block until a receiver took it (generator).
 
@@ -90,6 +97,9 @@ class HandshakeBase(Channel):
         self._item = None
         self._full = False
         self.transfers += 1
+        obs = self._obs
+        if obs is not None:
+            obs.transfers.inc()
         yield from self._sync.signal(self.eack)
         return item
 

@@ -20,9 +20,20 @@ class MailboxBase(Channel):
         self.messages = deque()
         self.erdy = sync.new_event(f"{self.name}.erdy")
 
+    def attach_metrics(self, registry):
+        """Register occupancy gauge + posted/collected counters."""
+        from repro.obs.instruments import QueueObs
+
+        self._obs = QueueObs(registry, self.name)
+        return self._obs
+
     def post(self, message):
         """Deposit a message; never blocks (generator for the notify)."""
         self.messages.append(message)
+        obs = self._obs
+        if obs is not None:
+            obs.sent.inc()
+            obs.occupancy.set(len(self.messages))
         yield from self._sync.signal(self.erdy)
 
     def collect(self, timeout=None):
@@ -41,12 +52,22 @@ class MailboxBase(Channel):
             )
             if not ready:
                 return TIMEOUT
-        return self.messages.popleft()
+        message = self.messages.popleft()
+        obs = self._obs
+        if obs is not None:
+            obs.received.inc()
+            obs.occupancy.set(len(self.messages))
+        return message
 
     def try_collect(self):
         """Non-blocking collect; returns the message or None."""
         if self.messages:
-            return self.messages.popleft()
+            message = self.messages.popleft()
+            obs = self._obs
+            if obs is not None:
+                obs.received.inc()
+                obs.occupancy.set(len(self.messages))
+            return message
         return None
 
     def __len__(self):

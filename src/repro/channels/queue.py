@@ -27,6 +27,13 @@ class QueueBase(Channel):
         self.sent = 0
         self.received = 0
 
+    def attach_metrics(self, registry):
+        """Register occupancy gauge + sent/received counters."""
+        from repro.obs.instruments import QueueObs
+
+        self._obs = QueueObs(registry, self.name)
+        return self._obs
+
     def send(self, item, timeout=None):
         """Enqueue ``item``, blocking while the queue is full (generator).
 
@@ -46,6 +53,10 @@ class QueueBase(Channel):
                 return False
         self.buffer.append(item)
         self.sent += 1
+        obs = self._obs
+        if obs is not None:
+            obs.sent.inc()
+            obs.occupancy.set(len(self.buffer))
         yield from self._sync.signal(self.erdy)
         return True
 
@@ -68,6 +79,10 @@ class QueueBase(Channel):
                 return TIMEOUT
         item = self.buffer.popleft()
         self.received += 1
+        obs = self._obs
+        if obs is not None:
+            obs.received.inc()
+            obs.occupancy.set(len(self.buffer))
         yield from self._sync.signal(self.eack)
         return item
 

@@ -22,6 +22,13 @@ class SemaphoreBase(Channel):
         #: diagnostics: blocked acquires observed
         self.contentions = 0
 
+    def attach_metrics(self, registry):
+        """Register token-level gauge + contention counter."""
+        from repro.obs.instruments import SemaphoreObs
+
+        self._obs = SemaphoreObs(registry, self.name)
+        return self._obs
+
     def acquire(self, timeout=None):
         """Take one token, blocking while the count is zero (generator).
 
@@ -29,30 +36,43 @@ class SemaphoreBase(Channel):
         much simulated time and evaluates to False (no token taken); the
         budget spans re-waits after lost wakeup races.
         """
+        obs = self._obs
         if timeout is None:
             while self.count <= 0:
                 self.contentions += 1
+                if obs is not None:
+                    obs.contended.inc()
                 yield from self._sync.wait(self.evt)
         else:
             if self.count <= 0:
                 self.contentions += 1
+                if obs is not None:
+                    obs.contended.inc()
             got = yield from wait_until(
                 self._sync, self.evt, lambda: self.count > 0, timeout
             )
             if not got:
                 return False
         self.count -= 1
+        if obs is not None:
+            obs.tokens.set(self.count)
         return True
 
     def release(self):
         """Return one token and wake blocked acquirers (generator)."""
         self.count += 1
+        obs = self._obs
+        if obs is not None:
+            obs.tokens.set(self.count)
         yield from self._sync.signal(self.evt)
 
     def try_acquire(self):
         """Non-blocking acquire; returns True on success."""
         if self.count > 0:
             self.count -= 1
+            obs = self._obs
+            if obs is not None:
+                obs.tokens.set(self.count)
             return True
         return False
 

@@ -95,6 +95,44 @@ class SweepResult:
         """The successful runs' metric dicts, in sweep order."""
         return [r.value for r in self.ok]
 
+    def aggregate(self):
+        """Cross-run aggregate of the successful runs' metrics.
+
+        Top-level scalar metrics are summarized as min/mean/max under
+        ``"scalars"``. Runs carrying an observability-registry snapshot
+        under ``"metrics"`` (see ``MetricsRegistry.snapshot``) get those
+        merged metric-by-metric — counters summed, gauges min/max'd,
+        histograms added bucket-wise — under ``"metrics"``.
+        """
+        values = [v for v in self.values() if isinstance(v, dict)]
+        scalars = {}
+        for value in values:
+            for name, metric in value.items():
+                if isinstance(metric, bool) or not isinstance(
+                    metric, (int, float)
+                ):
+                    continue
+                scalars.setdefault(name, []).append(metric)
+        aggregate = {
+            "runs": len(values),
+            "scalars": {
+                name: {
+                    "min": min(samples),
+                    "max": max(samples),
+                    "mean": sum(samples) / len(samples),
+                }
+                for name, samples in scalars.items()
+            },
+        }
+        snapshots = [
+            v["metrics"] for v in values if isinstance(v.get("metrics"), dict)
+        ]
+        if snapshots:
+            from repro.obs.metrics import MetricsRegistry
+
+            aggregate["metrics"] = MetricsRegistry.aggregate(snapshots)
+        return aggregate
+
     # -- tabulation --------------------------------------------------------
 
     def _param_columns(self):

@@ -31,18 +31,27 @@ DEFAULT_GRANULARITY = 10_000
 def periodic_taskset_run(policy="priority", preemption="step",
                          granularity=DEFAULT_GRANULARITY,
                          horizon=DEFAULT_HORIZON, task_set=None,
-                         switch_overhead=0):
+                         switch_overhead=0, with_obs=False):
     """One periodic task set under one scheduling configuration.
 
     Returns the scheduler-ablation metrics: deadline misses, context
     switches, preemptions, per-task worst/avg response times, CPU
-    accounting.
+    accounting. With ``with_obs=True`` a
+    :class:`~repro.obs.metrics.MetricsRegistry` is attached to the OS
+    services for the run and its snapshot rides along under the
+    ``"metrics"`` key (aggregatable across runs with
+    ``SweepResult.aggregate``).
     """
     task_set = [tuple(entry) for entry in (task_set or DEFAULT_TASK_SET)]
+    registry = None
+    if with_obs:
+        from repro.obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
     sim = Simulator()
     sim.trace.enabled = False
     os_ = RTOSModel(sim, sched=policy, preemption=preemption,
-                    switch_overhead=switch_overhead)
+                    switch_overhead=switch_overhead, registry=registry)
     tasks = []
     for index, (name, period, exec_time) in enumerate(task_set):
         task = os_.task_create(
@@ -67,19 +76,21 @@ def periodic_taskset_run(policy="priority", preemption="step",
 
     sim.spawn(boot(), name="boot")
     sim.run(until=horizon)
-    metrics = os_.metrics
-    return {
+    snap = os_.metrics.snapshot(sim.now)
+    result = {
         "policy": policy,
         "preemption": preemption,
-        "misses": metrics.deadline_misses,
-        "switches": metrics.context_switches,
-        "preemptions": metrics.preemptions,
-        "dispatches": metrics.dispatches,
-        "utilization": metrics.utilization(sim.now),
-        "busy_time": metrics.busy_time,
-        "overhead_time": metrics.overhead_time,
-        "idle_time": metrics.idle_time(sim.now),
-        "sim_time": sim.now,
+        "misses": snap["deadline_misses"],
+        "switches": snap["context_switches"],
+        "preemptions": snap["preemptions"],
+        "dispatches": snap["dispatches"],
+        "interrupts": snap["interrupts"],
+        "utilization": snap["utilization"],
+        "overhead_ratio": snap["overhead_ratio"],
+        "busy_time": snap["busy_time"],
+        "overhead_time": snap["overhead_time"],
+        "idle_time": snap["idle_time"],
+        "sim_time": snap["sim_time"],
         "worst_response": {
             t.name: t.stats.worst_response for t in tasks
         },
@@ -87,6 +98,9 @@ def periodic_taskset_run(policy="priority", preemption="step",
             t.name: t.stats.avg_response for t in tasks
         },
     }
+    if registry is not None:
+        result["metrics"] = registry.snapshot()
+    return result
 
 
 def vocoder_specification_run(n_frames=10, seed=2003):

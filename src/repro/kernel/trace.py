@@ -3,7 +3,9 @@
 All layers of the reproduction (kernel, RTOS model, platform, ISS) emit
 :class:`TraceRecord` entries into a shared :class:`Trace`. The analysis
 package (:mod:`repro.analysis`) turns these records into Gantt charts,
-response times and the transcoding-delay metric of Table 1.
+response times and the transcoding-delay metric of Table 1; the
+observability package (:mod:`repro.obs`) exports them to external tools
+(Chrome Trace Format / Perfetto, VCD, JSONL).
 
 Record categories used across the project:
 
@@ -20,7 +22,16 @@ Record categories used across the project:
     channel send/receive.
 ``user``
     free-form application markers.
+
+Records are written through a pluggable **sink** (see
+:class:`TraceSink`). The default :class:`ListSink` keeps everything in
+an in-memory list — bit-identical behavior to the pre-sink recorder —
+while :mod:`repro.obs.sinks` adds a bounded ring buffer and a streaming
+JSONL file sink for simulations whose full trace must not live in
+memory.
 """
+
+from itertools import islice
 
 from dataclasses import dataclass, field
 
@@ -40,13 +51,83 @@ class TraceRecord:
         return f"[{self.time:>10}] {self.category:<6} {self.actor:<16} {self.info}{extra}"
 
 
+class TraceSink:
+    """Destination of trace records (duck-typed protocol + base class).
+
+    A sink receives every record via ``emit(record)``; ``records`` is an
+    iterable view of what the sink still holds in memory (possibly a
+    bounded window, possibly nothing for streaming sinks). ``emit`` is
+    looked up once by :class:`Trace` and called directly on the hot
+    path, so implementations should make it as cheap as possible.
+    """
+
+    def emit(self, record):  # pragma: no cover - overridden everywhere
+        raise NotImplementedError
+
+    @property
+    def records(self):
+        """Records still held in memory (may be a subset, or empty)."""
+        return ()
+
+    @property
+    def emitted(self):
+        """Total records this sink has ever received."""
+        return 0
+
+    def clear(self):
+        """Forget everything recorded so far (including backing files)."""
+
+    def flush(self):
+        """Push buffered records to their backing store, if any."""
+
+    def close(self):
+        """Release resources; the sink must not be emitted to afterwards."""
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+
+
+class ListSink(TraceSink):
+    """Unbounded in-memory sink — the default, and the seed behavior.
+
+    ``emit`` *is* the backing list's ``append`` (no wrapper frame), so a
+    trace writing through this sink costs exactly what the pre-sink
+    ``self.records.append(...)`` did.
+    """
+
+    def __init__(self):
+        self._records = []
+        self.emit = self._records.append
+
+    @property
+    def records(self):
+        return self._records
+
+    @property
+    def emitted(self):
+        return len(self._records)
+
+    def clear(self):
+        # in place: ``emit`` stays bound to the same list
+        self._records.clear()
+
+
 def _noop(*args, **kwargs):
     """Stand-in for ``record``/``segment`` while tracing is disabled."""
     return None
 
 
 class Trace:
-    """An append-only list of trace records with query helpers.
+    """An append-only record stream with query helpers.
+
+    Records are written through ``sink`` (default: a fresh
+    :class:`ListSink`). The query helpers read the sink's in-memory
+    ``records`` view — for a streaming sink (e.g.
+    :class:`repro.obs.sinks.JsonlSink`) they see nothing; reload the
+    file with :func:`repro.obs.sinks.load_jsonl` to query it.
 
     Disabling (``trace.enabled = False``) swaps the ``record`` and
     ``segment`` entry points for a module-level no-op on the *instance*,
@@ -55,9 +136,24 @@ class Trace:
     tracing is off.
     """
 
-    def __init__(self):
-        self.records = []
+    def __init__(self, sink=None):
+        self._sink = sink if sink is not None else ListSink()
+        self._emit = self._sink.emit
         self._enabled = True
+
+    @property
+    def sink(self):
+        return self._sink
+
+    @sink.setter
+    def sink(self, sink):
+        self._sink = sink
+        self._emit = sink.emit
+
+    @property
+    def records(self):
+        """In-memory records view of the attached sink."""
+        return self._sink.records
 
     @property
     def enabled(self):
@@ -76,11 +172,11 @@ class Trace:
             self.segment = _noop
 
     def record(self, time, category, actor, info="", **data):
-        self.records.append(TraceRecord(time, category, actor, info, data))
+        self._emit(TraceRecord(time, category, actor, info, data))
 
     def segment(self, actor, start, end, info="run"):
         """Record one contiguous execution segment of ``actor``."""
-        self.records.append(
+        self._emit(
             TraceRecord(end, "exec", actor, info,
                         {"start": start, "end": end})
         )
@@ -113,7 +209,17 @@ class Trace:
         )
 
     def clear(self):
-        self.records.clear()
+        """Reset the attached sink (in-memory records *and* any backing
+        file), preserving the ``enabled`` no-op swap state."""
+        self._sink.clear()
+
+    def flush(self):
+        """Flush the attached sink's buffers (file sinks)."""
+        self._sink.flush()
+
+    def close(self):
+        """Close the attached sink (file sinks)."""
+        self._sink.close()
 
     def __len__(self):
         return len(self.records)
@@ -123,5 +229,5 @@ class Trace:
 
     def dump(self, limit=None):
         """Human-readable rendering of the trace (for examples/benches)."""
-        records = self.records if limit is None else self.records[:limit]
+        records = self.records if limit is None else islice(self.records, limit)
         return "\n".join(str(r) for r in records)

@@ -1,0 +1,66 @@
+"""Unified observability layer.
+
+One subsystem spanning every layer of the reproduction:
+
+* **trace sinks** (:mod:`repro.obs.sinks`) — where
+  :class:`~repro.kernel.trace.Trace` records go: in-memory list
+  (default), bounded ring buffer, streaming JSONL file, tee;
+* **metrics registry** (:mod:`repro.obs.metrics`) — named
+  counters/gauges/histograms instrumented throughout the RTOS services
+  and the channel library, with cross-run aggregation for the farm;
+* **simulation profiler** (:mod:`repro.obs.profiler`) — opt-in
+  wall-clock attribution per command type and per process
+  (``Simulator.enable_profiling()`` / ``profile_report()``);
+* **exporters** (:mod:`repro.obs.ctf` plus the pre-existing VCD/Gantt
+  renderers) — Chrome Trace Format / Perfetto JSON over the same trace
+  query layer.
+
+``python -m repro.obs`` is the command-line entry point (``export``,
+``stats``, ``profile`` subcommands).
+"""
+
+from repro.obs.ctf import to_ctf, validate_ctf, write_ctf
+from repro.obs.instruments import (
+    HandshakeObs,
+    QueueObs,
+    RTOSObs,
+    SemaphoreObs,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.profiler import SimProfiler
+from repro.obs.sinks import (
+    JsonlSink,
+    ListSink,
+    RingBufferSink,
+    TeeSink,
+    TraceSink,
+    iter_jsonl,
+    load_jsonl,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "HandshakeObs",
+    "Histogram",
+    "JsonlSink",
+    "ListSink",
+    "MetricsRegistry",
+    "QueueObs",
+    "RTOSObs",
+    "RingBufferSink",
+    "SemaphoreObs",
+    "SimProfiler",
+    "TeeSink",
+    "TraceSink",
+    "iter_jsonl",
+    "load_jsonl",
+    "to_ctf",
+    "validate_ctf",
+    "write_ctf",
+]

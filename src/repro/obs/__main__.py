@@ -1,0 +1,192 @@
+"""Command-line entry point: ``python -m repro.obs``.
+
+Subcommands
+-----------
+``export``
+    Run a bundled model (or load a recorded JSONL trace) and write any
+    combination of Chrome-Trace/Perfetto JSON (``--ctf``), VCD
+    (``--vcd``), streaming JSONL (``--jsonl``) and an ASCII Gantt chart
+    (``--gantt``).
+``stats``
+    Run a model with a metrics registry attached to every OS service and
+    channel, and print the metric snapshot as JSON.
+``profile``
+    Run a model under the simulator's wall-clock profiler and print the
+    per-command / per-process attribution report.
+
+The bundled models are the paper's running example (Figure 3):
+``fig3-arch`` (the RTOS-refined architecture model, the default) and
+``fig3-spec`` (the unscheduled specification model).
+"""
+
+import argparse
+import json
+import sys
+
+from repro.kernel.trace import ListSink, Trace
+from repro.obs.ctf import write_ctf
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.sinks import JsonlSink, TeeSink, load_jsonl
+
+MODELS = ("fig3-arch", "fig3-spec")
+
+
+def _run_model(model, trace=None, registry=None, profile=False):
+    from repro.apps import fig3
+
+    if model == "fig3-spec":
+        return fig3.run_unscheduled(
+            trace=trace, registry=registry, profile=profile
+        )
+    return fig3.run_architecture(
+        trace=trace, registry=registry, profile=profile
+    )
+
+
+def _default_path(model, suffix):
+    return model.replace("-", "_") + suffix
+
+
+def _add_model_argument(parser):
+    parser.add_argument(
+        "--model", choices=MODELS, default="fig3-arch",
+        help="bundled model to run (default: %(default)s)",
+    )
+
+
+def cmd_export(args):
+    if args.input is not None:
+        trace = load_jsonl(args.input)
+        source = args.input
+    else:
+        # a Tee keeps the in-memory query view the exporters need while
+        # the JSONL sink streams every record straight to disk
+        sink = ListSink()
+        if args.jsonl is not None:
+            sink = TeeSink(sink, JsonlSink(args.jsonl))
+        trace = Trace(sink=sink)
+        _run_model(args.model, trace=trace)
+        trace.close()
+        source = args.model
+
+    wrote = []
+    if args.jsonl is not None and args.input is None:
+        wrote.append(args.jsonl)
+    if args.ctf is not None:
+        path = args.ctf or (
+            args.input + ".ctf.json" if args.input
+            else _default_path(args.model, ".ctf.json")
+        )
+        write_ctf(trace, path)
+        wrote.append(path)
+    if args.vcd is not None:
+        from repro.analysis.vcd import write_vcd
+
+        path = args.vcd or (
+            args.input + ".vcd" if args.input
+            else _default_path(args.model, ".vcd")
+        )
+        write_vcd(trace, path)
+        wrote.append(path)
+    if args.gantt:
+        from repro.analysis.gantt import render
+
+        print(render(trace, width=args.width))
+
+    for path in wrote:
+        print(f"wrote {path}")
+    if not wrote and not args.gantt:
+        records = trace.records
+        print(f"{source}: {len(records)} trace records "
+              f"(no output selected; try --ctf, --vcd, --jsonl or --gantt)")
+    return 0
+
+
+def cmd_stats(args):
+    registry = MetricsRegistry()
+    result = _run_model(args.model, registry=registry)
+    payload = {
+        "model": args.model,
+        "end_time": result.sim.now,
+        "trace_records": len(result.trace.records),
+        "metrics": registry.snapshot(),
+    }
+    if result.os is not None:
+        payload["rtos"] = result.os.metrics.snapshot(result.sim.now)
+    print(json.dumps(payload, indent=2, sort_keys=True))
+    return 0
+
+
+def cmd_profile(args):
+    result = _run_model(args.model, profile=True)
+    print(result.sim.profile_report(limit=args.limit))
+    return 0
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Observability toolbox: trace export, metric "
+                    "snapshots and simulation profiles.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    export = sub.add_parser(
+        "export", help="run a model (or load a JSONL trace) and export it"
+    )
+    _add_model_argument(export)
+    export.add_argument(
+        "--input", metavar="PATH", default=None,
+        help="load a recorded JSONL trace instead of running a model",
+    )
+    export.add_argument(
+        "--ctf", metavar="PATH", nargs="?", const="",
+        help="write Chrome-Trace/Perfetto JSON (default name derived "
+             "from the model)",
+    )
+    export.add_argument(
+        "--vcd", metavar="PATH", nargs="?", const="",
+        help="write an IEEE-1364 VCD waveform dump",
+    )
+    export.add_argument(
+        "--jsonl", metavar="PATH", default=None,
+        help="stream the trace to a JSONL file while the model runs",
+    )
+    export.add_argument(
+        "--gantt", action="store_true",
+        help="print an ASCII Gantt chart of the execution",
+    )
+    export.add_argument(
+        "--width", type=int, default=72,
+        help="Gantt chart width in cells (default: %(default)s)",
+    )
+    export.set_defaults(func=cmd_export)
+
+    stats = sub.add_parser(
+        "stats", help="run a model with metrics attached and print JSON"
+    )
+    _add_model_argument(stats)
+    stats.set_defaults(func=cmd_stats)
+
+    profile = sub.add_parser(
+        "profile", help="run a model under the profiler and print a report"
+    )
+    _add_model_argument(profile)
+    profile.add_argument(
+        "--limit", type=int, default=15,
+        help="rows per profile section (default: %(default)s)",
+    )
+    profile.set_defaults(func=cmd_profile)
+    return parser
+
+
+def main(argv=None):
+    args = build_parser().parse_args(argv)
+    if args.command == "export" and args.input is not None and args.jsonl:
+        print("--input and --jsonl are mutually exclusive", file=sys.stderr)
+        return 2
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

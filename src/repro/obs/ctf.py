@@ -1,0 +1,236 @@
+"""Chrome Trace Format (Perfetto / ``chrome://tracing``) export.
+
+Maps a :class:`~repro.kernel.trace.Trace` onto the Chrome Trace Format
+JSON array-of-events dialect, loadable by Perfetto's legacy importer and
+``chrome://tracing``:
+
+* ``exec`` segments -> complete duration events (``ph: "X"``), one track
+  (pid/tid pair) per actor under the "exec" process group;
+* ``task`` state transitions -> thread-scoped instant events
+  (``ph: "i"``) on the same actor track;
+* ``sched`` records (dispatch/preempt/switch) -> instant events on the
+  scheduler track of the "os" process group;
+* ``irq`` records -> instant events on the "irq" group;
+* ``user``/``chan``/other records -> instant events on the "app" group;
+* a derived **counter track** (``ph: "C"``, name ``running``) stepping
+  +1/-1 at every segment boundary — CPU/actor occupancy over time.
+
+Timestamps are the simulator's integer time units passed through
+unchanged (CTF nominally wants microseconds; for a relative timeline the
+unit only affects the axis label).
+
+:func:`validate_ctf` is the schema check the tests and the CLI run
+before a document is written: required fields per phase type, and
+monotone, non-overlapping durations per track.
+"""
+
+import json
+
+from repro.analysis.trace_analysis import exec_segments
+
+#: process-group ids (CTF "pid") used by the exporter
+EXEC_PID = 1
+OS_PID = 2
+IRQ_PID = 3
+APP_PID = 4
+
+_GROUP_NAMES = {
+    EXEC_PID: "exec",
+    OS_PID: "os",
+    IRQ_PID: "irq",
+    APP_PID: "app",
+}
+
+#: trace category -> process group for instant events
+_INSTANT_PID = {"sched": OS_PID, "irq": IRQ_PID}
+
+
+def to_ctf(trace, time_unit="ns"):
+    """Render ``trace`` as a Chrome Trace Format document (a dict).
+
+    The result is JSON-ready: ``json.dump(to_ctf(trace), fh)`` or use
+    :func:`write_ctf`.
+    """
+    events = []
+    segments = exec_segments(trace)
+    actors = []
+    for actor, *_ in segments:
+        if actor not in actors:
+            actors.append(actor)
+    tids = {actor: index + 1 for index, actor in enumerate(actors)}
+
+    for pid, label in _GROUP_NAMES.items():
+        events.append(_meta("process_name", pid, 0, {"name": label}))
+    for actor, tid in tids.items():
+        events.append(_meta("thread_name", EXEC_PID, tid, {"name": actor}))
+    events.append(_meta("thread_name", OS_PID, 0, {"name": "scheduler"}))
+
+    # exec segments -> complete duration events + occupancy counter deltas
+    deltas = {}
+    for actor, start, end, info in segments:
+        events.append({
+            "name": actor,
+            "cat": "exec",
+            "ph": "X",
+            "ts": start,
+            "dur": end - start,
+            "pid": EXEC_PID,
+            "tid": tids[actor],
+            "args": {"info": info},
+        })
+        deltas[start] = deltas.get(start, 0) + 1
+        deltas[end] = deltas.get(end, 0) - 1
+
+    # derived counter track: number of actors executing at each instant
+    running = 0
+    for time in sorted(deltas):
+        running += deltas[time]
+        events.append({
+            "name": "running",
+            "ph": "C",
+            "ts": time,
+            "pid": EXEC_PID,
+            "tid": 0,
+            "args": {"running": running},
+        })
+
+    # instant events: task states on the actor's exec track; sched/irq/
+    # user/chan records on their own process groups
+    for record in trace:
+        category = record.category
+        if category == "exec":
+            continue
+        if category == "task":
+            pid = EXEC_PID
+            tid = tids.get(record.actor, 0)
+        else:
+            pid = _INSTANT_PID.get(category, APP_PID)
+            tid = 0
+        events.append({
+            "name": record.info or category,
+            "cat": category,
+            "ph": "i",
+            "s": "t",
+            "ts": record.time,
+            "pid": pid,
+            "tid": tid,
+            "args": _jsonable(record.data),
+        })
+
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "source": "repro (RTOS Modeling for System Level Design)",
+            "time_unit": time_unit,
+        },
+    }
+
+
+def write_ctf(trace, path, validate=True, **kwargs):
+    """Validate and write the CTF rendering of ``trace`` to ``path``."""
+    document = to_ctf(trace, **kwargs)
+    if validate:
+        validate_ctf(document)
+    with open(path, "w") as handle:
+        json.dump(document, handle, indent=1)
+        handle.write("\n")
+    return path
+
+
+def _meta(name, pid, tid, args):
+    return {
+        "name": name, "ph": "M", "pid": pid, "tid": tid, "args": args,
+    }
+
+
+def _jsonable(data):
+    return {
+        key: value
+        if isinstance(value, (int, float, str, bool, type(None)))
+        else str(value)
+        for key, value in data.items()
+    }
+
+
+# ----------------------------------------------------------------------
+# schema validation
+# ----------------------------------------------------------------------
+
+_REQUIRED = {
+    "X": ("name", "ts", "dur", "pid", "tid"),
+    "i": ("name", "ts", "pid", "tid", "s"),
+    "C": ("name", "ts", "pid", "args"),
+    "M": ("name", "pid", "args"),
+}
+
+
+def validate_ctf(document):
+    """Check ``document`` against the Chrome Trace Format event schema.
+
+    Raises :class:`ValueError` on the first violation; returns the
+    number of events otherwise. Checked invariants:
+
+    * the JSON-object dialect with a ``traceEvents`` list;
+    * every event has a known ``ph`` and that phase's required fields;
+    * ``ts``/``dur`` are non-negative numbers, ``pid``/``tid`` ints;
+    * instant-event scope ``s`` is one of ``t``/``p``/``g``;
+    * counter args are numeric;
+    * per (pid, tid) track, ``X`` durations are monotone and
+      non-overlapping (sorted by ``ts``, each starts at or after the
+      previous one's end).
+    """
+    if not isinstance(document, dict) or "traceEvents" not in document:
+        raise ValueError("not a CTF JSON-object document (no traceEvents)")
+    events = document["traceEvents"]
+    if not isinstance(events, list):
+        raise ValueError("traceEvents must be a list")
+    tracks = {}
+    for index, event in enumerate(events):
+        if not isinstance(event, dict):
+            raise ValueError(f"event #{index} is not an object")
+        phase = event.get("ph")
+        if phase not in _REQUIRED:
+            raise ValueError(f"event #{index}: unsupported ph {phase!r}")
+        for field in _REQUIRED[phase]:
+            if field not in event:
+                raise ValueError(
+                    f"event #{index} (ph={phase}): missing field {field!r}"
+                )
+        if phase != "M":
+            ts = event["ts"]
+            if not isinstance(ts, (int, float)) or ts < 0:
+                raise ValueError(f"event #{index}: bad ts {ts!r}")
+        if "pid" in event and not isinstance(event["pid"], int):
+            raise ValueError(f"event #{index}: non-int pid")
+        if "tid" in event and not isinstance(event["tid"], int):
+            raise ValueError(f"event #{index}: non-int tid")
+        if phase == "X":
+            dur = event["dur"]
+            if not isinstance(dur, (int, float)) or dur < 0:
+                raise ValueError(f"event #{index}: bad dur {dur!r}")
+            tracks.setdefault((event["pid"], event["tid"]), []).append(
+                (event["ts"], dur, index)
+            )
+        elif phase == "i":
+            if event["s"] not in ("t", "p", "g"):
+                raise ValueError(
+                    f"event #{index}: bad instant scope {event['s']!r}"
+                )
+        elif phase == "C":
+            for key, value in event["args"].items():
+                if not isinstance(value, (int, float)):
+                    raise ValueError(
+                        f"event #{index}: counter {key!r} not numeric"
+                    )
+    for (pid, tid), spans in tracks.items():
+        spans.sort(key=lambda span: (span[0], span[0] + span[1]))
+        cursor = None
+        for ts, dur, index in spans:
+            if cursor is not None and ts < cursor:
+                raise ValueError(
+                    f"track pid={pid} tid={tid}: event #{index} at ts={ts} "
+                    f"overlaps the previous duration ending at {cursor}"
+                )
+            cursor = ts + dur
+    return len(events)

@@ -1,0 +1,83 @@
+"""Pre-bound instrument bundles for the hot layers.
+
+The RTOS services and the channel library are instrumented through small
+bundle objects created once per model/channel from a
+:class:`~repro.obs.metrics.MetricsRegistry`. The call sites guard with a
+single ``if obs is not None`` so the disabled path (the default — no
+registry attached) costs one attribute load and a pointer compare.
+
+Metric name scheme::
+
+    <os-name>.ready_depth              gauge, sampled at each dispatch
+    <os-name>.event_wait_latency      histogram, wait -> wake sim-time
+    <os-name>.time_wait_calls         counter
+    <os-name>.time_wait_delay         histogram of requested delays
+    <os-name>.response_time.<task>    histogram per task
+    chan.<name>.occupancy             gauge (queue/mailbox fill level)
+    chan.<name>.sent / .received      counters
+    chan.<name>.tokens                gauge (semaphore count)
+    chan.<name>.contended             counter (blocked acquires)
+    chan.<name>.transfers             counter (handshake rendezvous)
+"""
+
+
+class RTOSObs:
+    """Instruments of one RTOS model (one PE)."""
+
+    __slots__ = (
+        "registry",
+        "prefix",
+        "ready_depth",
+        "wait_latency",
+        "time_wait_calls",
+        "time_wait_delay",
+        "_response",
+    )
+
+    def __init__(self, registry, prefix):
+        self.registry = registry
+        self.prefix = prefix
+        self.ready_depth = registry.gauge(f"{prefix}.ready_depth")
+        self.wait_latency = registry.histogram(f"{prefix}.event_wait_latency")
+        self.time_wait_calls = registry.counter(f"{prefix}.time_wait_calls")
+        self.time_wait_delay = registry.histogram(f"{prefix}.time_wait_delay")
+        self._response = {}
+
+    def response(self, task_name):
+        """Per-task response-time histogram (created lazily)."""
+        hist = self._response.get(task_name)
+        if hist is None:
+            hist = self._response[task_name] = self.registry.histogram(
+                f"{self.prefix}.response_time.{task_name}"
+            )
+        return hist
+
+
+class QueueObs:
+    """Occupancy + throughput instruments of one buffered channel."""
+
+    __slots__ = ("occupancy", "sent", "received")
+
+    def __init__(self, registry, name):
+        self.occupancy = registry.gauge(f"chan.{name}.occupancy")
+        self.sent = registry.counter(f"chan.{name}.sent")
+        self.received = registry.counter(f"chan.{name}.received")
+
+
+class SemaphoreObs:
+    """Token-level + contention instruments of one semaphore."""
+
+    __slots__ = ("tokens", "contended")
+
+    def __init__(self, registry, name):
+        self.tokens = registry.gauge(f"chan.{name}.tokens")
+        self.contended = registry.counter(f"chan.{name}.contended")
+
+
+class HandshakeObs:
+    """Rendezvous counter of one handshake channel."""
+
+    __slots__ = ("transfers",)
+
+    def __init__(self, registry, name):
+        self.transfers = registry.counter(f"chan.{name}.transfers")

@@ -1,0 +1,281 @@
+"""Metrics registry: counters, gauges and histograms by name.
+
+:class:`~repro.rtos.metrics.RTOSMetrics` is a fixed slot struct — the
+Table-1 numbers. This module is the *open* half of the metrics story:
+any layer (RTOS services, channels, platform models, applications)
+registers instruments by name in a :class:`MetricsRegistry` and bumps
+them on the fly; ``snapshot()``/``as_dict()`` exports everything as one
+JSON-friendly dict, and :func:`MetricsRegistry.aggregate` merges the
+snapshots of many runs (the farm's cross-sweep aggregation).
+
+Instruments are deliberately tiny (``__slots__``, no locks, no labels):
+simulations are single-threaded per process, and a disabled
+instrumentation path must stay one ``is None`` check away from free.
+
+Histogram buckets are a fixed 1-2-5 geometric ladder by default, wide
+enough for simulated-time latencies from 1 time unit up to ~10^12.
+"""
+
+from bisect import bisect_left
+
+#: default histogram upper bounds: 1, 2, 5, 10, 20, 50, ... 5e12
+DEFAULT_BOUNDS = tuple(
+    m * 10 ** e for e in range(13) for m in (1, 2, 5)
+)
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    kind = "counter"
+    __slots__ = ("name", "value")
+
+    def __init__(self, name):
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount=1):
+        self.value += amount
+
+    def reset(self):
+        self.value = 0
+
+    def as_dict(self):
+        return {"kind": "counter", "value": self.value}
+
+    def __repr__(self):
+        return f"Counter({self.name!r}, value={self.value})"
+
+
+class Gauge:
+    """Last-written value, with min/max/sample bookkeeping."""
+
+    kind = "gauge"
+    __slots__ = ("name", "value", "min", "max", "samples")
+
+    def __init__(self, name):
+        self.name = name
+        self.reset()
+
+    def set(self, value):
+        self.value = value
+        self.samples += 1
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    def reset(self):
+        self.value = None
+        self.min = None
+        self.max = None
+        self.samples = 0
+
+    def as_dict(self):
+        return {
+            "kind": "gauge",
+            "value": self.value,
+            "min": self.min,
+            "max": self.max,
+            "samples": self.samples,
+        }
+
+    def __repr__(self):
+        return f"Gauge({self.name!r}, value={self.value})"
+
+
+class Histogram:
+    """Fixed-bucket distribution with count/sum/min/max.
+
+    ``bounds`` are inclusive upper bounds; one overflow bucket catches
+    everything above the last bound. ``observe`` is O(log n_buckets).
+    """
+
+    kind = "histogram"
+    __slots__ = ("name", "bounds", "counts", "count", "total", "min", "max")
+
+    def __init__(self, name, bounds=None):
+        self.name = name
+        self.bounds = tuple(bounds) if bounds is not None else DEFAULT_BOUNDS
+        if list(self.bounds) != sorted(self.bounds):
+            raise ValueError(f"histogram bounds must be sorted: {bounds!r}")
+        self.reset()
+
+    def observe(self, value):
+        self.counts[bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    def reset(self):
+        self.counts = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.total = 0
+        self.min = None
+        self.max = None
+
+    @property
+    def mean(self):
+        return self.total / self.count if self.count else None
+
+    def as_dict(self):
+        """JSON-friendly export; empty buckets are omitted.
+
+        ``buckets`` maps the upper bound (stringified for JSON) to the
+        count; the overflow bucket is keyed ``"inf"``.
+        """
+        buckets = {}
+        for i, n in enumerate(self.counts):
+            if n:
+                key = "inf" if i == len(self.bounds) else str(self.bounds[i])
+                buckets[key] = n
+        return {
+            "kind": "histogram",
+            "count": self.count,
+            "total": self.total,
+            "mean": self.mean,
+            "min": self.min,
+            "max": self.max,
+            "buckets": buckets,
+        }
+
+    def __repr__(self):
+        return (
+            f"Histogram({self.name!r}, count={self.count}, mean={self.mean})"
+        )
+
+
+class MetricsRegistry:
+    """Named instruments with get-or-create registration.
+
+    ``registry.counter("os.dispatches")`` returns the existing counter of
+    that name or creates it; asking for the same name with a different
+    instrument kind raises. Iteration order is registration order.
+    """
+
+    def __init__(self):
+        self._metrics = {}
+
+    def _get_or_create(self, name, cls, *args):
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = self._metrics[name] = cls(name, *args)
+        elif not isinstance(metric, cls):
+            raise ValueError(
+                f"metric {name!r} is a {metric.kind}, not a {cls.kind}"
+            )
+        return metric
+
+    def counter(self, name):
+        return self._get_or_create(name, Counter)
+
+    def gauge(self, name):
+        return self._get_or_create(name, Gauge)
+
+    def histogram(self, name, bounds=None):
+        if bounds is None:
+            return self._get_or_create(name, Histogram)
+        return self._get_or_create(name, Histogram, bounds)
+
+    def get(self, name):
+        return self._metrics.get(name)
+
+    def names(self):
+        return list(self._metrics)
+
+    def __contains__(self, name):
+        return name in self._metrics
+
+    def __iter__(self):
+        return iter(self._metrics.values())
+
+    def __len__(self):
+        return len(self._metrics)
+
+    def reset(self):
+        for metric in self._metrics.values():
+            metric.reset()
+
+    def snapshot(self):
+        """All instruments as one ``{name: metric.as_dict()}`` dict."""
+        return {name: m.as_dict() for name, m in self._metrics.items()}
+
+    as_dict = snapshot
+
+    @staticmethod
+    def aggregate(snapshots):
+        """Merge many ``snapshot()`` dicts (one per run) into one.
+
+        Counters sum; gauges keep min-of-mins / max-of-maxes and sum
+        sample counts (``value`` becomes the mean of per-run last
+        values); histograms sum counts/totals bucket-wise. Every merged
+        entry carries ``runs`` — the number of snapshots the metric
+        appeared in — so partial coverage across a sweep stays visible.
+        """
+        merged = {}
+        gauge_values = {}
+        for snap in snapshots:
+            for name, data in snap.items():
+                kind = data.get("kind")
+                out = merged.get(name)
+                if out is None:
+                    out = merged[name] = {"kind": kind, "runs": 0}
+                    if kind == "counter":
+                        out["value"] = 0
+                    elif kind == "gauge":
+                        out.update(min=None, max=None, samples=0)
+                        gauge_values[name] = []
+                    elif kind == "histogram":
+                        out.update(
+                            count=0, total=0, min=None, max=None, buckets={}
+                        )
+                elif out["kind"] != kind:
+                    raise ValueError(
+                        f"metric {name!r} changes kind across runs"
+                    )
+                out["runs"] += 1
+                if kind == "counter":
+                    out["value"] += data["value"]
+                elif kind == "gauge":
+                    out["min"] = _merge_min(out["min"], data.get("min"))
+                    out["max"] = _merge_max(out["max"], data.get("max"))
+                    out["samples"] += data.get("samples", 0)
+                    if data.get("value") is not None:
+                        gauge_values[name].append(data["value"])
+                elif kind == "histogram":
+                    out["count"] += data["count"]
+                    out["total"] += data["total"]
+                    out["min"] = _merge_min(out["min"], data.get("min"))
+                    out["max"] = _merge_max(out["max"], data.get("max"))
+                    buckets = out["buckets"]
+                    for key, n in data.get("buckets", {}).items():
+                        buckets[key] = buckets.get(key, 0) + n
+        for name, values in gauge_values.items():
+            merged[name]["value"] = (
+                sum(values) / len(values) if values else None
+            )
+        for data in merged.values():
+            if data["kind"] == "histogram":
+                data["mean"] = (
+                    data["total"] / data["count"] if data["count"] else None
+                )
+        return merged
+
+
+def _merge_min(a, b):
+    if a is None:
+        return b
+    if b is None:
+        return a
+    return min(a, b)
+
+
+def _merge_max(a, b):
+    if a is None:
+        return b
+    if b is None:
+        return a
+    return max(a, b)

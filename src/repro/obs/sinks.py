@@ -1,0 +1,207 @@
+"""Pluggable trace sinks beyond the in-memory default.
+
+The sink *protocol* (:class:`~repro.kernel.trace.TraceSink`) and the
+default in-memory :class:`~repro.kernel.trace.ListSink` live in the
+kernel — the bottom layer stays self-contained. This module adds the
+sinks that make observability scale past toy runs and re-exports the
+kernel pair so ``repro.obs`` is the one-stop import:
+
+:class:`RingBufferSink`
+    a bounded ring that keeps only the newest ``capacity`` records;
+    million-event simulations keep a recent window in O(capacity)
+    memory (``evicted`` counts what was dropped).
+:class:`JsonlSink`
+    a streaming JSON-lines file writer: O(1) memory regardless of trace
+    length; :func:`load_jsonl` reloads the file into an in-memory trace
+    for the analysis/export tooling.
+:class:`TeeSink`
+    fans one record stream out to several sinks (e.g. keep an in-memory
+    view for queries *and* stream to disk).
+
+Sink contract (duck-typed, no registration): ``emit(record)`` appends
+one record, ``records`` is an iterable view of what is still held in
+memory, ``clear()`` resets the sink (including any backing file),
+``close()`` releases resources. ``emit`` is looked up **once** by the
+recorder and called directly, so a sink's ``emit`` should be as cheap
+as possible.
+"""
+
+import json
+from collections import deque
+
+from repro.kernel.trace import ListSink, Trace, TraceRecord, TraceSink
+
+__all__ = [
+    "JsonlSink",
+    "ListSink",
+    "RingBufferSink",
+    "TeeSink",
+    "TraceSink",
+    "dumps_record",
+    "iter_jsonl",
+    "load_jsonl",
+    "obj_to_record",
+    "record_to_obj",
+]
+
+
+class RingBufferSink(TraceSink):
+    """Bounded sink keeping the newest ``capacity`` records."""
+
+    def __init__(self, capacity):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._records = deque(maxlen=capacity)
+        self._emitted = 0
+
+    def emit(self, record):
+        self._emitted += 1
+        self._records.append(record)
+
+    @property
+    def records(self):
+        return self._records
+
+    @property
+    def emitted(self):
+        return self._emitted
+
+    @property
+    def evicted(self):
+        """Records dropped because the ring was full."""
+        return self._emitted - len(self._records)
+
+    def clear(self):
+        self._records.clear()
+        self._emitted = 0
+
+
+class JsonlSink(TraceSink):
+    """Streaming JSON-lines file sink: O(1) memory for any trace length.
+
+    Each record becomes one JSON object per line (see
+    :func:`record_to_obj` for the key scheme). Nothing is retained in
+    memory — ``records`` is empty; reload the file with
+    :func:`load_jsonl` to query or export it.
+    """
+
+    def __init__(self, path):
+        self.path = path
+        self._fh = open(path, "w")
+        self._emitted = 0
+
+    def emit(self, record):
+        self._fh.write(dumps_record(record))
+        self._fh.write("\n")
+        self._emitted += 1
+
+    @property
+    def emitted(self):
+        return self._emitted
+
+    def clear(self):
+        """Truncate the backing file and restart the stream."""
+        self._fh.seek(0)
+        self._fh.truncate()
+        self._emitted = 0
+
+    def flush(self):
+        self._fh.flush()
+
+    def close(self):
+        if not self._fh.closed:
+            self._fh.close()
+
+
+class TeeSink(TraceSink):
+    """Fan one record stream out to several sinks.
+
+    ``records`` (and the query layer on top of it) reads from the first
+    sink, so ``TeeSink(ListSink(), JsonlSink(path))`` gives an in-memory
+    view *and* a streamed file.
+    """
+
+    def __init__(self, *sinks):
+        if not sinks:
+            raise ValueError("TeeSink needs at least one sink")
+        self.sinks = sinks
+
+    def emit(self, record):
+        for sink in self.sinks:
+            sink.emit(record)
+
+    @property
+    def records(self):
+        return self.sinks[0].records
+
+    @property
+    def emitted(self):
+        return self.sinks[0].emitted
+
+    def clear(self):
+        for sink in self.sinks:
+            sink.clear()
+
+    def flush(self):
+        for sink in self.sinks:
+            sink.flush()
+
+    def close(self):
+        for sink in self.sinks:
+            sink.close()
+
+
+# ----------------------------------------------------------------------
+# JSONL record codec
+# ----------------------------------------------------------------------
+
+def record_to_obj(record):
+    """``TraceRecord`` -> plain dict with short keys (t/c/a/i/d)."""
+    obj = {"t": record.time, "c": record.category, "a": record.actor}
+    if record.info:
+        obj["i"] = record.info
+    if record.data:
+        obj["d"] = record.data
+    return obj
+
+
+def dumps_record(record):
+    """One compact JSON line for ``record`` (no trailing newline).
+
+    Non-JSON payload values in ``data`` are stringified — the trace
+    stream must never fail because an application put an object into a
+    user mark.
+    """
+    return json.dumps(
+        record_to_obj(record), separators=(",", ":"), default=str
+    )
+
+
+def obj_to_record(obj):
+    """Inverse of :func:`record_to_obj`."""
+    return TraceRecord(
+        obj["t"], obj["c"], obj["a"], obj.get("i", ""), obj.get("d", {})
+    )
+
+
+def iter_jsonl(path):
+    """Yield :class:`TraceRecord` objects from a JSONL trace file."""
+    with open(path) as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                yield obj_to_record(json.loads(line))
+
+
+def load_jsonl(path):
+    """Load a JSONL trace file into a fresh in-memory ``Trace``.
+
+    The result supports the full query layer (``segments``, ``count``,
+    ...) and every exporter (VCD, Gantt, Chrome Trace Format).
+    """
+    trace = Trace()
+    records = trace.records
+    for record in iter_jsonl(path):
+        records.append(record)
+    return trace

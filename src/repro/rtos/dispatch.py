@@ -38,6 +38,7 @@ class Dispatcher:
         "last_occupant",
         "started",
         "_dispatch_pending",
+        "obs",
     )
 
     def __init__(self, sim, trace, metrics, name, scheduler, preemption,
@@ -56,6 +57,9 @@ class Dispatcher:
         self.last_occupant = None
         self.started = False
         self._dispatch_pending = False
+        #: optional RTOSObs instrument bundle (RTOSModel.observe);
+        #: every instrumentation site guards with ``is not None``
+        self.obs = None
 
     def reset(self):
         """Forget all occupancy state (RTOSModel.init)."""
@@ -124,6 +128,11 @@ class Dispatcher:
         self.running = task
         task.stats.dispatches += 1
         self.metrics.dispatches += 1
+        obs = self.obs
+        if obs is not None:
+            # depth *after* removing the dispatched task: tasks left
+            # waiting for the CPU at this dispatch decision
+            obs.ready_depth.set(len(self.scheduler))
         self.scheduler.on_dispatch(task, self.sim.now)
         self.trace.record(self.sim.now, "sched", self.name, "dispatch", task=task.name)
         task.dispatch_evt.fire(self.sim)

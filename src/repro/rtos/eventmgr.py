@@ -23,7 +23,8 @@ from repro.rtos.task import TaskState
 class EventManager:
     """Event service of one PE's RTOS model."""
 
-    __slots__ = ("sim", "trace", "name", "dispatcher", "tasks", "events")
+    __slots__ = ("sim", "trace", "name", "dispatcher", "tasks", "events",
+                 "obs")
 
     def __init__(self, sim, trace, name, dispatcher, tasks):
         self.sim = sim
@@ -32,6 +33,8 @@ class EventManager:
         self.dispatcher = dispatcher
         self.tasks = tasks
         self.events = []
+        #: optional RTOSObs instrument bundle (RTOSModel.observe)
+        self.obs = None
 
     def reset(self):
         """Drop all event state (RTOSModel.init)."""
@@ -101,8 +104,11 @@ class EventManager:
                 event=event.name, timeout=timeout,
             )
             self._arm_timeout(task, timeout)
+        blocked_at = self.sim.now
         self.dispatcher.yield_cpu(task, TaskState.WAITING)
         yield from self.dispatcher.wait_until_running(task)
+        if self.obs is not None:
+            self.obs.wait_latency.observe(self.sim.now - blocked_at)
         woke = task.wake_value
         task.wake_value = None
         return woke
@@ -143,8 +149,11 @@ class EventManager:
         )
         if timeout is not None:
             self._arm_timeout(task, timeout)
+        blocked_at = self.sim.now
         self.dispatcher.yield_cpu(task, TaskState.WAITING)
         yield from self.dispatcher.wait_until_running(task)
+        if self.obs is not None:
+            self.obs.wait_latency.observe(self.sim.now - blocked_at)
         woke = task.wake_value
         task.wake_value = None
         return woke

@@ -64,6 +64,22 @@ class RTOSMetrics:
     def as_dict(self):
         return {name: getattr(self, name) for name in self.__slots__}
 
+    def snapshot(self, total_time=None):
+        """Counters plus, given the simulated span, the derived ratios.
+
+        With ``total_time`` the snapshot adds ``sim_time``,
+        ``idle_time``, ``utilization`` and ``overhead_ratio`` — the
+        complete flat metrics dict the farm workloads and result
+        aggregation consume (all JSON-serializable scalars).
+        """
+        snap = self.as_dict()
+        if total_time is not None:
+            snap["sim_time"] = total_time
+            snap["idle_time"] = self.idle_time(total_time)
+            snap["utilization"] = self.utilization(total_time)
+            snap["overhead_ratio"] = self.overhead_ratio(total_time)
+        return snap
+
     def __repr__(self):
         inner = ", ".join(f"{k}={v}" for k, v in self.as_dict().items())
         return f"RTOSMetrics({inner})"

@@ -83,10 +83,17 @@ class RTOSModel(Channel):
         execution times).
     name:
         Label used in traces (one model per PE, e.g. ``"DSP.os"``).
+    registry:
+        Optional :class:`~repro.obs.metrics.MetricsRegistry`. When given
+        (or attached later via :meth:`observe`), the OS services record
+        ready-queue depth, event-wait latency, ``time_wait`` call/delay
+        distributions and per-task response-time histograms into it.
+        Detached (the default), every instrumentation site costs one
+        attribute load and a ``None`` compare.
     """
 
     def __init__(self, sim, sched="priority", preemption="step", name="rtos",
-                 switch_overhead=0):
+                 switch_overhead=0, registry=None):
         super().__init__(name)
         if preemption not in ("step", "immediate"):
             raise ValueError(f"unknown preemption mode: {preemption!r}")
@@ -107,6 +114,35 @@ class RTOSModel(Channel):
         # cross-service wiring (see the services' docstrings)
         self._dispatcher.tasks = self._tasks
         self._tasks.events = self._events
+        self.obs = None
+        if registry is not None:
+            self.observe(registry)
+
+    def observe(self, registry):
+        """Attach a metrics registry to all OS services.
+
+        Creates this model's :class:`~repro.obs.instruments.RTOSObs`
+        bundle (instrument names prefixed with the model's ``name``) and
+        hands it to the dispatcher, task manager, event manager and time
+        manager. Returns the bundle. Idempotent per registry.
+        """
+        from repro.obs.instruments import RTOSObs
+
+        obs = RTOSObs(registry, self.name)
+        self.obs = obs
+        self._dispatcher.obs = obs
+        self._tasks.obs = obs
+        self._events.obs = obs
+        self._time.obs = obs
+        return obs
+
+    def unobserve(self):
+        """Detach instrumentation from all OS services."""
+        self.obs = None
+        self._dispatcher.obs = None
+        self._tasks.obs = None
+        self._events.obs = None
+        self._time.obs = None
 
     # ------------------------------------------------------------------
     # operating system management

@@ -23,7 +23,7 @@ class TaskManager:
     """Task lifecycle service of one PE's RTOS model."""
 
     __slots__ = ("sim", "trace", "metrics", "name", "dispatcher", "events",
-                 "tasks", "by_process")
+                 "tasks", "by_process", "obs")
 
     def __init__(self, sim, trace, metrics, name, dispatcher):
         self.sim = sim
@@ -35,6 +35,14 @@ class TaskManager:
         self.events = None
         self.tasks = []
         self.by_process = {}
+        #: optional RTOSObs instrument bundle (RTOSModel.observe)
+        self.obs = None
+
+    def _observe_response(self, task, response):
+        """Record one response time in both stat layers."""
+        task.stats.response_times.append(response)
+        if self.obs is not None:
+            self.obs.response(task.name).observe(response)
 
     def reset(self):
         """Drop all task state (RTOSModel.init)."""
@@ -88,15 +96,15 @@ class TaskManager:
         task = yield from self.enter()
         if task.activation_time is not None:
             if not task.is_periodic:
-                task.stats.response_times.append(
-                    self.sim.now - task.activation_time
+                self._observe_response(
+                    task, self.sim.now - task.activation_time
                 )
             elif task.worked_since_release:
                 # final (incomplete) cycle of a periodic task that
                 # terminates mid-cycle: record it against the release,
                 # like task_endcycle does for completed cycles
-                task.stats.response_times.append(
-                    self.sim.now - task.release_time
+                self._observe_response(
+                    task, self.sim.now - task.release_time
                 )
         self.trace.record(self.sim.now, "task", task.name, "terminate")
         self._wake_joiners(task)
@@ -115,7 +123,7 @@ class TaskManager:
         now = self.sim.now
         task.stats.cycles_completed += 1
         if task.is_periodic:
-            task.stats.response_times.append(now - task.release_time)
+            self._observe_response(task, now - task.release_time)
             deadline = task.abs_deadline
             if deadline is not None and now > deadline:
                 task.stats.deadline_misses += 1

@@ -16,7 +16,7 @@ from repro.rtos.errors import RTOSError, TaskKilled
 class TimeManager:
     """Execution-time modeling service of one PE's RTOS model."""
 
-    __slots__ = ("sim", "dispatcher", "tasks", "_waitfor")
+    __slots__ = ("sim", "dispatcher", "tasks", "_waitfor", "obs")
 
     def __init__(self, sim, dispatcher, tasks):
         self.sim = sim
@@ -26,6 +26,9 @@ class TimeManager:
         #: ``delay`` synchronously at the yield, so one mutable instance
         #: per model suffices (at most one task executes at a time)
         self._waitfor = WaitFor(0)
+        #: optional RTOSObs instrument bundle (RTOSModel.observe); the
+        #: hottest RTOS call pays one load + None compare when detached
+        self.obs = None
 
     def time_wait(self, nsec):
         """Model task execution time (generator; see RTOSModel.time_wait)."""
@@ -41,6 +44,10 @@ class TimeManager:
             raise RTOSError("RTOS call from a process that is not a task")
         if task.killed:
             raise TaskKilled(task.name)
+        obs = self.obs
+        if obs is not None:
+            obs.time_wait_calls.inc()
+            obs.time_wait_delay.observe(nsec)
         if dispatcher.running is not task:
             yield from dispatcher.wait_until_running(task)
         if nsec == 0:

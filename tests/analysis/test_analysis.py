@@ -159,6 +159,69 @@ def test_vcd_write(tmp_path, trace):
     assert path.read_text().startswith("$date")
 
 
+def _toggles(doc):
+    """(time, ident, value) triples from a VCD body, in emission order."""
+    time = None
+    toggles = []
+    for line in doc.splitlines():
+        if line.startswith("#"):
+            time = int(line[1:])
+        elif time is not None and line and line[0] in "01":
+            toggles.append((time, line[1:], int(line[0])))
+    return toggles
+
+
+def test_vcd_zero_width_segment_never_sticks_high():
+    """A zero-width segment must not emit edges (and must not leave the
+    wire stuck high)."""
+    t = Trace()
+    t.segment("a", 5, 5)
+    toggles = _toggles(to_vcd(t, actors=["a"]))
+    assert toggles == []
+
+
+def test_vcd_back_to_back_segments_stay_high():
+    """Adjacent segments of one actor merge: no glitch at the boundary."""
+    t = Trace()
+    t.segment("a", 0, 5)
+    t.segment("a", 5, 10)
+    toggles = _toggles(to_vcd(t, actors=["a"]))
+    assert toggles == [(0, "!", 1), (10, "!", 0)]
+
+
+def test_vcd_falling_edges_before_rising_at_same_time():
+    """At a handover instant the leaving wire falls before the entering
+    wire rises, so no reader ever sees both high."""
+    t = Trace()
+    t.segment("a", 0, 10)
+    t.segment("b", 10, 20)
+    toggles = _toggles(to_vcd(t, actors=["a", "b"]))
+    at_10 = [(ident, value) for time, ident, value in toggles if time == 10]
+    assert at_10 == [("!", 0), ('"', 1)]
+
+
+def test_vcd_zero_width_at_handover_instant():
+    """A zero-width segment coinciding with a handover adds nothing."""
+    t = Trace()
+    t.segment("a", 0, 10)
+    t.segment("c", 10, 10)
+    t.segment("b", 10, 20)
+    toggles = _toggles(to_vcd(t, actors=["a", "b", "c"]))
+    assert [(time, value) for time, ident, value in toggles
+            if ident == "#"] == []  # "c" (third ident) never toggles
+    at_10 = [(ident, value) for time, ident, value in toggles if time == 10]
+    assert at_10 == [("!", 0), ('"', 1)]
+
+
+def test_vcd_overlapping_segments_single_pulse():
+    """Overlapping segments of one actor form one continuous high."""
+    t = Trace()
+    t.segment("a", 0, 10)
+    t.segment("a", 5, 15)
+    toggles = _toggles(to_vcd(t, actors=["a"]))
+    assert toggles == [(0, "!", 1), (15, "!", 0)]
+
+
 def test_vcd_from_real_model():
     from repro.apps.fig3 import run_architecture
 

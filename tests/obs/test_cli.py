@@ -1,0 +1,89 @@
+"""The ``python -m repro.obs`` command-line interface."""
+
+import json
+
+import pytest
+
+from repro.obs.__main__ import main
+from repro.obs.ctf import validate_ctf
+
+
+@pytest.fixture(autouse=True)
+def in_tmp(tmp_path, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    return tmp_path
+
+
+def test_export_ctf_default_name(tmp_path, capsys):
+    assert main(["export", "--ctf"]) == 0
+    out = capsys.readouterr().out
+    assert "fig3_arch.ctf.json" in out
+    document = json.loads((tmp_path / "fig3_arch.ctf.json").read_text())
+    assert validate_ctf(document) > 0
+
+
+def test_export_all_outputs(tmp_path, capsys):
+    code = main([
+        "export", "--model", "fig3-spec", "--ctf", "out.ctf.json",
+        "--vcd", "out.vcd", "--jsonl", "out.jsonl", "--gantt",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    for name in ("out.ctf.json", "out.vcd", "out.jsonl"):
+        assert (tmp_path / name).exists(), name
+    assert "B2" in out  # gantt rows
+    assert "|" in out
+
+
+def test_export_input_roundtrip(tmp_path, capsys):
+    assert main(["export", "--jsonl", "t.jsonl", "--ctf", "a.json"]) == 0
+    assert main(["export", "--input", "t.jsonl", "--ctf", "b.json"]) == 0
+    a = json.loads((tmp_path / "a.json").read_text())
+    b = json.loads((tmp_path / "b.json").read_text())
+    assert a == b
+
+
+def test_export_input_default_ctf_name(tmp_path, capsys):
+    main(["export", "--model", "fig3-spec", "--jsonl", "t.jsonl"])
+    assert main(["export", "--input", "t.jsonl", "--ctf"]) == 0
+    assert (tmp_path / "t.jsonl.ctf.json").exists()
+
+
+def test_export_without_outputs_prints_summary(capsys):
+    assert main(["export", "--model", "fig3-spec"]) == 0
+    out = capsys.readouterr().out
+    assert "trace records" in out
+
+
+def test_export_input_jsonl_conflict(capsys):
+    assert main(["export", "--input", "x.jsonl", "--jsonl", "y.jsonl"]) == 2
+    assert "mutually exclusive" in capsys.readouterr().err
+
+
+def test_stats_prints_json(capsys):
+    assert main(["stats"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["model"] == "fig3-arch"
+    assert payload["end_time"] > 0
+    assert payload["trace_records"] > 0
+    assert any(k.endswith(".ready_depth") for k in payload["metrics"])
+    assert any(k.startswith("chan.") for k in payload["metrics"])
+    rtos = payload["rtos"]
+    assert rtos["context_switches"] > 0
+    assert 0 <= rtos["overhead_ratio"] <= 1
+    assert rtos["sim_time"] == payload["end_time"]
+
+
+def test_stats_spec_model_has_no_rtos_block(capsys):
+    assert main(["stats", "--model", "fig3-spec"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert "rtos" not in payload
+    assert any(k.startswith("chan.") for k in payload["metrics"])
+
+
+def test_profile_prints_report(capsys):
+    assert main(["profile", "--limit", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "simulation profile" in out
+    assert "command" in out
+    assert "process" in out

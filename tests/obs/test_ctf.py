@@ -1,0 +1,172 @@
+"""Chrome Trace Format exporter and schema validator."""
+
+import json
+
+import pytest
+
+from repro.kernel import Trace
+from repro.obs.ctf import (
+    EXEC_PID,
+    OS_PID,
+    to_ctf,
+    validate_ctf,
+    write_ctf,
+)
+
+
+@pytest.fixture
+def trace():
+    t = Trace()
+    t.segment("a", 0, 10)
+    t.segment("b", 10, 30)
+    t.segment("a", 30, 35)
+    t.record(5, "user", "a", "hello")
+    t.record(12, "irq", "bus", "raise")
+    t.record(15, "sched", "os", "dispatch", task="b")
+    t.record(20, "task", "a", "ready")
+    return t
+
+
+def test_to_ctf_structure(trace):
+    document = to_ctf(trace)
+    assert validate_ctf(document) == len(document["traceEvents"])
+    events = document["traceEvents"]
+    phases = {e["ph"] for e in events}
+    assert phases == {"X", "i", "C", "M"}
+
+    x_events = [e for e in events if e["ph"] == "X"]
+    assert {(e["name"], e["ts"], e["dur"]) for e in x_events} == {
+        ("a", 0, 10), ("b", 10, 20), ("a", 30, 5)
+    }
+    assert all(e["pid"] == EXEC_PID for e in x_events)
+    # actor tracks are distinct tids
+    assert len({e["tid"] for e in x_events}) == 2
+
+
+def test_counter_track_steps_with_occupancy(trace):
+    events = to_ctf(trace)["traceEvents"]
+    counters = [e for e in events if e["ph"] == "C"]
+    assert counters, "expected a derived counter track"
+    assert all(e["name"] == "running" for e in counters)
+    series = [(e["ts"], e["args"]["running"]) for e in counters]
+    assert series == [(0, 1), (10, 1), (30, 1), (35, 0)]
+
+
+def test_instant_routing(trace):
+    events = to_ctf(trace)["traceEvents"]
+    instants = {e["name"]: e for e in events if e["ph"] == "i"}
+    assert instants["dispatch"]["pid"] == OS_PID
+    assert instants["raise"]["pid"] == 3  # IRQ group
+    assert instants["hello"]["pid"] == 4  # app group
+    # task transitions ride on the actor's exec track
+    ready = instants["ready"]
+    assert ready["pid"] == EXEC_PID
+    assert ready["tid"] != 0
+    assert all(e["s"] == "t" for e in events if e["ph"] == "i")
+
+
+def test_metadata_names_groups(trace):
+    events = to_ctf(trace)["traceEvents"]
+    names = {
+        (e["pid"], e["tid"], e["args"]["name"])
+        for e in events
+        if e["ph"] == "M" and e["name"] == "thread_name"
+    }
+    assert (EXEC_PID, 1, "a") in names
+    assert (EXEC_PID, 2, "b") in names
+    assert (OS_PID, 0, "scheduler") in names
+
+
+def test_write_ctf_validates_and_writes(tmp_path, trace):
+    path = write_ctf(trace, tmp_path / "t.ctf.json")
+    document = json.loads(path.read_text())
+    assert validate_ctf(document) > 0
+
+
+def test_non_json_payload_is_stringified():
+    class Opaque:
+        def __str__(self):
+            return "<opaque>"
+
+    trace = Trace()
+    trace.record(1, "user", "a", "m", obj=Opaque())
+    events = to_ctf(trace)["traceEvents"]
+    instant = next(e for e in events if e["ph"] == "i")
+    assert instant["args"]["obj"] == "<opaque>"
+    validate_ctf(to_ctf(trace))
+
+
+def test_fig3_models_export_valid_ctf():
+    from repro.apps.fig3 import run_architecture, run_unscheduled
+
+    for result in (run_unscheduled(), run_architecture()):
+        document = to_ctf(result.trace)
+        assert validate_ctf(document) > 0
+        phases = {e["ph"] for e in document["traceEvents"]}
+        assert {"X", "C", "M", "i"} <= phases
+
+    # the architecture model must carry scheduler instants (dispatch,
+    # preemption, context switches) on the OS group
+    arch = to_ctf(run_architecture().trace)
+    os_events = [
+        e for e in arch["traceEvents"]
+        if e["ph"] == "i" and e["pid"] == OS_PID
+    ]
+    assert os_events
+
+
+# ----------------------------------------------------------------------
+# validator rejections
+# ----------------------------------------------------------------------
+
+def _doc(events):
+    return {"traceEvents": events}
+
+
+def test_validate_rejects_non_document():
+    with pytest.raises(ValueError, match="traceEvents"):
+        validate_ctf([])
+
+
+def test_validate_rejects_unknown_phase():
+    with pytest.raises(ValueError, match="ph"):
+        validate_ctf(_doc([{"ph": "Z", "name": "x"}]))
+
+
+def test_validate_rejects_missing_fields():
+    with pytest.raises(ValueError, match="missing field"):
+        validate_ctf(_doc([{"ph": "X", "name": "x", "ts": 0}]))
+
+
+def test_validate_rejects_negative_ts_and_dur():
+    event = {"name": "x", "ph": "X", "ts": -1, "dur": 5, "pid": 1, "tid": 1}
+    with pytest.raises(ValueError, match="ts"):
+        validate_ctf(_doc([event]))
+    event = {"name": "x", "ph": "X", "ts": 0, "dur": -5, "pid": 1, "tid": 1}
+    with pytest.raises(ValueError, match="dur"):
+        validate_ctf(_doc([event]))
+
+
+def test_validate_rejects_bad_instant_scope():
+    event = {"name": "x", "ph": "i", "ts": 0, "pid": 1, "tid": 1, "s": "q"}
+    with pytest.raises(ValueError, match="scope"):
+        validate_ctf(_doc([event]))
+
+
+def test_validate_rejects_non_numeric_counter():
+    event = {"name": "x", "ph": "C", "ts": 0, "pid": 1,
+             "args": {"v": "high"}}
+    with pytest.raises(ValueError, match="numeric"):
+        validate_ctf(_doc([event]))
+
+
+def test_validate_rejects_overlapping_durations_per_track():
+    events = [
+        {"name": "a", "ph": "X", "ts": 0, "dur": 10, "pid": 1, "tid": 1},
+        {"name": "a", "ph": "X", "ts": 5, "dur": 10, "pid": 1, "tid": 1},
+    ]
+    with pytest.raises(ValueError, match="overlap"):
+        validate_ctf(_doc(events))
+    # the same spans on *different* tracks are fine
+    events[1]["tid"] = 2
+    assert validate_ctf(_doc(events)) == 2
