@@ -45,8 +45,9 @@ def _assert_uninstrumented(sim, os_=None):
 
     Disabled tracing must be the instance-level no-op swap (the PR-1
     invariant), the wall-clock profiler must be off, and no metrics
-    bundle may be attached to the OS services — so the numbers compared
-    against the PR-1 baseline are the bare hot path.
+    bundle, fault injector or failure monitor may be attached to the OS
+    services — so the numbers compared against the PR-1 baseline are
+    the bare hot path.
     """
     from repro.kernel.trace import _noop
 
@@ -56,6 +57,10 @@ def _assert_uninstrumented(sim, os_=None):
     if os_ is not None:
         services = (os_._dispatcher, os_._tasks, os_._events, os_._time)
         assert all(s.obs is None for s in services), "metrics attached"
+        assert os_.faults is None and os_._time.faults is None \
+            and os_._events.faults is None, "fault injector attached"
+        assert os_.monitor is None and os_._tasks.monitor is None \
+            and os_._dispatcher.monitor is None, "failure monitor attached"
 
 
 def bench_raw_kernel(n_tasks, steps):

@@ -12,6 +12,8 @@ Layers (bottom-up, mirroring the paper's Figure 2):
 * :mod:`repro.analysis` — trace analysis, validation, LoC metrics.
 * :mod:`repro.obs` — observability: trace sinks, metrics, profiler,
   Chrome-Trace export.
+* :mod:`repro.faults` — deterministic fault injection, deadline/budget
+  watchdogs, graceful-degradation policies, farm fault campaigns.
 """
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"

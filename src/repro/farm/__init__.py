@@ -29,6 +29,7 @@ from repro.farm.results import (
     SweepResult,
 )
 from repro.farm.runner import (
+    RetryBackoff,
     default_processes,
     execute_config,
     run_sweep,
@@ -49,6 +50,7 @@ __all__ = [
     "STATUS_ERROR",
     "STATUS_OK",
     "STATUS_TIMEOUT",
+    "RetryBackoff",
     "SweepResult",
     "SweepSpec",
     "default_processes",

@@ -5,11 +5,13 @@ Built-in sweeps::
     python -m repro.farm vocoder            # scheduler x preemption, Table-1 app
     python -m repro.farm taskset            # scheduler ablation task set
     python -m repro.farm table1             # the three Table-1 models
+    python -m repro.farm campaign           # fault campaign: seed x plan x sched
     python -m repro.farm spec sweep.json    # any target, declarative JSON
 
 Common flags: ``--serial`` (in-process), ``--jobs N``, ``--timeout S``,
-``--retries N``, ``--no-cache``, ``--refresh``, ``--cache-dir DIR``,
-``--clear-cache``, ``--json FILE``, ``--csv FILE``, ``--quiet``.
+``--retries N``, ``--backoff S``, ``--no-cache``, ``--refresh``,
+``--cache-dir DIR``, ``--clear-cache``, ``--json FILE``, ``--csv FILE``,
+``--quiet``.
 
 A second invocation of the same sweep is served from the cache; pass
 ``--refresh`` to force re-execution or ``--no-cache`` to bypass the
@@ -18,6 +20,7 @@ cache entirely.
 
 import argparse
 import json
+import os
 import sys
 
 from repro.farm.cache import DEFAULT_CACHE_DIR, ResultCache
@@ -52,6 +55,9 @@ def build_parser():
                         help="per-run wall-clock limit (parallel mode)")
     common.add_argument("--retries", type=int, default=1, metavar="N",
                         help="extra attempts for failed runs (default 1)")
+    common.add_argument("--backoff", type=float, default=0.1, metavar="SEC",
+                        help="base retry backoff, doubling per attempt "
+                        "with seeded jitter (default 0.1; 0 disables)")
     common.add_argument("--no-cache", action="store_true",
                         help="do not read or write the result cache")
     common.add_argument("--refresh", action="store_true",
@@ -101,6 +107,27 @@ def build_parser():
     tbl.add_argument("--frames", type=int, default=10)
     tbl.add_argument("--seed", type=int, default=2003)
 
+    cam = sub.add_parser(
+        "campaign", parents=[common],
+        help="fault-injection campaign: seed x fault plan x scheduler",
+    )
+    cam.add_argument("--seeds", type=_int_list, default=[1, 2, 3],
+                     metavar="LIST", help="injector seeds")
+    cam.add_argument("--plans", type=_csv_list,
+                     default=["baseline", "jitter", "crash"], metavar="LIST",
+                     help="fault-plan preset names (see repro.faults)")
+    cam.add_argument("--sched", type=_csv_list,
+                     default=["priority", "edf"], metavar="LIST")
+    cam.add_argument("--on-miss", default="log",
+                     choices=("log", "notify", "kill", "skip-cycle"),
+                     help="deadline-miss policy for every watched task")
+    cam.add_argument("--budget-factor", type=float, default=None,
+                     metavar="F", help="arm execution budgets of wcet*F")
+    cam.add_argument("--horizon", type=int, default=6_000_000)
+    cam.add_argument("--report", metavar="FILE",
+                     help="write the deterministic campaign report JSON "
+                     "(no wall-clock fields; byte-identical across runs)")
+
     spc = sub.add_parser(
         "spec", parents=[common],
         help="run a declarative sweep from a JSON file",
@@ -143,22 +170,53 @@ def build_spec(args):
         configs.append(RunConfig(
             "repro.farm.workloads:vocoder_implementation_run", base))
         return configs
+    if args.command == "campaign":
+        from repro.faults.campaign import campaign_spec
+
+        return campaign_spec(
+            seeds=args.seeds, plans=args.plans, scheds=args.sched,
+            on_miss=args.on_miss, budget_factor=args.budget_factor,
+            horizon=args.horizon,
+        )
     if args.command == "spec":
         with open(args.file) as fh:
             return SweepSpec.from_dict(json.load(fh))
     raise SystemExit(f"unknown command {args.command!r}")
 
 
+def _cache_dir_error(cache_dir):
+    """One-line diagnosis of an unusable cache dir, or None when fine."""
+    if os.path.exists(cache_dir) and not os.path.isdir(cache_dir):
+        return f"cache dir {cache_dir!r} exists but is not a directory"
+    if os.path.isdir(cache_dir) and not os.access(cache_dir, os.R_OK | os.X_OK):
+        return f"cache dir {cache_dir!r} is not readable"
+    return None
+
+
 def main(argv=None):
     args = build_parser().parse_args(argv)
     cache = None
     if not args.no_cache:
+        error = _cache_dir_error(args.cache_dir)
+        if error is not None:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
         cache = ResultCache(args.cache_dir)
         if args.clear_cache:
             dropped = cache.invalidate()
             print(f"cleared {dropped} cached results from {cache.root}")
 
-    spec = build_spec(args)
+    try:
+        spec = build_spec(args)
+    except OSError as exc:
+        detail = exc.strerror or exc
+        target = getattr(args, "file", None) or exc.filename or "input"
+        print(f"error: cannot read sweep spec {target}: {detail}",
+              file=sys.stderr)
+        return 2
+    except (json.JSONDecodeError, KeyError, ValueError) as exc:
+        print(f"error: invalid sweep configuration: {exc}", file=sys.stderr)
+        return 2
     print(f"farm: {args.command} sweep, {len(spec)} configurations"
           f"{' (serial)' if args.serial else ''}")
 
@@ -174,6 +232,7 @@ def main(argv=None):
         processes=args.jobs,
         timeout=args.timeout,
         retries=args.retries,
+        backoff=args.backoff,
         cache=cache,
         refresh=args.refresh,
         progress=progress,
@@ -187,6 +246,11 @@ def main(argv=None):
     if args.csv_out:
         result.to_csv(args.csv_out)
         print(f"wrote {args.csv_out}")
+    if getattr(args, "report", None):
+        from repro.faults.campaign import write_campaign_report
+
+        write_campaign_report(result, args.report)
+        print(f"wrote {args.report}")
     for run in result.failed:
         print(f"FAILED {run.config.label()}: {run.status}", file=sys.stderr)
         if run.error:

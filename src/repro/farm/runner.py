@@ -25,6 +25,7 @@ import multiprocessing
 import os
 import pickle
 import queue as queue_mod
+import random
 import time
 import traceback
 
@@ -41,6 +42,35 @@ from repro.farm.sweep import SweepSpec, resolve_target
 #: how often the parent checks worker health / run deadlines (seconds)
 _POLL_INTERVAL = 0.05
 
+#: sleep indirection so tests can fake the clock
+_sleep = time.sleep
+
+
+class RetryBackoff:
+    """Exponential backoff between retries, with seeded jitter and a cap.
+
+    ``delay(attempt)`` is the pause after the ``attempt``-th failed try
+    (1-based): ``base * 2**(attempt-1)``, scaled by a jitter factor
+    drawn uniformly from [1.0, 1.5) off a ``random.Random(seed)``
+    stream (deterministic per instance), and capped at ``cap`` seconds.
+    A non-positive ``base`` disables backoff entirely (always 0.0) —
+    the pre-backoff immediate-re-dispatch behavior.
+    """
+
+    __slots__ = ("base", "cap", "rng")
+
+    def __init__(self, base=0.1, cap=2.0, seed=0):
+        self.base = base
+        self.cap = cap
+        self.rng = random.Random(seed)
+
+    def delay(self, attempt):
+        if self.base <= 0:
+            return 0.0
+        raw = self.base * (2 ** max(0, attempt - 1))
+        jitter = 1.0 + 0.5 * self.rng.random()
+        return min(self.cap, raw * jitter)
+
 
 def default_processes(n_runs):
     """Pool size for this host: one worker per CPU, capped by the
@@ -55,7 +85,8 @@ def execute_config(config):
 
 
 def run_sweep(spec, *, parallel=True, processes=None, timeout=None,
-              retries=1, cache=None, refresh=False, progress=None):
+              retries=1, backoff=0.1, backoff_cap=2.0, cache=None,
+              refresh=False, progress=None):
     """Execute every point of a sweep; returns a :class:`SweepResult`.
 
     Parameters
@@ -73,6 +104,10 @@ def run_sweep(spec, *, parallel=True, processes=None, timeout=None,
     retries:
         Extra attempts for a failed/crashed/timed-out run (so a run is
         tried at most ``1 + retries`` times).
+    backoff / backoff_cap:
+        Exponential :class:`RetryBackoff` between those attempts —
+        base delay and cap in seconds, with deterministic seeded
+        jitter. ``backoff=0`` restores immediate re-dispatch.
     cache:
         Optional :class:`ResultCache`; hits skip execution, successful
         fresh runs are stored back.
@@ -111,17 +146,19 @@ def run_sweep(spec, *, parallel=True, processes=None, timeout=None,
             processes if processes is not None
             else default_processes(len(pending))
         )
+        retry_backoff = RetryBackoff(backoff, backoff_cap)
         ran = None
         if parallel and n_workers > 1:
             try:
                 ran = _run_parallel(
-                    pending, n_workers, timeout, retries, progress
+                    pending, n_workers, timeout, retries, progress,
+                    retry_backoff,
                 )
             except OSError:
                 # no usable process/semaphore support on this host
                 ran = None
         if ran is None:
-            ran = _run_serial(pending, retries, progress)
+            ran = _run_serial(pending, retries, progress, retry_backoff)
         for local_index, run in ran.items():
             results[pending_indices[local_index]] = run
         if cache is not None:
@@ -140,7 +177,9 @@ def run_sweep(spec, *, parallel=True, processes=None, timeout=None,
 # serial fallback
 # ----------------------------------------------------------------------
 
-def _run_serial(pending, retries, progress):
+def _run_serial(pending, retries, progress, backoff=None):
+    if backoff is None:
+        backoff = RetryBackoff(0)
     results = {}
     for index, config in enumerate(pending):
         attempts = 0
@@ -152,6 +191,9 @@ def _run_serial(pending, retries, progress):
             except Exception:
                 elapsed = time.perf_counter() - run_started
                 if attempts <= retries:
+                    delay = backoff.delay(attempts)
+                    if delay > 0:
+                        _sleep(delay)
                     continue
                 run = RunResult(
                     config, STATUS_ERROR,
@@ -222,14 +264,21 @@ class _Worker:
         self.proc.start()
 
 
-def _run_parallel(pending, n_workers, timeout, retries, progress):
+def _run_parallel(pending, n_workers, timeout, retries, progress,
+                  backoff=None):
+    if backoff is None:
+        backoff = RetryBackoff(0)
     ctx = multiprocessing.get_context()
     result_queue = ctx.Queue()
 
     attempts = {index: 0 for index in range(len(pending))}
     results = {}
     resolved = set()
-    todo = collections.deque(range(len(pending)))
+    # (index, eligible_at): retried runs carry a backoff deadline and
+    # are skipped (kept queued) until the wall clock reaches it
+    todo = collections.deque(
+        (index, 0.0) for index in range(len(pending))
+    )
     workers = {}  # pid -> _Worker
 
     def spawn_worker():
@@ -238,14 +287,18 @@ def _run_parallel(pending, n_workers, timeout, retries, progress):
         return worker
 
     def assign(worker):
-        while todo:
-            index = todo.popleft()
+        now = time.monotonic()
+        for _ in range(len(todo)):
+            index, eligible_at = todo.popleft()
             if index in resolved:
+                continue
+            if eligible_at > now:
+                todo.append((index, eligible_at))
                 continue
             attempts[index] += 1
             config = pending[index]
             worker.index = index
-            worker.started = time.monotonic()
+            worker.started = now
             worker.queue.put((index, config.target, config.kwargs))
             return
 
@@ -261,7 +314,9 @@ def _run_parallel(pending, n_workers, timeout, retries, progress):
         if index in resolved:
             return
         if attempts[index] <= retries:
-            todo.append(index)
+            todo.append(
+                (index, time.monotonic() + backoff.delay(attempts[index]))
+            )
         else:
             resolve(index, RunResult(
                 pending[index], status, error=error,

@@ -103,6 +103,27 @@ def periodic_taskset_run(policy="priority", preemption="step",
     return result
 
 
+def fault_campaign_run(policy="priority", preemption="step", seed=0,
+                       plan="baseline", on_miss="log", budget_factor=None,
+                       horizon=DEFAULT_HORIZON,
+                       granularity=DEFAULT_GRANULARITY, task_set=None):
+    """One fault-campaign point: the ablation task set under one seeded
+    fault plan, with every task watched under the ``on_miss`` policy.
+
+    ``plan`` is a :data:`repro.faults.campaign.PLAN_PRESETS` name or an
+    inline fault-plan JSON string (both hashable, so configs cache).
+    Returns survival/miss-rate metrics; see
+    :func:`repro.faults.campaign.run_campaign_point`.
+    """
+    from repro.faults.campaign import run_campaign_point
+
+    return run_campaign_point(
+        policy=policy, preemption=preemption, seed=seed, plan=plan,
+        on_miss=on_miss, budget_factor=budget_factor, horizon=horizon,
+        granularity=granularity, task_set=task_set,
+    )
+
+
 def vocoder_specification_run(n_frames=10, seed=2003):
     """The unscheduled vocoder specification model (Table 1 column 1)."""
     from repro.apps.vocoder.models import run_specification

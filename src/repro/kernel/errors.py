@@ -17,13 +17,39 @@ class SimulationError(KernelError):
         self.original = original
 
 
+def _blocked_on(process):
+    """Human-readable description of what ``process`` is blocked on."""
+    events = getattr(process, "waiting_events", ())
+    if events:
+        names = ", ".join(sorted(e.name for e in events))
+        label = "events" if len(events) > 1 else "event"
+        return f"waiting on {label} [{names}]"
+    pending = getattr(process, "pending_children", 0)
+    if pending:
+        return f"waiting on {pending} unfinished par child(ren)"
+    return "blocked (no waited event recorded)"
+
+
 class DeadlockError(KernelError):
-    """Simulation ended with processes still blocked and no pending events."""
+    """Simulation ended with processes still blocked and no pending events.
+
+    The message names every blocked process and what it is waiting on
+    (event names carry the owning channel's name for channel waits), so
+    a deadlock report alone usually pinpoints the cycle.
+    """
 
     def __init__(self, blocked):
-        names = ", ".join(sorted(p.name for p in blocked))
-        super().__init__(f"deadlock: processes still blocked: {names}")
-        self.blocked = tuple(blocked)
+        blocked = tuple(blocked)
+        details = "; ".join(
+            f"{p.name!r} {_blocked_on(p)}"
+            for p in sorted(blocked, key=lambda p: p.name)
+        )
+        count = len(blocked)
+        plural = "es" if count != 1 else ""
+        super().__init__(
+            f"deadlock: {count} process{plural} still blocked: {details}"
+        )
+        self.blocked = blocked
 
 
 class UnboundPortError(KernelError):

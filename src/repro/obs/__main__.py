@@ -56,7 +56,17 @@ def _add_model_argument(parser):
 
 def cmd_export(args):
     if args.input is not None:
-        trace = load_jsonl(args.input)
+        try:
+            trace = load_jsonl(args.input)
+        except OSError as exc:
+            detail = exc.strerror or exc
+            print(f"error: cannot read trace {args.input}: {detail}",
+                  file=sys.stderr)
+            return 2
+        except (ValueError, KeyError, TypeError) as exc:
+            print(f"error: corrupt JSONL trace {args.input}: {exc}",
+                  file=sys.stderr)
+            return 2
         source = args.input
     else:
         # a Tee keeps the in-memory query view the exporters need while

@@ -11,6 +11,8 @@ JSON array-of-events dialect, loadable by Perfetto's legacy importer and
 * ``sched`` records (dispatch/preempt/switch) -> instant events on the
   scheduler track of the "os" process group;
 * ``irq`` records -> instant events on the "irq" group;
+* ``fault`` records (injections, deadline misses, budget overruns) ->
+  instant events on the "fault" group;
 * ``user``/``chan``/other records -> instant events on the "app" group;
 * a derived **counter track** (``ph: "C"``, name ``running``) stepping
   +1/-1 at every segment boundary — CPU/actor occupancy over time.
@@ -33,16 +35,18 @@ EXEC_PID = 1
 OS_PID = 2
 IRQ_PID = 3
 APP_PID = 4
+FAULT_PID = 5
 
 _GROUP_NAMES = {
     EXEC_PID: "exec",
     OS_PID: "os",
     IRQ_PID: "irq",
     APP_PID: "app",
+    FAULT_PID: "fault",
 }
 
 #: trace category -> process group for instant events
-_INSTANT_PID = {"sched": OS_PID, "irq": IRQ_PID}
+_INSTANT_PID = {"sched": OS_PID, "irq": IRQ_PID, "fault": FAULT_PID}
 
 
 def to_ctf(trace, time_unit="ns"):

@@ -84,6 +84,10 @@ class JsonlSink(TraceSink):
     :func:`record_to_obj` for the key scheme). Nothing is retained in
     memory — ``records`` is empty; reload the file with
     :func:`load_jsonl` to query or export it.
+
+    Usable as a context manager (the :class:`TraceSink` base closes on
+    exit); ``emit`` after ``close`` raises :class:`RuntimeError` rather
+    than hitting the closed file object.
     """
 
     def __init__(self, path):
@@ -92,8 +96,14 @@ class JsonlSink(TraceSink):
         self._emitted = 0
 
     def emit(self, record):
-        self._fh.write(dumps_record(record))
-        self._fh.write("\n")
+        fh = self._fh
+        if fh.closed:
+            raise RuntimeError(
+                f"emit() on closed JsonlSink({self.path!r}); "
+                "the sink cannot be reused after close()"
+            )
+        fh.write(dumps_record(record))
+        fh.write("\n")
         self._emitted += 1
 
     @property

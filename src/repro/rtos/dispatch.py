@@ -39,6 +39,7 @@ class Dispatcher:
         "started",
         "_dispatch_pending",
         "obs",
+        "monitor",
     )
 
     def __init__(self, sim, trace, metrics, name, scheduler, preemption,
@@ -60,6 +61,9 @@ class Dispatcher:
         #: optional RTOSObs instrument bundle (RTOSModel.observe);
         #: every instrumentation site guards with ``is not None``
         self.obs = None
+        #: optional FailureMonitor (RTOSModel.task_watch), same guard —
+        #: arms/disarms execution-budget watchdogs at CPU handover
+        self.monitor = None
 
     def reset(self):
         """Forget all occupancy state (RTOSModel.init)."""
@@ -144,6 +148,8 @@ class Dispatcher:
             self.trace.segment(task.name, task.run_start, now)
             task.stats.exec_time += now - task.run_start
             self.metrics.busy_time += now - task.run_start
+            if self.monitor is not None:
+                self.monitor.on_yield(task, now)
             task.run_start = None
         if new_state is TaskState.READY:
             self.release_to_ready(task)
@@ -189,6 +195,8 @@ class Dispatcher:
                         continue
             break
         task.run_start = self.sim.now
+        if self.monitor is not None:
+            self.monitor.on_dispatch(task)
 
     def schedule_point(self, task):
         """Scheduling point reached by the running task (generator)."""

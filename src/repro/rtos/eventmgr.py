@@ -24,7 +24,7 @@ class EventManager:
     """Event service of one PE's RTOS model."""
 
     __slots__ = ("sim", "trace", "name", "dispatcher", "tasks", "events",
-                 "obs")
+                 "obs", "faults")
 
     def __init__(self, sim, trace, name, dispatcher, tasks):
         self.sim = sim
@@ -35,6 +35,8 @@ class EventManager:
         self.events = []
         #: optional RTOSObs instrument bundle (RTOSModel.observe)
         self.obs = None
+        #: optional FaultInjector (RTOSModel.attach_faults)
+        self.faults = None
 
     def reset(self):
         """Drop all event state (RTOSModel.init)."""
@@ -169,6 +171,20 @@ class EventManager:
         if event.deleted:
             raise RTOSError(f"event_notify on deleted event {event.name!r}")
         event.notify_count += 1
+        faults = self.faults
+        if faults is None:
+            self._deliver(event)
+        elif not faults.lose_notify(event):
+            self._deliver(event)
+            if faults.duplicate_notify(event):
+                self._deliver(event)
+        current = self.tasks.current_task()
+        yield from self.dispatcher.resched(current)
+
+    def _deliver(self, event):
+        """One delivery of a notification: wake waiters or leave the
+        same-instant pending mark (the fault layer may skip or repeat
+        this; an unarmed model calls it exactly once per notify)."""
         woken = event.queue.pop_all()
         for task in woken:
             self._unenroll(task, event)
@@ -179,8 +195,6 @@ class EventManager:
             self.sim.now, "task", self.name, "notify",
             event=event.name, woken=len(woken),
         )
-        current = self.tasks.current_task()
-        yield from self.dispatcher.resched(current)
 
     # ------------------------------------------------------------------
     # enrollment bookkeeping (shared by notify / timeout / kill)

@@ -15,6 +15,10 @@ class RTOSMetrics:
         "preemptions",
         "interrupts",
         "deadline_misses",
+        "budget_overruns",
+        "policy_kills",
+        "cycles_skipped",
+        "faults_injected",
         "busy_time",
         "overhead_time",
     )
@@ -33,6 +37,14 @@ class RTOSMetrics:
         self.interrupts = 0
         #: periodic instances that completed after their deadline
         self.deadline_misses = 0
+        #: watched tasks that exceeded their execution budget in a cycle
+        self.budget_overruns = 0
+        #: tasks terminated by a watchdog ``kill`` policy
+        self.policy_kills = 0
+        #: periodic releases abandoned by a ``skip-cycle`` policy
+        self.cycles_skipped = 0
+        #: faults an armed injector applied to this model
+        self.faults_injected = 0
         #: accumulated simulated time with a task occupying the CPU
         self.busy_time = 0
         #: simulated time spent in modeled kernel overhead (context

@@ -115,6 +115,10 @@ class RTOSModel(Channel):
         self._dispatcher.tasks = self._tasks
         self._tasks.events = self._events
         self.obs = None
+        #: armed FaultInjector (attach_faults) / lazy FailureMonitor
+        #: (task_watch); both default to detached = zero-cost hooks
+        self.faults = None
+        self.monitor = None
         if registry is not None:
             self.observe(registry)
 
@@ -145,6 +149,64 @@ class RTOSModel(Channel):
         self._time.obs = None
 
     # ------------------------------------------------------------------
+    # fault injection / failure monitoring (see repro.faults)
+    # ------------------------------------------------------------------
+
+    def attach_faults(self, injector):
+        """Arm a :class:`~repro.faults.inject.FaultInjector`'s RTOS-side
+        hooks (``time_wait`` perturbation, lost/duplicated notifies).
+        Usually called through ``injector.arm(model=...)``. Returns this
+        model's metrics so injections can be counted against it."""
+        self.faults = injector
+        self._time.faults = injector
+        self._events.faults = injector
+        return self.metrics
+
+    def detach_faults(self):
+        """Disarm fault injection; hooks return to zero-cost guards."""
+        self.faults = None
+        self._time.faults = None
+        self._events.faults = None
+
+    def task_watch(self, tid, policy="log", handler=None, budget=None):
+        """Watch ``tid`` with a deadline-miss/overrun reaction policy.
+
+        Lazily creates this model's
+        :class:`~repro.faults.detect.FailureMonitor` and registers the
+        task: every release arms a deadline watchdog timer (one tick
+        past the absolute deadline, so on-time completion never flags);
+        with ``budget=`` an execution-budget watchdog additionally fires
+        when the task accumulates more than ``budget`` execution time in
+        one cycle. ``policy`` is ``"log"`` (count + trace), ``"notify"``
+        (call ``handler(task, kind, now)``), ``"kill"`` (terminate the
+        task) or ``"skip-cycle"`` (abandon blown periodic releases).
+        Returns the monitor.
+        """
+        if self.monitor is None:
+            from repro.faults.detect import FailureMonitor
+
+            self.monitor = FailureMonitor(self)
+            self._tasks.monitor = self.monitor
+            self._dispatcher.monitor = self.monitor
+        self.monitor.watch(tid, policy=policy, handler=handler, budget=budget)
+        return self.monitor
+
+    def task_unwatch(self, tid):
+        """Stop watching ``tid`` (its timers are disarmed)."""
+        if self.monitor is not None:
+            self.monitor.unwatch(tid)
+
+    def task_condemn(self, tid):
+        """Forcibly terminate ``tid`` from ISR/timer-callback context.
+
+        The non-generator core of :meth:`task_kill` — no scheduling
+        point for a calling task, so it is safe in contexts that cannot
+        ``yield`` (watchdog policies, fault injection, ISRs). The victim
+        unwinds with :class:`TaskKilled` at its next RTOS interaction.
+        """
+        self._tasks.condemn(tid)
+
+    # ------------------------------------------------------------------
     # operating system management
     # ------------------------------------------------------------------
 
@@ -154,6 +216,8 @@ class RTOSModel(Channel):
         self._events.reset()
         self._dispatcher.reset()
         self.metrics.reset()
+        if self.monitor is not None:
+            self.monitor.reset()
 
     def start(self, sched_alg=None):
         """Start multi-task scheduling, optionally selecting the policy.

@@ -23,7 +23,7 @@ class TaskManager:
     """Task lifecycle service of one PE's RTOS model."""
 
     __slots__ = ("sim", "trace", "metrics", "name", "dispatcher", "events",
-                 "tasks", "by_process", "obs")
+                 "tasks", "by_process", "obs", "monitor")
 
     def __init__(self, sim, trace, metrics, name, dispatcher):
         self.sim = sim
@@ -37,6 +37,8 @@ class TaskManager:
         self.by_process = {}
         #: optional RTOSObs instrument bundle (RTOSModel.observe)
         self.obs = None
+        #: optional FailureMonitor (RTOSModel.task_watch), same guard
+        self.monitor = None
 
     def _observe_response(self, task, response):
         """Record one response time in both stat layers."""
@@ -121,15 +123,21 @@ class TaskManager:
         """End the current execution cycle of the calling task."""
         task = yield from self.enter()
         now = self.sim.now
+        monitor = self.monitor
         task.stats.cycles_completed += 1
         if task.is_periodic:
             self._observe_response(task, now - task.release_time)
             deadline = task.abs_deadline
             if deadline is not None and now > deadline:
-                task.stats.deadline_misses += 1
-                self.metrics.deadline_misses += 1
-                self.trace.record(now, "task", task.name, "deadline_miss")
+                # the monitor's deadline watchdog already counted this
+                # miss eagerly when the deadline expired; don't double up
+                if monitor is None or not monitor.consume_miss(task):
+                    task.stats.deadline_misses += 1
+                    self.metrics.deadline_misses += 1
+                    self.trace.record(now, "task", task.name, "deadline_miss")
             next_release = task.release_time + task.period
+            if monitor is not None:
+                next_release = monitor.adjust_release(task, now, next_release)
             if next_release <= now:
                 # overrun: the next instance is already due
                 self._set_release(task, next_release)
@@ -151,6 +159,17 @@ class TaskManager:
             # self-kill: unwind via TaskKilled so execution stops here
             # (the task_body wrapper finalizes the bookkeeping)
             raise TaskKilled(task.name)
+        if tid.state is TaskState.TERMINATED:
+            return
+        self.condemn(tid)
+
+    def condemn(self, tid):
+        """Condemn ``tid`` to unwind via :class:`TaskKilled` (plain call).
+
+        The non-generator core of :meth:`kill`, also callable from
+        ISR/timer-callback context — fault injection (``task_crash``)
+        and watchdog ``kill`` policies reap tasks through this.
+        """
         if tid.state is TaskState.TERMINATED:
             return
         tid.killed = True
@@ -316,6 +335,8 @@ class TaskManager:
             task.abs_deadline = release_time + deadline
         elif task.rel_deadline is not None:
             task.abs_deadline = release_time + task.rel_deadline
+        if self.monitor is not None:
+            self.monitor.on_release(task)
 
     def _periodic_release(self, task, release_time):
         """Timer callback releasing the next instance of a periodic task."""

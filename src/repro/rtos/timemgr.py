@@ -16,7 +16,7 @@ from repro.rtos.errors import RTOSError, TaskKilled
 class TimeManager:
     """Execution-time modeling service of one PE's RTOS model."""
 
-    __slots__ = ("sim", "dispatcher", "tasks", "_waitfor", "obs")
+    __slots__ = ("sim", "dispatcher", "tasks", "_waitfor", "obs", "faults")
 
     def __init__(self, sim, dispatcher, tasks):
         self.sim = sim
@@ -29,6 +29,8 @@ class TimeManager:
         #: optional RTOSObs instrument bundle (RTOSModel.observe); the
         #: hottest RTOS call pays one load + None compare when detached
         self.obs = None
+        #: optional FaultInjector (RTOSModel.attach_faults), same guard
+        self.faults = None
 
     def time_wait(self, nsec):
         """Model task execution time (generator; see RTOSModel.time_wait)."""
@@ -44,6 +46,20 @@ class TimeManager:
             raise RTOSError("RTOS call from a process that is not a task")
         if task.killed:
             raise TaskKilled(task.name)
+        faults = self.faults
+        if faults is not None:
+            # exec-time faults perturb the delay before instrumentation
+            # sees it, so observed delays match what actually elapses
+            nsec = faults.perturb_exec(task, nsec)
+            if nsec is None:
+                # injected hang: the task stops making progress but
+                # never yields the CPU; only being killed (task_kill or
+                # a watchdog kill policy firing preempt_evt) unwinds it
+                while True:
+                    task.preempt_wait.timeout = None
+                    yield task.preempt_wait
+                    if task.killed:
+                        raise TaskKilled(task.name)
         obs = self.obs
         if obs is not None:
             obs.time_wait_calls.inc()

@@ -1,0 +1,83 @@
+"""Retry backoff: seeded exponential delays, fake-clock integration."""
+
+from repro.farm import RetryBackoff, RunConfig, SweepSpec, run_sweep
+from repro.farm import runner
+
+
+# ----------------------------------------------------------------------
+# RetryBackoff unit behavior
+# ----------------------------------------------------------------------
+
+def test_delays_double_with_seeded_jitter():
+    backoff = RetryBackoff(base=0.1, cap=100.0, seed=0)
+    d1, d2, d3 = (backoff.delay(n) for n in (1, 2, 3))
+    # jitter multiplies by [1.0, 1.5): each attempt stays within its
+    # doubling band and the bands never overlap
+    assert 0.1 <= d1 < 0.15
+    assert 0.2 <= d2 < 0.3
+    assert 0.4 <= d3 < 0.6
+
+
+def test_delays_are_deterministic_per_seed():
+    seq = [RetryBackoff(0.1, 2.0, seed=5).delay(n) for n in range(1, 6)]
+    again = [RetryBackoff(0.1, 2.0, seed=5).delay(n) for n in range(1, 6)]
+    other = [RetryBackoff(0.1, 2.0, seed=6).delay(n) for n in range(1, 6)]
+    assert seq == again
+    assert seq != other
+
+
+def test_cap_bounds_the_delay():
+    backoff = RetryBackoff(base=1.0, cap=2.5, seed=0)
+    assert backoff.delay(30) == 2.5
+
+
+def test_zero_base_disables_backoff():
+    backoff = RetryBackoff(base=0.0, cap=2.0, seed=0)
+    assert [backoff.delay(n) for n in (1, 5, 20)] == [0.0, 0.0, 0.0]
+
+
+# ----------------------------------------------------------------------
+# retry integration (fake clock: no real sleeping)
+# ----------------------------------------------------------------------
+
+def _flaky_spec(tmp_path, fail_times):
+    return SweepSpec("tests.farm.targets:flaky").point(
+        marker=str(tmp_path / "marker"), fail_times=fail_times
+    )
+
+
+def test_serial_retries_sleep_the_backoff_schedule(tmp_path, monkeypatch):
+    slept = []
+    monkeypatch.setattr(runner, "_sleep", slept.append)
+    result = run_sweep(
+        _flaky_spec(tmp_path, fail_times=2), parallel=False,
+        retries=2, backoff=0.1, backoff_cap=2.0,
+    )
+    (run,) = result
+    assert run.ok and run.attempts == 3
+    expected = RetryBackoff(0.1, 2.0, seed=0)
+    assert slept == [expected.delay(1), expected.delay(2)]
+
+
+def test_serial_zero_backoff_never_sleeps(tmp_path, monkeypatch):
+    slept = []
+    monkeypatch.setattr(runner, "_sleep", slept.append)
+    result = run_sweep(
+        _flaky_spec(tmp_path, fail_times=1), parallel=False,
+        retries=1, backoff=0.0,
+    )
+    assert result[0].ok
+    assert slept == []
+
+
+def test_parallel_retry_with_backoff_still_succeeds(tmp_path):
+    configs = [RunConfig(
+        "tests.farm.targets:flaky",
+        {"marker": str(tmp_path / "marker"), "fail_times": 1},
+    )]
+    result = run_sweep(
+        configs, parallel=True, processes=2, retries=1,
+        backoff=0.05, backoff_cap=0.2,
+    )
+    (run,) = result
+    assert run.ok and run.attempts == 2

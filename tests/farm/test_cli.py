@@ -71,6 +71,41 @@ def test_spec_file_sweep(tmp_path, capsys):
     assert "2 runs, 2 ok" in out
 
 
+def test_cache_dir_that_is_a_file_exits_2(tmp_path, capsys):
+    not_a_dir = tmp_path / "cache"
+    not_a_dir.write_text("")
+    code = main(["taskset", "--serial", "--cache-dir", str(not_a_dir)])
+    err = capsys.readouterr().err
+    assert code == 2
+    assert err.startswith("error:")
+    assert "not a directory" in err
+
+
+def test_missing_spec_file_exits_2(tmp_path, capsys):
+    code = main(["spec", str(tmp_path / "nope.json"), "--no-cache"])
+    err = capsys.readouterr().err
+    assert code == 2
+    assert "cannot read sweep spec" in err
+    assert "nope.json" in err
+
+
+def test_corrupt_spec_file_exits_2(tmp_path, capsys):
+    bad = tmp_path / "bad.json"
+    bad.write_text("{not json")
+    code = main(["spec", str(bad), "--no-cache"])
+    err = capsys.readouterr().err
+    assert code == 2
+    assert "invalid sweep configuration" in err
+
+
+def test_spec_without_target_exits_2(tmp_path, capsys):
+    bad = tmp_path / "bad.json"
+    bad.write_text(json.dumps({"axes": {"a": [1]}}))
+    code = main(["spec", str(bad), "--no-cache"])
+    assert code == 2
+    assert "invalid sweep configuration" in capsys.readouterr().err
+
+
 def test_failures_exit_nonzero(tmp_path, capsys):
     spec_file = tmp_path / "sweep.json"
     spec_file.write_text(json.dumps({

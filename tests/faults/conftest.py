@@ -1,0 +1,66 @@
+"""Shared helpers for fault-injection tests."""
+
+import pytest
+
+from repro.kernel import Simulator, WaitFor
+from repro.rtos import PERIODIC, RTOSModel
+
+
+class FaultBench:
+    """Single-PE RTOS bench with periodic step-execution tasks.
+
+    The task bodies mirror the farm's scheduler-ablation workload
+    (execute ``exec_time`` in ``granularity`` steps, then end the
+    cycle), which is also what the fault campaigns run.
+    """
+
+    def __init__(self, sched="priority", preemption="step", trace=True):
+        self.sim = Simulator()
+        self.sim.trace.enabled = trace
+        self.os = RTOSModel(self.sim, sched=sched, preemption=preemption)
+        self.tasks = []
+
+    def periodic(self, name, period, exec_time, priority=None,
+                 granularity=10_000):
+        task = self.os.task_create(
+            name, PERIODIC, period, exec_time,
+            priority=priority if priority is not None else len(self.tasks) + 1,
+        )
+        os_ = self.os
+
+        def body():
+            while True:
+                remaining = exec_time
+                while remaining > 0:
+                    step = min(granularity, remaining)
+                    yield from os_.time_wait(step)
+                    remaining -= step
+                yield from os_.task_endcycle()
+
+        self.sim.spawn(self.os.task_body(task, body()), name=name)
+        self.tasks.append(task)
+        return task
+
+    def run(self, until):
+        os_ = self.os
+
+        def boot():
+            yield WaitFor(0)
+            os_.start()
+
+        self.sim.spawn(boot(), name="boot")
+        self.sim.run(until=until)
+        return self
+
+
+@pytest.fixture
+def bench():
+    return FaultBench()
+
+
+def fault_records(trace, info=None):
+    """All ``"fault"`` records of ``trace`` (optionally one kind)."""
+    return [
+        r for r in trace
+        if r.category == "fault" and (info is None or r.info == info)
+    ]

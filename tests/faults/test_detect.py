@@ -1,0 +1,183 @@
+"""FailureMonitor: deadline watchdogs, budgets, policies, CTF export."""
+
+import pytest
+
+from repro.rtos import RTOSError, TaskState
+
+from tests.faults.conftest import FaultBench, fault_records
+
+
+def overloaded(on_miss="log", handler=None, budget=None, trace=True,
+               until=650_000):
+    """One task that blows every deadline: period 100k, exec 150k."""
+    bench = FaultBench(trace=trace)
+    task = bench.periodic("t1", 100_000, 150_000)
+    bench.os.task_watch(task, policy=on_miss, handler=handler, budget=budget)
+    bench.run(until=until)
+    return bench, task
+
+
+# ----------------------------------------------------------------------
+# deadline watchdog
+# ----------------------------------------------------------------------
+
+def test_on_time_completion_is_never_flagged():
+    bench = FaultBench()
+    task = bench.periodic("t1", 100_000, 100_000)  # exactly at deadline
+    bench.os.task_watch(task, policy="log")
+    bench.run(until=650_000)
+    assert bench.os.metrics.deadline_misses == 0
+    assert fault_records(bench.sim.trace) == []
+
+
+def test_eager_detection_matches_lazy_counting():
+    """The watchdog must not double-count with endcycle's lazy check."""
+    watched, _ = overloaded("log")
+    unwatched = FaultBench(trace=False)
+    unwatched.periodic("t1", 100_000, 150_000)
+    unwatched.run(until=650_000)
+    misses = watched.os.metrics.deadline_misses
+    assert misses > 0
+    # one trace record per counted miss: eager + lazy never double up
+    assert misses == len(fault_records(watched.sim.trace, "deadline_miss"))
+    # the watchdog also sees the in-flight cycle's miss that the lazy
+    # check only counts at the next endcycle, so it may lead by one
+    lazy = unwatched.os.metrics.deadline_misses
+    assert lazy <= misses <= lazy + 1
+
+
+def test_miss_is_detected_at_the_deadline_not_at_endcycle():
+    bench, _ = overloaded("log")
+    # deadline of cycle 1 is 100_000; the timer fires one tick later,
+    # well before the cycle ends at 150_000
+    first = fault_records(bench.sim.trace, "deadline_miss")[0]
+    assert first.time == 100_001
+    assert first.actor == "t1"
+    assert first.data["policy"] == "log"
+
+
+def test_monitor_tracks_releases_and_miss_rate():
+    bench, task = overloaded("log")
+    monitor = bench.os.monitor
+    releases = sum(monitor.releases.values())
+    assert releases > 0
+    assert monitor.miss_rate() == bench.os.metrics.deadline_misses / releases
+    assert 0.0 < monitor.miss_rate() <= 1.0
+
+
+def test_unwatch_disarms_the_watchdog():
+    bench = FaultBench()
+    task = bench.periodic("t1", 100_000, 150_000)
+    bench.os.task_watch(task, policy="log")
+    bench.os.task_unwatch(task)
+    bench.run(until=650_000)
+    # lazy counting still works; the eager watchdog (and its trace
+    # records) are gone
+    assert bench.os.metrics.deadline_misses > 0
+    assert fault_records(bench.sim.trace) == []
+
+
+# ----------------------------------------------------------------------
+# execution budgets
+# ----------------------------------------------------------------------
+
+def test_budget_overrun_detected():
+    bench, _ = overloaded("log", budget=120_000)
+    assert bench.os.metrics.budget_overruns > 0
+    record = fault_records(bench.sim.trace, "budget_overrun")[0]
+    assert record.data["budget"] == 120_000
+
+
+def test_sufficient_budget_never_fires():
+    bench = FaultBench()
+    task = bench.periodic("t1", 200_000, 50_000)
+    bench.os.task_watch(task, policy="log", budget=60_000)
+    bench.run(until=1_000_000)
+    assert bench.os.metrics.budget_overruns == 0
+
+
+def test_budget_survives_preemption():
+    """Accumulated (not contiguous) execution time is what counts."""
+    bench = FaultBench()
+    hog = bench.periodic("hog", 400_000, 120_000, priority=1)
+    low = bench.periodic("low", 400_000, 100_000, priority=2)
+    # low is preempted by hog each period; its *accumulated* 100k
+    # execution stays within budget, so no false overrun
+    bench.os.task_watch(low, policy="log", budget=110_000)
+    bench.run(until=1_600_000)
+    assert bench.os.metrics.budget_overruns == 0
+
+
+# ----------------------------------------------------------------------
+# watch configuration errors
+# ----------------------------------------------------------------------
+
+def test_watch_validation():
+    bench = FaultBench()
+    task = bench.periodic("t1", 100_000, 10_000)
+    with pytest.raises(RTOSError):
+        bench.os.task_watch(task, policy="panic")
+    with pytest.raises(RTOSError):
+        bench.os.task_watch(task, policy="notify")  # no handler
+    with pytest.raises(RTOSError):
+        bench.os.task_watch(task, policy="log", budget=0)
+
+
+# ----------------------------------------------------------------------
+# policies (unit level; end-to-end divergence in test_policies.py)
+# ----------------------------------------------------------------------
+
+def test_notify_policy_calls_handler():
+    calls = []
+    bench, task = overloaded(
+        "notify", handler=lambda t, kind, now: calls.append((t.name, kind, now))
+    )
+    assert calls
+    assert all(name == "t1" for name, _, _ in calls)
+    assert {kind for _, kind, _ in calls} == {"deadline_miss"}
+    assert all(now > 0 for _, _, now in calls)
+
+
+def test_kill_policy_terminates_the_task():
+    bench, task = overloaded("kill")
+    assert task.state is TaskState.TERMINATED
+    assert bench.os.metrics.policy_kills == 1
+    assert bench.os.metrics.deadline_misses == 1  # dead tasks stop missing
+
+
+def test_skip_cycle_policy_stays_on_the_period_grid():
+    bench, task = overloaded("skip-cycle")
+    assert bench.os.metrics.cycles_skipped > 0
+    # releases keep landing on multiples of the period
+    assert task.release_time % 100_000 == 0
+    assert task.state is not TaskState.TERMINATED
+
+
+# ----------------------------------------------------------------------
+# metrics + export integration
+# ----------------------------------------------------------------------
+
+def test_new_metrics_fields_in_snapshot():
+    bench, _ = overloaded("log", budget=120_000, trace=False)
+    snap = bench.os.metrics.snapshot(bench.sim.now)
+    for key in ("budget_overruns", "policy_kills", "cycles_skipped",
+                "faults_injected"):
+        assert key in snap
+
+
+def test_fault_records_render_on_the_ctf_fault_track():
+    from repro.obs.ctf import FAULT_PID, to_ctf, validate_ctf
+
+    bench, _ = overloaded("log")
+    document = to_ctf(bench.sim.trace)
+    assert validate_ctf(document) > 0
+    instants = [
+        e for e in document["traceEvents"]
+        if e.get("ph") == "i" and e.get("pid") == FAULT_PID
+    ]
+    assert instants
+    assert {e["name"] for e in instants} == {"deadline_miss"}
+    assert any(
+        e["ph"] == "M" and e["args"].get("name") == "fault"
+        for e in document["traceEvents"]
+    )

@@ -1,0 +1,58 @@
+"""Graceful-degradation policies must demonstrably differ end to end.
+
+Same overloaded task set, same fault plan, same seed — only the
+``on_miss`` policy varies. The resulting system behavior (survival,
+miss counts, skips, kills) must diverge in the documented directions.
+"""
+
+import pytest
+
+from repro.faults import run_campaign_point
+
+PLAN = "overrun"  # t3 systematically overruns by 60%
+
+
+@pytest.fixture(scope="module")
+def by_policy():
+    return {
+        policy: run_campaign_point(
+            policy="priority", preemption="step", seed=1,
+            plan=PLAN, on_miss=policy,
+        )
+        for policy in ("log", "kill", "skip-cycle")
+    }
+
+
+def test_log_keeps_everyone_alive_and_just_counts(by_policy):
+    log = by_policy["log"]
+    assert log["survival"] == 1.0
+    assert log["misses"] > 0
+    assert log["policy_kills"] == 0
+    assert log["cycles_skipped"] == 0
+
+
+def test_kill_reaps_the_offender(by_policy):
+    kill = by_policy["kill"]
+    assert kill["policy_kills"] >= 1
+    assert kill["survivors"] < kill["n_tasks"]
+    # killing the overrunning task stops the miss cascade
+    assert kill["misses"] < by_policy["log"]["misses"]
+
+
+def test_skip_cycle_sheds_load_without_killing(by_policy):
+    skip = by_policy["skip-cycle"]
+    assert skip["cycles_skipped"] > 0
+    assert skip["survival"] == 1.0
+    assert skip["policy_kills"] == 0
+    # shedding blown cycles reduces misses relative to plain logging
+    assert skip["misses"] < by_policy["log"]["misses"]
+
+
+def test_policies_pairwise_distinct(by_policy):
+    signatures = {
+        policy: (r["misses"], r["survivors"], r["policy_kills"],
+                 r["cycles_skipped"])
+        for policy, r in by_policy.items()
+    }
+    values = list(signatures.values())
+    assert len(set(values)) == len(values), signatures

@@ -1,0 +1,47 @@
+"""Kernel error diagnostics — the exact text is part of the contract.
+
+The deadlock message names every blocked process and what it waits on,
+so a bare exception report pinpoints the cycle. These tests pin that
+format; change them deliberately, not incidentally.
+"""
+
+import pytest
+
+from repro.kernel import DeadlockError, Event, Simulator, Wait
+
+
+def test_deadlock_message_pins_names_and_waits():
+    sim = Simulator()
+    e1, e2 = Event("e1"), Event("e2")
+
+    def p1():
+        yield Wait(e1)
+
+    def p2():
+        yield Wait(e2)
+
+    sim.spawn(p1(), name="alpha")
+    sim.spawn(p2(), name="beta")
+    with pytest.raises(DeadlockError) as excinfo:
+        sim.run(check_deadlock=True)
+    assert str(excinfo.value) == (
+        "deadlock: 2 processes still blocked: "
+        "'alpha' waiting on event [e1]; 'beta' waiting on event [e2]"
+    )
+    assert {p.name for p in excinfo.value.blocked} == {"alpha", "beta"}
+
+
+def test_deadlock_message_singular_and_multi_event():
+    sim = Simulator()
+    a, b = Event("a"), Event("b")
+
+    def waiter():
+        yield Wait(a, b)
+
+    sim.spawn(waiter(), name="solo")
+    with pytest.raises(DeadlockError) as excinfo:
+        sim.run(check_deadlock=True)
+    assert str(excinfo.value) == (
+        "deadlock: 1 process still blocked: "
+        "'solo' waiting on events [a, b]"
+    )

@@ -60,6 +60,21 @@ def test_export_input_jsonl_conflict(capsys):
     assert "mutually exclusive" in capsys.readouterr().err
 
 
+def test_export_missing_input_exits_2(capsys):
+    assert main(["export", "--input", "nope.jsonl", "--ctf", "x.json"]) == 2
+    err = capsys.readouterr().err
+    assert err.startswith("error: cannot read trace nope.jsonl")
+
+
+def test_export_corrupt_input_exits_2(tmp_path, capsys):
+    bad = tmp_path / "bad.jsonl"
+    bad.write_text("this is not json\n")
+    assert main(["export", "--input", str(bad), "--ctf", "x.json"]) == 2
+    err = capsys.readouterr().err
+    assert err.startswith(f"error: corrupt JSONL trace {bad}")
+    assert not (tmp_path / "x.json").exists()
+
+
 def test_stats_prints_json(capsys):
     assert main(["stats"]) == 0
     payload = json.loads(capsys.readouterr().out)

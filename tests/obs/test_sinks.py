@@ -89,6 +89,25 @@ def test_jsonl_sink_streams_and_reloads(tmp_path):
     trace.close()
 
 
+def test_jsonl_sink_as_context_manager(tmp_path):
+    path = tmp_path / "t.jsonl"
+    with JsonlSink(path) as sink:
+        sink.emit(TraceRecord(0, "user", "a", "inside", {}))
+    assert [r.info for r in iter_jsonl(path)] == ["inside"]
+
+
+def test_jsonl_sink_emit_after_close_raises(tmp_path):
+    path = tmp_path / "t.jsonl"
+    sink = JsonlSink(path)
+    sink.emit(TraceRecord(0, "user", "a", "m", {}))
+    sink.close()
+    with pytest.raises(RuntimeError, match="closed JsonlSink"):
+        sink.emit(TraceRecord(1, "user", "a", "m", {}))
+    # close() stays idempotent and the file keeps the pre-close records
+    sink.close()
+    assert len(list(iter_jsonl(path))) == 1
+
+
 def test_jsonl_sink_clear_truncates_file(tmp_path):
     path = tmp_path / "t.jsonl"
     trace = Trace(sink=JsonlSink(path))
