@@ -4,11 +4,18 @@
 Usage::
 
     python benchmarks/compare_bench.py OLD.json NEW.json [--threshold 0.15]
+    python benchmarks/compare_bench.py REF.json FAST.json \
+        --tolerance timer_heavy=-0.5
 
 Compares ``steps_per_sec`` per bench. Exits non-zero if any bench in NEW
 is more than ``threshold`` (default 15%) slower than in OLD — the
 regression gate every future PR runs against the checked-in baseline.
-Benches present in only one file are reported but do not fail the gate.
+``--tolerance NAME=FRAC`` (repeatable) overrides the threshold for one
+bench; a *negative* FRAC turns the gate into a speedup requirement —
+``timer_heavy=-0.5`` demands NEW be at least 1.5x OLD there, which is
+how CI enforces the fast backend's timer-wheel win against a fresh
+reference run. Benches present in only one file are reported but do
+not fail the gate.
 """
 
 import argparse
@@ -29,11 +36,32 @@ def load(path):
     return data
 
 
-def compare(old, new, threshold):
-    """Return (report_lines, regressions) for two result payloads."""
+def parse_tolerances(items):
+    """Parse repeated ``NAME=FRAC`` override args into a dict."""
+    overrides = {}
+    for item in items:
+        name, sep, value = item.partition("=")
+        if not sep or not name:
+            raise SystemExit(f"--tolerance {item!r}: expected NAME=FRAC")
+        try:
+            overrides[name] = float(value)
+        except ValueError:
+            raise SystemExit(f"--tolerance {item!r}: {value!r} is not a number")
+    return overrides
+
+
+def compare(old, new, threshold, tolerances=None):
+    """Return (report_lines, regressions) for two result payloads.
+
+    ``tolerances`` maps bench name -> fractional slowdown allowed for
+    that bench, overriding ``threshold``. A bench fails when
+    ``speedup < 1.0 - tol``; a negative tolerance therefore *requires* a
+    speedup (tol=-0.5 -> NEW must be >=1.5x OLD).
+    """
+    tolerances = tolerances or {}
     lines = [
         f"{'bench':>18}{'old steps/s':>15}{'new steps/s':>15}"
-        f"{'speedup':>9}  status"
+        f"{'speedup':>9}{'required':>10}  status"
     ]
     regressions = []
     old_benches = old["benches"]
@@ -42,22 +70,24 @@ def compare(old, new, threshold):
         if name not in old_benches:
             lines.append(f"{name:>18}{'-':>15}"
                          f"{new_benches[name]['steps_per_sec']:>15,.0f}"
-                         f"{'':>9}  new bench")
+                         f"{'':>19}  new bench")
             continue
         if name not in new_benches:
             lines.append(f"{name:>18}{old_benches[name]['steps_per_sec']:>15,.0f}"
-                         f"{'-':>15}{'':>9}  removed")
+                         f"{'-':>15}{'':>19}  removed")
             continue
         old_rate = old_benches[name]["steps_per_sec"]
         new_rate = new_benches[name]["steps_per_sec"]
         speedup = new_rate / max(old_rate, 1e-9)
-        regressed = speedup < 1.0 - threshold
+        tol = tolerances.get(name, threshold)
+        required = 1.0 - tol
+        regressed = speedup < required
         status = "REGRESSION" if regressed else "ok"
         if regressed:
-            regressions.append((name, speedup))
+            regressions.append((name, speedup, required))
         lines.append(
             f"{name:>18}{old_rate:>15,.0f}{new_rate:>15,.0f}"
-            f"{speedup:>8.2f}x  {status}"
+            f"{speedup:>8.2f}x{required:>9.2f}x  {status}"
         )
     return lines, regressions
 
@@ -68,16 +98,25 @@ def main(argv=None):
     parser.add_argument("new", help="candidate result JSON")
     parser.add_argument("--threshold", type=float, default=0.15,
                         help="allowed fractional slowdown (default 0.15)")
+    parser.add_argument("--tolerance", action="append", default=[],
+                        metavar="NAME=FRAC",
+                        help="per-bench override of --threshold "
+                             "(repeatable); negative FRAC requires a "
+                             "speedup, e.g. timer_heavy=-0.5 demands "
+                             ">=1.5x")
     args = parser.parse_args(argv)
 
     old, new = load(args.old), load(args.new)
-    lines, regressions = compare(old, new, args.threshold)
+    tolerances = parse_tolerances(args.tolerance)
+    lines, regressions = compare(old, new, args.threshold, tolerances)
     print("\n".join(lines))
     if regressions:
-        worst = ", ".join(f"{n} ({s:.2f}x)" for n, s in regressions)
-        print(f"\nFAIL: regression beyond {args.threshold:.0%}: {worst}")
+        worst = ", ".join(
+            f"{n} ({s:.2f}x < required {r:.2f}x)" for n, s, r in regressions
+        )
+        print(f"\nFAIL: below required speedup: {worst}")
         return 1
-    print(f"\nOK: no bench regressed more than {args.threshold:.0%}")
+    print("\nOK: every bench met its required speedup")
     return 0
 
 

@@ -33,6 +33,11 @@ Example
 [10]
 """
 
+from repro.kernel.backend import (
+    available_backends,
+    pick_backend,
+    register_backend,
+)
 from repro.kernel.commands import (
     NOW,
     TIMEOUT,
@@ -81,6 +86,9 @@ __all__ = [
     "UnboundPortError",
     "Wait",
     "WaitFor",
+    "available_backends",
     "par",
+    "pick_backend",
+    "register_backend",
     "seq",
 ]

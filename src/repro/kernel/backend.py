@@ -1,0 +1,85 @@
+"""Kernel backend selection.
+
+The simulator comes in interchangeable *backends* — engine
+implementations that share the exact same observable semantics (the
+golden-trace suite runs byte-identical over all of them) but make
+different speed/simplicity trade-offs:
+
+``reference``
+    today's engine (:class:`~repro.kernel.simulator.Simulator` itself):
+    heap timer queue, type-keyed command dispatch. The semantic ground
+    truth every other backend is tested against.
+``fast``
+    the throughput engine (:class:`~repro.kernel.fastsim.FastSimulator`):
+    calendar-bucket timer wheel, opcode-flattened dispatch with the hot
+    commands inlined into the stepping loop, merged fire-timers /
+    advance-time inner loop.
+
+Selection, in precedence order:
+
+1. the explicit constructor argument — ``Simulator(backend="fast")``;
+2. the ``REPRO_KERNEL_BACKEND`` environment variable (lets the golden
+   suite, benchmarks and whole applications switch engines without
+   touching call sites);
+3. the default, ``reference``.
+
+The registry maps backend names to classes lazily (dotted
+``module:attr`` strings resolved on first use), so importing the kernel
+does not import every engine — and a future compiled engine (the
+mypyc/Cython build ROADMAP sketches) can register itself without
+touching this module.
+"""
+
+import importlib
+import os
+
+from repro.kernel.errors import KernelError
+
+#: environment variable consulted when no explicit backend is passed
+BACKEND_ENV_VAR = "REPRO_KERNEL_BACKEND"
+
+DEFAULT_BACKEND = "reference"
+
+#: name -> Simulator subclass, or a lazy "module.path:Attr" string
+_REGISTRY = {
+    "reference": "repro.kernel.simulator:Simulator",
+    "fast": "repro.kernel.fastsim:FastSimulator",
+}
+
+
+def register_backend(name, target):
+    """Register a backend class (or lazy ``"module:attr"`` string).
+
+    Re-registering an existing name replaces it — tests use this to
+    inject instrumented engines.
+    """
+    _REGISTRY[name] = target
+
+
+def available_backends():
+    """Registered backend names, default first."""
+    names = sorted(_REGISTRY)
+    names.remove(DEFAULT_BACKEND)
+    return (DEFAULT_BACKEND, *names)
+
+
+def pick_backend(name=None):
+    """Resolve a backend name to its simulator class.
+
+    ``name=None`` falls back to ``$REPRO_KERNEL_BACKEND``, then to
+    ``reference``. Unknown names raise :class:`KernelError` listing the
+    registered backends.
+    """
+    if name is None:
+        name = os.environ.get(BACKEND_ENV_VAR) or DEFAULT_BACKEND
+    target = _REGISTRY.get(name)
+    if target is None:
+        raise KernelError(
+            f"unknown kernel backend {name!r}; "
+            f"available: {', '.join(available_backends())}"
+        )
+    if isinstance(target, str):
+        module_name, _, attr = target.partition(":")
+        target = getattr(importlib.import_module(module_name), attr)
+        _REGISTRY[name] = target
+    return target

@@ -1,0 +1,393 @@
+"""The fast kernel backend: flattened dispatch over a timer wheel.
+
+:class:`FastSimulator` is the throughput engine behind
+``Simulator(backend="fast")`` (see :mod:`repro.kernel.backend`). It is a
+drop-in subclass of the reference :class:`~repro.kernel.simulator.Simulator`
+— same semantics, same trace output (the golden suite runs byte-identical
+over both backends), same public API — rebuilt around three hot-path
+ideas (DESIGN.md "Performance notes, round two"):
+
+* **Calendar-bucket timer wheel** — the reference heap pays one
+  ``heappush``/``heappop`` per timer; the wheel
+  (:class:`~repro.kernel.waitcore.TimerWheel`) hashes timers into
+  per-instant buckets (O(1) push and cancel) and fires a whole instant
+  as one bucket detach, which is where periodic tasksets spend their
+  time (every task of a timestep re-arms for the same few deadlines).
+* **Flattened dispatch** — command classes carry a dense integer ``op``
+  (:mod:`repro.kernel.commands`); the stepping loop reads it with one
+  class-attribute load and branches directly, with the three dominant
+  commands (``WaitFor``, ``Wait``, ``Notify``) plus the ``Now`` clock
+  read inlined into the loop body — no dict hash, no handler call, no
+  ``send_value`` round trip for values produced by the kernel itself.
+  The cold commands (``Par``/``Fork``/``Join``) fall through to an
+  int-indexed handler array resolved once at engine construction.
+* **Merged advance/fire loop** — the run loop peeks the wheel, advances
+  time and drains due buckets inline (the reference pays two method
+  calls plus per-timer heap pops per timestep), with every loop-carried
+  object bound to a local.
+
+What the fast engine may never change is the *observable* contract:
+fire order (time-ascending, insertion-ordered within an instant), delta
+semantics, wake order, stats counters, error behavior. Equivalence is
+enforced by the backend-parametrized golden and delta suites and the
+timer-wheel property tests.
+"""
+
+from heapq import heappush
+
+from repro.kernel.commands import N_OPS, TIMEOUT
+from repro.kernel.errors import DeadlockError, KernelError, SimulationError
+from repro.kernel.process import ProcessState
+from repro.kernel.simulator import Simulator
+from repro.kernel.waitcore import (
+    Timer,
+    TimerWheel,
+    WaitQueue,
+    _Bucket,
+    select_pending,
+)
+
+_READY = ProcessState.READY
+_RUNNING = ProcessState.RUNNING
+_TIMED = ProcessState.TIMED
+_WAITING = ProcessState.WAITING
+_TERMINATED = ProcessState.TERMINATED
+
+# the inlined opcodes (must match repro.kernel.commands)
+_OP_WAITFOR = 0
+_OP_WAIT = 1
+_OP_NOTIFY = 2
+_OP_NOW = 3
+
+
+class FastSimulator(Simulator):
+    """Throughput-tuned engine; semantics identical to the reference.
+
+    Construct via ``Simulator(backend="fast")`` (or set
+    ``REPRO_KERNEL_BACKEND=fast``); constructing :class:`FastSimulator`
+    directly is equivalent.
+    """
+
+    backend = "fast"
+
+    def __init__(self, trace=None, delta_limit=100_000, backend=None):
+        super().__init__(trace, delta_limit)
+        #: wheel replaces the reference heap (same TimerQueue API)
+        self._timers = TimerWheel()
+        # opcode -> bound handler, for the cold commands; the hot ones
+        # never index this (they are inlined in _step)
+        handlers = [None] * N_OPS
+        for op, method in (
+            (0, self._execute_waitfor),
+            (1, self._execute_wait),
+            (2, self._execute_notify),
+            (3, self._execute_now),
+            (4, self._execute_par),
+            (5, self._execute_fork),
+            (6, self._execute_join),
+        ):
+            handlers[op] = method
+        self._handlers = handlers
+
+    # ------------------------------------------------------------------
+    # stepping (flattened)
+    # ------------------------------------------------------------------
+
+    def _step(self, process):
+        """Resume ``process`` and execute commands until it blocks.
+
+        Control flow mirrors ``Simulator._step`` exactly; the dispatch
+        is flattened (``command.op`` + direct branches) and the hot
+        commands are inlined. ``now`` and the delta stamp are loop
+        invariants within one step (time only advances when no process
+        is runnable), so both are bound once.
+        """
+        self._current = process
+        process.state = _RUNNING
+        value = process.send_value
+        process.send_value = None
+        send = process.gen.send
+        handlers = self._handlers
+        timers = self._timers
+        buckets = timers.buckets
+        times = timers.times
+        now = self.now
+        stamp = self._stamp
+        steps = 0
+        notifications = 0
+        try:
+            while True:
+                steps += 1
+                try:
+                    command = send(value)
+                except StopIteration:
+                    self._terminate(process)
+                    return
+                value = None
+                try:
+                    op = command.op
+                except AttributeError:
+                    raise KernelError(
+                        f"process {process.name!r} yielded a "
+                        f"non-command: {command!r}"
+                    ) from None
+                if op == _OP_WAITFOR:
+                    process.state = _TIMED
+                    time = now + command.delay
+                    # inlined TimerWheel.schedule_resume + push
+                    timer = process.timer_cache
+                    if timer is not None:
+                        process.timer_cache = None
+                        timer.time = time
+                        timer.value = None
+                        timer.cancelled = False
+                    else:
+                        timer = Timer(time, process=process)
+                    bucket = buckets.get(time)
+                    if bucket is None:
+                        buckets[time] = bucket = _Bucket(time, timer)
+                        heappush(times, time)
+                    else:
+                        bucket.live += 1
+                        bucket.timers.append(timer)
+                    timer.bucket = bucket
+                    process.timer = timer
+                    return
+                elif op == _OP_NOTIFY:
+                    events = command.events
+                    if len(events) == 1:
+                        # inlined Event._notify + _wake_from_event: mark
+                        # pending, detach the waiter queue wholesale,
+                        # wake every waiter into the next delta
+                        notifications += 1
+                        event = events[0]
+                        event.notify_count += 1
+                        event._pending_stamp = stamp
+                        waiters = event._waiters
+                        if waiters:
+                            event._waiters = WaitQueue()
+                            nd_append = self._next_delta.append
+                            for waiter in waiters.values():
+                                # inlined _clear_waits; the notifying
+                                # event's queue was already detached by
+                                # the swap above, so only the *other*
+                                # events of a wait-any set need removal
+                                wevents = waiter.waiting_events
+                                if wevents:
+                                    if len(wevents) > 1:
+                                        for other in wevents:
+                                            if other is not event:
+                                                other._remove_waiter(waiter)
+                                    waiter.waiting_events = ()
+                                wtimer = waiter.timer
+                                if wtimer is not None:
+                                    waiter.timer = None
+                                    timers.cancel(wtimer)
+                                waiter.state = _READY
+                                waiter.send_value = event
+                                nd_append(waiter)
+                    else:
+                        notifications += len(events)
+                        for event in events:
+                            event._notify(self)
+                elif op == _OP_WAIT:
+                    events = command.events
+                    consumed = process.consumed_stamps
+                    if len(events) == 1:
+                        # inlined select_pending single-event fast path
+                        event = events[0]
+                        if (
+                            event._pending_stamp is stamp
+                            and consumed.get(event.uid) is not stamp
+                        ):
+                            consumed[event.uid] = stamp
+                            value = event
+                            continue
+                    elif events:
+                        fired = select_pending(events, stamp, consumed)
+                        if fired is not None:
+                            value = fired
+                            continue
+                    timeout = command.timeout
+                    if timeout == 0:
+                        value = TIMEOUT
+                        continue
+                    process.state = _WAITING
+                    process.waiting_events = events
+                    for event in events:
+                        event._waiters[process.uid] = process
+                    if timeout is not None:
+                        process.state = _TIMED
+                        process.timer = timers.schedule_resume(
+                            process, now + timeout, TIMEOUT
+                        )
+                    return
+                elif op == _OP_NOW:
+                    value = now
+                else:
+                    # cold commands (Par/Fork/Join) via the handler array
+                    if op is None:
+                        raise KernelError(
+                            f"process {process.name!r} yielded a "
+                            f"non-command: {command!r}"
+                        )
+                    if handlers[op](process, command):
+                        return
+                    value = process.send_value
+                    process.send_value = None
+        except SimulationError:
+            raise
+        except Exception as exc:  # surface model bugs with context
+            self._terminate(process)
+            raise SimulationError(process.name, exc) from exc
+        finally:
+            process.step_count += steps
+            self._n_steps += steps
+            if notifications:
+                self._n_notifications += notifications
+            self._current = None
+
+    # ------------------------------------------------------------------
+    # run loop (merged advance/fire)
+    # ------------------------------------------------------------------
+
+    def run(self, until=None, check_deadlock=False):
+        """Execute the simulation (see :meth:`Simulator.run`).
+
+        Identical contract; the timer peek/advance/fire sequence is
+        merged into the loop body and operates on the wheel's buckets
+        directly.
+        """
+        self._started = True
+        deltas_this_step = 0
+        step = self._step
+        timers = self._timers
+        buckets = timers.buckets
+        while True:
+            run_queue = self._run_queue
+            if run_queue:
+                # drain the current delta; spawned/timer-woken processes
+                # append to this same list and run within the delta
+                i = 0
+                while i < len(run_queue):
+                    process = run_queue[i]
+                    i += 1
+                    if process.state is not _TERMINATED:
+                        step(process)
+                del run_queue[:]
+            if self._next_delta:
+                self.delta += 1
+                self._stamp = (self.now, self.delta)
+                self._n_deltas += 1
+                deltas_this_step += 1
+                if deltas_this_step > self._delta_limit:
+                    raise KernelError(
+                        f"delta limit exceeded at t={self.now} "
+                        "(zero-delay notification loop?)"
+                    )
+                self._run_queue, self._next_delta = (
+                    self._next_delta,
+                    self._run_queue,
+                )
+                continue
+            # peek the wheel: once per timestep, so the liveness scan
+            # (lazy Timer.cancel support) stays out of the hot loop
+            next_time = timers.next_time()
+            if next_time is None:
+                break
+            if until is not None and next_time > until:
+                self.now = until
+                self._stamp = (until, self.delta)
+                return
+            self.now = next_time
+            # the delta counter is monotonic across the whole run (never
+            # reset) so (time, delta) stamps of event notifications are
+            # globally unique — a zero-delay re-entry at the same time
+            # must not match a stale pending stamp
+            self.delta += 1
+            self._stamp = (next_time, self.delta)
+            deltas_this_step = 0
+            self._n_timesteps += 1
+            # merged _fire_timers: detach the instant's bucket wholesale
+            # and deliver in insertion order; re-pop because a callback
+            # may schedule new same-instant timers into a fresh bucket
+            run_append = run_queue.append
+            fires = 0
+            bucket = buckets.pop(next_time, None)
+            while bucket is not None:
+                for timer in bucket.timers:
+                    if timer.cancelled:
+                        if timers.dead:
+                            timers.dead -= 1
+                        continue
+                    timer.bucket = None
+                    fires += 1
+                    process = timer.process
+                    if process is not None:
+                        if process.state is _TERMINATED:
+                            continue
+                        value = timer.value
+                        process.timer = None
+                        # recycle for the process's next timed wait
+                        if process.timer_cache is None:
+                            timer.value = None
+                            process.timer_cache = timer
+                        # inlined _clear_waits (timer already detached;
+                        # only a timed wait-any leaves events to clear)
+                        wevents = process.waiting_events
+                        if wevents:
+                            for event in wevents:
+                                event._remove_waiter(process)
+                            process.waiting_events = ()
+                        process.state = _READY
+                        process.send_value = value
+                        run_append(process)
+                    else:
+                        timer.callback()
+                bucket = buckets.pop(next_time, None)
+            self._n_timer_fires += fires
+        if until is not None and self.now < until:
+            self.now = until
+            self._stamp = (until, self.delta)
+        if check_deadlock:
+            blocked = self.blocked_processes()
+            if blocked:
+                raise DeadlockError(blocked)
+
+    # ------------------------------------------------------------------
+    # timer plumbing (wheel-backed twins of the reference internals)
+    # ------------------------------------------------------------------
+
+    def _fire_timers(self, time):
+        """Compat twin of the reference method (the fast run loop
+        inlines this); fires every due timer of ``time`` in order."""
+        timers = self._timers
+        buckets = timers.buckets
+        run_append = self._run_queue.append
+        fires = 0
+        bucket = buckets.pop(time, None)
+        while bucket is not None:
+            for timer in bucket.timers:
+                if timer.cancelled:
+                    if timers.dead:
+                        timers.dead -= 1
+                    continue
+                timer.bucket = None
+                fires += 1
+                process = timer.process
+                if process is not None:
+                    if process.state is _TERMINATED:
+                        continue
+                    value = timer.value
+                    process.timer = None
+                    if process.timer_cache is None:
+                        timer.value = None
+                        process.timer_cache = timer
+                    process._clear_waits()
+                    process.state = _READY
+                    process.send_value = value
+                    run_append(process)
+                else:
+                    timer.callback()
+            bucket = buckets.pop(time, None)
+        self._n_timer_fires += fires

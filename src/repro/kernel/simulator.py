@@ -27,6 +27,7 @@ Hot-path design (see DESIGN.md "Performance notes"):
 import heapq
 from time import perf_counter
 
+from repro.kernel.backend import pick_backend
 from repro.kernel.commands import (
     TIMEOUT,
     Fork,
@@ -65,9 +66,31 @@ class Simulator:
         Safety bound on the number of delta cycles within a single
         timestep; exceeding it raises :class:`KernelError` (catches
         zero-delay notify loops).
+    backend:
+        Engine selection (see :mod:`repro.kernel.backend`):
+        ``"reference"`` is this class, ``"fast"`` the throughput engine.
+        ``None`` (default) consults ``$REPRO_KERNEL_BACKEND``, falling
+        back to the reference engine. ``Simulator(backend="fast")``
+        returns a :class:`~repro.kernel.fastsim.FastSimulator` instance
+        (a subclass — ``isinstance(sim, Simulator)`` holds for every
+        backend).
     """
 
-    def __init__(self, trace=None, delta_limit=100_000):
+    #: backend name this engine is registered under (class attribute;
+    #: benchmarks assert it to prove which engine they timed)
+    backend = "reference"
+
+    def __new__(cls, *args, backend=None, **kwargs):
+        # backend dispatch happens only on the base class: explicit
+        # subclass construction (FastSimulator(...)) and subclasses'
+        # chained __new__ go straight through
+        if cls is Simulator:
+            impl = pick_backend(backend)
+            if impl is not cls:
+                return object.__new__(impl)
+        return object.__new__(cls)
+
+    def __init__(self, trace=None, delta_limit=100_000, backend=None):
         self.now = 0
         self.delta = 0
         #: shared (time, delta) stamp object: rebuilt whenever time or

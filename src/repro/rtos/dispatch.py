@@ -121,13 +121,16 @@ class Dispatcher:
         self._dispatch_pending = False
         if not self.started or self.running is not None:
             return
-        candidate = self.scheduler.peek(self.sim.now)
+        scheduler = self.scheduler
+        candidate = scheduler.peek(self.sim.now)
         if candidate is None:
             return
-        self.scheduler.remove(candidate)
+        scheduler.remove(candidate)
         self._dispatch(candidate)
 
     def _dispatch(self, task):
+        now = self.sim.now
+        scheduler = self.scheduler
         task.state = TaskState.RUNNING
         self.running = task
         task.stats.dispatches += 1
@@ -136,18 +139,20 @@ class Dispatcher:
         if obs is not None:
             # depth *after* removing the dispatched task: tasks left
             # waiting for the CPU at this dispatch decision
-            obs.ready_depth.set(len(self.scheduler))
-        self.scheduler.on_dispatch(task, self.sim.now)
-        self.trace.record(self.sim.now, "sched", self.name, "dispatch", task=task.name)
+            obs.ready_depth.set(len(scheduler))
+        scheduler.on_dispatch(task, now)
+        self.trace.record(now, "sched", self.name, "dispatch", task=task.name)
         task.dispatch_evt.fire(self.sim)
 
     def yield_cpu(self, task, new_state):
         """The calling/affected task gives up the CPU."""
         now = self.sim.now
-        if task.run_start is not None:
-            self.trace.segment(task.name, task.run_start, now)
-            task.stats.exec_time += now - task.run_start
-            self.metrics.busy_time += now - task.run_start
+        run_start = task.run_start
+        if run_start is not None:
+            ran = now - run_start
+            self.trace.segment(task.name, run_start, now)
+            task.stats.exec_time += ran
+            self.metrics.busy_time += ran
             if self.monitor is not None:
                 self.monitor.on_yield(task, now)
             task.run_start = None

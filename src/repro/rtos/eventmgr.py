@@ -185,14 +185,18 @@ class EventManager:
         """One delivery of a notification: wake waiters or leave the
         same-instant pending mark (the fault layer may skip or repeat
         this; an unarmed model calls it exactly once per notify)."""
+        now = self.sim.now
         woken = event.queue.pop_all()
-        for task in woken:
-            self._unenroll(task, event)
-            self.dispatcher.release_to_ready(task)
-        if not woken:
-            event.pending_time = self.sim.now
+        if woken:
+            unenroll = self._unenroll
+            release = self.dispatcher.release_to_ready
+            for task in woken:
+                unenroll(task, event)
+                release(task)
+        else:
+            event.pending_time = now
         self.trace.record(
-            self.sim.now, "task", self.name, "notify",
+            now, "task", self.name, "notify",
             event=event.name, woken=len(woken),
         )
 

@@ -28,6 +28,8 @@ class Scheduler:
     dominant scheduler cost in long runs.
     """
 
+    __slots__ = ("_ready", "_peek_cache", "_peek_valid")
+
     #: short identifier used by ``RTOSModel.start(sched_alg)`` lookups
     name = "base"
 

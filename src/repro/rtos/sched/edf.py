@@ -12,6 +12,8 @@ class EDF(Scheduler):
     deadline sort last and fall back to FIFO order among themselves.
     """
 
+    __slots__ = ()
+
     name = "edf"
 
     def key(self, task, now):

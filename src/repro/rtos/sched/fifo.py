@@ -10,6 +10,8 @@ class FIFO(Scheduler):
     sleeps or terminates.
     """
 
+    __slots__ = ()
+
     name = "fifo"
 
     def key(self, task, now):

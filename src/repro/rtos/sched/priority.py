@@ -13,6 +13,8 @@ class FixedPriority(Scheduler):
     blocks or terminates.
     """
 
+    __slots__ = ("preemptive",)
+
     name = "priority"
 
     def __init__(self, preemptive=True):

@@ -12,6 +12,8 @@ class RMS(Scheduler):
     ones, by their declared priority.
     """
 
+    __slots__ = ()
+
     name = "rms"
 
     def key(self, task, now):

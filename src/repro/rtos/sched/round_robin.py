@@ -14,6 +14,8 @@ class RoundRobin(Scheduler):
     not asynchronously mid-delay.
     """
 
+    __slots__ = ("quantum",)
+
     name = "rr"
 
     def __init__(self, quantum=1000):

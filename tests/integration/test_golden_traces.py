@@ -18,6 +18,18 @@ import pytest
 GOLDEN_DIR = pathlib.Path(__file__).parent / "golden"
 
 
+@pytest.fixture(params=["reference", "fast"], autouse=True)
+def kernel_backend(request, monkeypatch):
+    """Run every golden comparison under both kernel backends.
+
+    The apps construct their ``Simulator()`` internally, so selection
+    goes through the environment channel. One recording, two engines:
+    byte-identical traces are the backend equivalence contract.
+    """
+    monkeypatch.setenv("REPRO_KERNEL_BACKEND", request.param)
+    return request.param
+
+
 def format_trace(trace):
     """Canonical line-per-record rendering used by the recordings."""
     lines = []

@@ -1,0 +1,164 @@
+"""Backend selection tests (:mod:`repro.kernel.backend`).
+
+The backend seam has three selection channels — constructor argument,
+``REPRO_KERNEL_BACKEND`` environment variable, default — with that
+precedence, plus a registry open to future engines. These tests pin the
+plumbing; semantic equivalence of the engines themselves is covered by
+the backend-parametrized golden/delta suites and the timer-wheel
+property tests.
+"""
+
+import pytest
+
+from repro.kernel import (
+    Event,
+    KernelError,
+    Notify,
+    Simulator,
+    Wait,
+    WaitFor,
+    available_backends,
+    pick_backend,
+    register_backend,
+)
+from repro.kernel.backend import _REGISTRY, BACKEND_ENV_VAR
+from repro.kernel.fastsim import FastSimulator
+
+
+@pytest.fixture(autouse=True)
+def _clean_env(monkeypatch):
+    """Tests control the env var explicitly; start unset."""
+    monkeypatch.delenv(BACKEND_ENV_VAR, raising=False)
+
+
+# ----------------------------------------------------------------------
+# pick_backend resolution
+# ----------------------------------------------------------------------
+
+def test_default_is_reference():
+    assert pick_backend() is Simulator
+    assert Simulator().backend == "reference"
+
+
+def test_explicit_name():
+    assert pick_backend("reference") is Simulator
+    assert pick_backend("fast") is FastSimulator
+
+
+def test_env_var_selects_backend(monkeypatch):
+    monkeypatch.setenv(BACKEND_ENV_VAR, "fast")
+    assert pick_backend() is FastSimulator
+
+
+def test_explicit_name_beats_env_var(monkeypatch):
+    monkeypatch.setenv(BACKEND_ENV_VAR, "fast")
+    assert pick_backend("reference") is Simulator
+
+
+def test_empty_env_var_means_default(monkeypatch):
+    monkeypatch.setenv(BACKEND_ENV_VAR, "")
+    assert pick_backend() is Simulator
+
+
+def test_unknown_backend_raises_kernel_error():
+    with pytest.raises(KernelError) as err:
+        pick_backend("warp-drive")
+    # the error names every registered backend
+    assert "warp-drive" in str(err.value)
+    for name in available_backends():
+        assert name in str(err.value)
+
+
+def test_available_backends_lists_default_first():
+    names = available_backends()
+    assert names[0] == "reference"
+    assert "fast" in names
+
+
+# ----------------------------------------------------------------------
+# constructor dispatch
+# ----------------------------------------------------------------------
+
+def test_constructor_argument_dispatches_to_subclass():
+    sim = Simulator(backend="fast")
+    assert type(sim) is FastSimulator
+    assert isinstance(sim, Simulator)
+    assert sim.backend == "fast"
+
+
+def test_env_var_dispatches_constructor(monkeypatch):
+    monkeypatch.setenv(BACKEND_ENV_VAR, "fast")
+    assert type(Simulator()) is FastSimulator
+    # explicit argument still wins
+    assert type(Simulator(backend="reference")) is Simulator
+
+
+def test_direct_subclass_construction_ignores_selection(monkeypatch):
+    """Naming the engine class bypasses the registry entirely."""
+    monkeypatch.setenv(BACKEND_ENV_VAR, "reference")
+    sim = FastSimulator()
+    assert type(sim) is FastSimulator
+    assert sim.backend == "fast"
+
+
+def test_unknown_backend_at_construction():
+    with pytest.raises(KernelError):
+        Simulator(backend="warp-drive")
+
+
+def test_constructor_kwargs_reach_selected_backend():
+    sim = Simulator(backend="fast", delta_limit=7)
+    assert sim._delta_limit == 7
+
+
+# ----------------------------------------------------------------------
+# registry extension
+# ----------------------------------------------------------------------
+
+def test_register_backend_class():
+    class TracingSim(Simulator):
+        backend = "tracing"
+
+    register_backend("tracing", TracingSim)
+    try:
+        assert pick_backend("tracing") is TracingSim
+        assert "tracing" in available_backends()
+        sim = Simulator(backend="tracing")
+        assert type(sim) is TracingSim
+    finally:
+        del _REGISTRY["tracing"]
+
+
+def test_register_backend_lazy_string():
+    register_backend("fast2", "repro.kernel.fastsim:FastSimulator")
+    try:
+        assert pick_backend("fast2") is FastSimulator
+        # the lazy string was resolved and cached in place
+        assert _REGISTRY["fast2"] is FastSimulator
+    finally:
+        del _REGISTRY["fast2"]
+
+
+# ----------------------------------------------------------------------
+# both engines run the same program
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("backend", ["reference", "fast"])
+def test_smoke_program_runs_identically(backend):
+    sim = Simulator(backend=backend)
+    evt = Event("e")
+    log = []
+
+    def producer():
+        yield WaitFor(10)
+        yield Notify(evt)
+
+    def consumer():
+        fired = yield Wait(evt)
+        log.append((sim.now, fired is evt))
+
+    sim.spawn(producer(), name="p")
+    sim.spawn(consumer(), name="c")
+    sim.run()
+    assert log == [(10, True)]
+    assert sim.backend == backend

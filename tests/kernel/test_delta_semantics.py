@@ -19,6 +19,14 @@ from repro.kernel import (
 )
 
 
+@pytest.fixture(params=["reference", "fast"], autouse=True)
+def kernel_backend(request, monkeypatch):
+    """Every delta-semantics rule must hold under both kernel backends
+    (``Simulator()`` below resolves through the environment channel)."""
+    monkeypatch.setenv("REPRO_KERNEL_BACKEND", request.param)
+    return request.param
+
+
 # ----------------------------------------------------------------------
 # pending-within-delta rule
 # ----------------------------------------------------------------------

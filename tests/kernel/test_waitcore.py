@@ -218,3 +218,46 @@ def test_timerqueue_cancel_is_lazy_and_compacts():
     assert len(tq.heap) < 200
     assert tq.dead * 2 <= len(tq.heap)
     assert tq.next_time() == 151
+
+
+def test_waitqueue_pop_all_single_waiter_fast_path():
+    """The dominant wake shape (one waiter) detaches without building a
+    list — and, regression for the copy-elision change, still returns
+    the waiter exactly once and empties the queue."""
+    q = WaitQueue()
+    a = _FakeWaiter(1)
+    q.add(a)
+    woken = q.pop_all()
+    assert tuple(woken) == (a,)
+    assert not q
+    assert q.pop_all() == ()
+
+
+def test_waitqueue_pop_all_preserves_fifo_wake_order():
+    """Wake order is enrollment order, also after mid-queue detaches
+    (regression pin for the pop_all/iteration copy elision)."""
+    q = WaitQueue()
+    waiters = [_FakeWaiter(i) for i in range(6)]
+    for w in waiters:
+        q.add(w)
+    q.discard(waiters[2])
+    q.discard(waiters[4])
+    expected = [waiters[0], waiters[1], waiters[3], waiters[5]]
+    assert list(q.pop_all()) == expected
+    assert not q
+
+
+def test_waitqueue_iter_is_fifo_and_copy_free():
+    """``__iter__`` yields enrolled waiters in FIFO order; it is a live
+    view (no snapshot list), so re-enrolling after a wholesale swap must
+    go through a fresh queue — exactly what the kernel does."""
+    q = WaitQueue()
+    waiters = [_FakeWaiter(i) for i in range(4)]
+    for w in waiters:
+        q.add(w)
+    assert list(q) == waiters
+    # iterating twice sees the same order (the view is re-created)
+    assert list(q) == waiters
+    # a detach between iterations is visible — it is a view, not a copy
+    q.discard(waiters[1])
+    assert list(q) == [waiters[0], waiters[2], waiters[3]]

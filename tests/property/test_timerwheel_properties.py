@@ -1,0 +1,223 @@
+"""Observational equivalence of :class:`TimerWheel` and :class:`TimerQueue`.
+
+The fast backend swaps the reference heap timer queue for a
+calendar-bucket wheel (see ``DESIGN.md``, "Performance notes, round
+two"). The two structures must be indistinguishable through the firing
+interface the simulators use: same pop order (time-ascending,
+insertion-ordered within one instant), same lazy-cancellation semantics
+(both through the queue's ``cancel`` and through direct
+``Timer.cancel``), same compaction hygiene (an all-cancelled instant
+never becomes ``next_time``), same timer-recycling contract.
+
+Each property drives both structures with one randomly generated
+schedule and compares what fires.
+"""
+
+import heapq
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kernel.waitcore import Timer, TimerQueue, TimerWheel
+
+
+class _FakeProcess:
+    """Just enough of a kernel process for ``schedule_resume``."""
+
+    def __init__(self):
+        self.timer_cache = None
+
+
+def drain_heap(tq):
+    """Fire every pending timer of ``tq`` the way the reference
+    simulator does: pop due entries per instant, skip cancelled."""
+    fired = []
+    while True:
+        t = tq.next_time()
+        if t is None:
+            return fired
+        heap = tq.heap
+        while heap and heap[0][0] == t:
+            _, _, timer = heapq.heappop(heap)
+            if timer.cancelled:
+                if tq.dead:
+                    tq.dead -= 1
+                continue
+            fired.append((t, timer.value))
+
+
+def drain_wheel(tw):
+    """Fire every pending timer of ``tw`` the way the fast simulator
+    does: detach the instant's bucket wholesale, skip cancelled."""
+    fired = []
+    while True:
+        t = tw.next_time()
+        if t is None:
+            return fired
+        timers = tw.pop_due(t)
+        while timers is not None:
+            for timer in timers:
+                if timer.cancelled:
+                    if tw.dead:
+                        tw.dead -= 1
+                    continue
+                timer.bucket = None
+                fired.append((t, timer.value))
+            timers = tw.pop_due(t)
+
+
+# a schedule: per timer, its fire time (narrow domain → many instants
+# collide, which is the wheel's dense case and the stability crux)
+times = st.lists(st.integers(min_value=0, max_value=20),
+                 min_size=0, max_size=40)
+
+
+@given(times)
+@settings(max_examples=100, deadline=None)
+def test_pop_order_identical(schedule):
+    """Fire order is time-ascending, insertion-stable — both engines."""
+    tq, tw = TimerQueue(), TimerWheel()
+    for label, t in enumerate(schedule):
+        tq.push(t, Timer(t, value=label))
+        tw.push(t, Timer(t, value=label))
+    heap_order = drain_heap(tq)
+    wheel_order = drain_wheel(tw)
+    assert wheel_order == heap_order
+    # and both match the spec directly: stable sort by time
+    assert heap_order == sorted(
+        ((t, label) for label, t in enumerate(schedule)),
+        key=lambda pair: pair[0],
+    )
+
+
+@given(times, st.data())
+@settings(max_examples=100, deadline=None)
+def test_lazy_cancellation_identical(schedule, data):
+    """A cancelled timer never fires; everything else is unaffected —
+    whether cancellation goes through the queue (``cancel``) or flags
+    the timer directly (``Timer.cancel``, which bypasses the wheel's
+    bucket accounting)."""
+    tq, tw = TimerQueue(), TimerWheel()
+    heap_timers, wheel_timers = [], []
+    for label, t in enumerate(schedule):
+        ht, wt = Timer(t, value=label), Timer(t, value=label)
+        tq.push(t, ht)
+        tw.push(t, wt)
+        heap_timers.append(ht)
+        wheel_timers.append(wt)
+    n = len(schedule)
+    to_cancel = data.draw(st.sets(st.integers(0, n - 1), max_size=n)) \
+        if n else set()
+    direct = data.draw(st.booleans())
+    for i in to_cancel:
+        if direct:
+            heap_timers[i].cancel()
+            wheel_timers[i].cancel()
+        else:
+            tq.cancel(heap_timers[i])
+            tw.cancel(wheel_timers[i])
+    assert drain_wheel(tw) == drain_heap(tq)
+
+
+@given(times, st.sets(st.integers(0, 39)))
+@settings(max_examples=100, deadline=None)
+def test_next_time_skips_dead_instants(schedule, cancel_set):
+    """``next_time`` is the earliest instant with a *live* timer: an
+    instant whose timers were all cancelled must not surface (the wheel
+    drops the bucket — its compaction analog — and the heap drains
+    cancelled tops)."""
+    tq, tw = TimerQueue(), TimerWheel()
+    heap_timers, wheel_timers = [], []
+    for label, t in enumerate(schedule):
+        ht, wt = Timer(t, value=label), Timer(t, value=label)
+        tq.push(t, ht)
+        tw.push(t, wt)
+        heap_timers.append(ht)
+        wheel_timers.append(wt)
+    for i in cancel_set:
+        if i < len(schedule):
+            tq.cancel(heap_timers[i])
+            tw.cancel(wheel_timers[i])
+    live = [t for i, t in enumerate(schedule) if i not in cancel_set]
+    expected = min(live) if live else None
+    assert tq.next_time() == expected
+    assert tw.next_time() == expected
+
+
+@given(st.lists(st.integers(min_value=1, max_value=50),
+                min_size=1, max_size=30))
+@settings(max_examples=100, deadline=None)
+def test_recycled_timers_identical(delays):
+    """The ``schedule_resume`` recycling contract holds on both engines:
+    one process looping on timed waits reuses a single Timer object and
+    the observable (time, value) firing sequence is identical."""
+    tq, tw = TimerQueue(), TimerWheel()
+    hp, wp = _FakeProcess(), _FakeProcess()
+    now = 0
+    heap_fired, wheel_fired = [], []
+    first_heap_timer = first_wheel_timer = None
+    for i, delay in enumerate(delays):
+        ht = tq.schedule_resume(hp, now + delay, i)
+        wt = tw.schedule_resume(wp, now + delay, i)
+        if first_heap_timer is None:
+            first_heap_timer, first_wheel_timer = ht, wt
+        # steady state: the very same object cycles through the cache
+        assert ht is first_heap_timer
+        assert wt is first_wheel_timer
+        t = tq.next_time()
+        assert tw.next_time() == t
+        heap_fired += drain_heap(tq)
+        wheel_fired += drain_wheel(tw)
+        # the simulator recycles a fired resume timer into the cache
+        hp.timer_cache, wp.timer_cache = ht, wt
+        ht.bucket = wt.bucket = None
+        now = t
+    assert wheel_fired == heap_fired
+    assert [t for t, _ in heap_fired] == sorted(t for t, _ in heap_fired)
+
+
+@given(st.lists(st.tuples(st.sampled_from(["push", "cancel", "fire"]),
+                          st.integers(0, 20)),
+                min_size=1, max_size=60))
+@settings(max_examples=100, deadline=None)
+def test_interleaved_operations_identical(ops):
+    """Arbitrary interleavings of push / cancel / fire-earliest keep the
+    two structures in observably identical states (``next_time`` agreed
+    on after every operation, fired sequences identical)."""
+    tq, tw = TimerQueue(), TimerWheel()
+    heap_timers, wheel_timers = [], []
+    heap_fired, wheel_fired = [], []
+    label = 0
+    for op, arg in ops:
+        if op == "push":
+            ht, wt = Timer(arg, value=label), Timer(arg, value=label)
+            tq.push(arg, ht)
+            tw.push(arg, wt)
+            heap_timers.append(ht)
+            wheel_timers.append(wt)
+            label += 1
+        elif op == "cancel" and heap_timers:
+            i = arg % len(heap_timers)
+            tq.cancel(heap_timers[i])
+            tw.cancel(wheel_timers[i])
+        elif op == "fire":
+            t = tq.next_time()
+            assert tw.next_time() == t
+            if t is not None:
+                before = len(heap_fired)
+                heap = tq.heap
+                while heap and heap[0][0] == t:
+                    _, _, timer = heapq.heappop(heap)
+                    if not timer.cancelled:
+                        heap_fired.append((t, timer.value))
+                timers = tw.pop_due(t)
+                while timers is not None:
+                    for timer in timers:
+                        if not timer.cancelled:
+                            timer.bucket = None
+                            wheel_fired.append((t, timer.value))
+                    timers = tw.pop_due(t)
+                assert len(heap_fired) > before  # a live instant fired
+        assert tw.next_time() == tq.next_time()
+    assert wheel_fired == heap_fired
+    assert drain_wheel(tw) == drain_heap(tq)
