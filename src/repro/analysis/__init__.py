@@ -1,8 +1,32 @@
-"""Analysis: trace queries, Gantt rendering, validation, LoC metrics."""
+"""Analysis: trace queries, Gantt rendering, validation, LoC metrics,
+analytic schedulability + simulator cross-validation."""
 
-from repro.analysis import gantt, loc, report, trace_analysis, validate, vcd
+from repro.analysis import (
+    crossval,
+    gantt,
+    loc,
+    report,
+    schedulability,
+    trace_analysis,
+    validate,
+    vcd,
+)
+from repro.analysis.crossval import cross_validate, generate_matrix, simulate
 from repro.analysis.gantt import render as render_gantt
 from repro.analysis.report import schedule_report, task_table
+from repro.analysis.schedulability import (
+    ComponentSpec,
+    PESpec,
+    SystemSpec,
+    TaskSpec,
+    bdr_interface,
+    check_component,
+    check_system,
+    dbf,
+    sbf_bdr,
+    sbf_full,
+    sbf_periodic,
+)
 from repro.analysis.vcd import to_vcd, write_vcd
 from repro.analysis.trace_analysis import (
     completion_time,
@@ -22,13 +46,24 @@ from repro.analysis.validate import (
 )
 
 __all__ = [
+    "ComponentSpec",
+    "PESpec",
+    "SystemSpec",
+    "TaskSpec",
+    "bdr_interface",
+    "check_component",
+    "check_system",
     "completion_time",
     "context_switch_times",
+    "cross_validate",
+    "crossval",
+    "dbf",
     "exec_segments",
     "exec_time_per_actor",
     "exec_time_preserved",
     "first_start",
     "gantt",
+    "generate_matrix",
     "loc",
     "mark_time",
     "marks",
@@ -37,8 +72,13 @@ __all__ = [
     "response_latencies",
     "report",
     "same_functional_marks",
+    "sbf_bdr",
+    "sbf_full",
+    "sbf_periodic",
+    "schedulability",
     "schedule_report",
     "serialized",
+    "simulate",
     "task_table",
     "to_vcd",
     "trace_analysis",

@@ -103,6 +103,67 @@ def periodic_taskset_run(policy="priority", preemption="step",
     return result
 
 
+def hierarchical_taskset_run(top="priority", preemption="immediate",
+                             server_util=0.4, demand_factor=0.5, seed=1,
+                             horizon=None):
+    """One generated hierarchical configuration: simulator + analysis.
+
+    Builds a deterministic single-spec system (two resource servers at
+    ``server_util`` total, taskset demand at ``demand_factor`` of the
+    server supply — above ~1.0 is an overload), cross-validates it, and
+    returns the flat verdict/miss summary. Sweeping ``demand_factor``
+    across 1.0 maps the schedulable/unschedulable boundary the
+    cross-validation contract is defined on.
+    """
+    import random
+
+    from repro.analysis.crossval import cross_validate
+    from repro.analysis.schedulability import (
+        ComponentSpec,
+        PESpec,
+        SystemSpec,
+        TaskSpec,
+    )
+
+    rng = random.Random(seed)
+    comps = []
+    for index in range(2):
+        period = rng.choice((100, 200, 250))
+        share = server_util / 2
+        budget = max(1, int(period * share))
+        task_period = rng.choice((1000, 2000, 4000))
+        wcet = max(1, int(task_period * share * demand_factor))
+        comps.append(ComponentSpec(
+            name=f"comp{index}", budget=budget, period=period,
+            policy=rng.choice(("edf", "priority")), priority=index,
+            tasks=(TaskSpec(f"c{index}t0", period=task_period, wcet=wcet,
+                            priority=0),),
+        ))
+    spec = SystemSpec(
+        f"farm-hier-{seed}",
+        pes=(PESpec("pe0", top=top, components=tuple(comps)),),
+    )
+    report = cross_validate(spec, horizon=horizon)
+    total_misses = sum(report["simulated_misses"].values())
+    return {
+        "top": top,
+        "preemption": preemption,
+        "server_util": server_util,
+        "demand_factor": demand_factor,
+        "seed": seed,
+        "analysis_schedulable": report["analysis_schedulable"],
+        "guaranteed_tasks": len(report["guaranteed_tasks"]),
+        "missed_tasks": len(report["missed_tasks"]),
+        "total_misses": total_misses,
+        "consistent": report["consistent"],
+        "max_window_overdraft": max(
+            (c["max_window_consumption"] - c["budget"]
+             for c in report["component_stats"].values()),
+            default=0,
+        ),
+    }
+
+
 def fault_campaign_run(policy="priority", preemption="step", seed=0,
                        plan="baseline", on_miss="log", budget_factor=None,
                        horizon=DEFAULT_HORIZON,

@@ -13,6 +13,8 @@ Metric name scheme::
     <os-name>.time_wait_calls         counter
     <os-name>.time_wait_delay         histogram of requested delays
     <os-name>.response_time.<task>    histogram per task
+    <os-name>.component_budget.<c>    gauge, window consumption per server
+    <os-name>.component_throttles.<c> counter, budget-exhaustion suspends
     chan.<name>.occupancy             gauge (queue/mailbox fill level)
     chan.<name>.sent / .received      counters
     chan.<name>.tokens                gauge (semaphore count)
@@ -32,6 +34,8 @@ class RTOSObs:
         "time_wait_calls",
         "time_wait_delay",
         "_response",
+        "_component_budget",
+        "_component_throttles",
     )
 
     def __init__(self, registry, prefix):
@@ -42,6 +46,8 @@ class RTOSObs:
         self.time_wait_calls = registry.counter(f"{prefix}.time_wait_calls")
         self.time_wait_delay = registry.histogram(f"{prefix}.time_wait_delay")
         self._response = {}
+        self._component_budget = {}
+        self._component_throttles = {}
 
     def response(self, task_name):
         """Per-task response-time histogram (created lazily)."""
@@ -51,6 +57,26 @@ class RTOSObs:
                 f"{self.prefix}.response_time.{task_name}"
             )
         return hist
+
+    def component_budget(self, comp_name):
+        """Per-component budget-consumption gauge (created lazily)."""
+        gauge = self._component_budget.get(comp_name)
+        if gauge is None:
+            gauge = self._component_budget[comp_name] = self.registry.gauge(
+                f"{self.prefix}.component_budget.{comp_name}"
+            )
+        return gauge
+
+    def component_throttles(self, comp_name):
+        """Per-component throttle counter (created lazily)."""
+        counter = self._component_throttles.get(comp_name)
+        if counter is None:
+            counter = self._component_throttles[comp_name] = (
+                self.registry.counter(
+                    f"{self.prefix}.component_throttles.{comp_name}"
+                )
+            )
+        return counter
 
 
 class QueueObs:

@@ -19,11 +19,22 @@ class Architecture:
         self.name = name
         self.pes = {}
         self.buses = {}
+        self._booted = False
 
-    def add_pe(self, name, sched=None, preemption="step"):
+    def add_pe(self, name, sched=None, preemption="step", speed=1.0,
+               components=None):
+        """Add a processing element.
+
+        ``speed`` scales the PE's task WCETs (heterogeneous cores);
+        ``components=`` gives the PE a hierarchical scheduler whose
+        top-level policy is ``sched`` (``"priority"``/``"edf"``) — see
+        :class:`~repro.platform.pe.ProcessingElement`.
+        """
         if name in self.pes:
             raise ValueError(f"duplicate PE name {name!r}")
-        pe = ProcessingElement(self.sim, name, sched=sched, preemption=preemption)
+        pe = ProcessingElement(self.sim, name, sched=sched,
+                               preemption=preemption, speed=speed,
+                               components=components)
         self.pes[name] = pe
         return pe
 
@@ -35,14 +46,23 @@ class Architecture:
         return bus
 
     def run(self, until=None):
-        """Boot all PEs and run the simulation."""
+        """Boot all PEs and run the simulation.
 
-        def _boot():
-            yield WaitFor(0)
-            for pe in self.pes.values():
-                pe.boot()
+        The first call spawns the bootstrap process (which unlocks every
+        PE's RTOS after the t=0 activations settle). Subsequent calls
+        simply *resume* the simulation — PEs are not re-booted, boot
+        actions do not run again — so ``run(until=t1); run(until=t2)``
+        advances one continuous timeline.
+        """
+        if not self._booted:
+            self._booted = True
 
-        self.sim.spawn(_boot(), name=f"{self.name}.boot")
+            def _boot():
+                yield WaitFor(0)
+                for pe in self.pes.values():
+                    pe.boot()
+
+            self.sim.spawn(_boot(), name=f"{self.name}.boot")
         self.sim.run(until=until)
 
     @property

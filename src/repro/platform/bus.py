@@ -9,6 +9,7 @@ messages realistic, contention-dependent latency.
 from repro.kernel.channel import Channel
 from repro.kernel.commands import Notify, Wait, WaitFor
 from repro.kernel.events import Event
+from repro.rtos.errors import TaskKilled
 
 
 class Bus(Channel):
@@ -37,26 +38,65 @@ class Bus(Channel):
     def transfer_cycles(self, nbytes):
         return -(-nbytes // self.width)  # ceil division
 
-    def transfer(self, nbytes, master="?", priority=0):
-        """Occupy the bus for one message of ``nbytes`` (generator)."""
+    def transfer(self, nbytes, master="?", priority=0, owner=None):
+        """Occupy the bus for one message of ``nbytes`` (generator).
+
+        With ``owner=`` (an RTOS task handle) the transfer is abortable:
+        if the owning task is killed while queued, the wait additionally
+        wakes on the task's preempt event and the request is withdrawn;
+        if it is killed mid-transfer, the bus is released when the
+        duration elapses. Either way :class:`TaskKilled` propagates so
+        the task unwinds normally. Without an owner the same
+        ``try/finally`` still guarantees that a closed/crashed requester
+        never leaves a stale request queued or the bus stuck busy.
+        """
         if nbytes <= 0:
             raise ValueError(f"transfer of {nbytes} bytes")
         request = (priority, self._seq, master)
         self._seq += 1
         self._requests.append(request)
-        while self.busy or min(self._requests) != request:
-            yield Wait(self._free_evt)
-        self._requests.remove(request)
-        self.busy = True
-        duration = self.transfer_cycles(nbytes) * self.cycle_time
-        started = self.sim.now
-        if duration:
-            yield WaitFor(duration)
-        self.busy = False
-        self.transfer_count += 1
-        self.busy_time += self.sim.now - started
-        self.sim.trace.record(
-            self.sim.now, "chan", self.name, "transfer",
-            master=master, nbytes=nbytes, start=started,
-        )
-        yield Notify(self._free_evt)
+        granted = False
+        try:
+            while self.busy or min(self._requests) != request:
+                if owner is not None:
+                    if owner.killed:
+                        raise TaskKilled(owner.name)
+                    yield Wait(self._free_evt, owner.preempt_evt)
+                else:
+                    yield Wait(self._free_evt)
+            if owner is not None and owner.killed:
+                raise TaskKilled(owner.name)
+            self._requests.remove(request)
+            self.busy = True
+            granted = True
+            duration = self.transfer_cycles(nbytes) * self.cycle_time
+            started = self.sim.now
+            if duration:
+                yield WaitFor(duration)
+            if owner is not None and owner.killed:
+                # killed while occupying: the finally releases the bus
+                # and wakes the queued requesters
+                raise TaskKilled(owner.name)
+            self.busy = False
+            granted = False
+            self.transfer_count += 1
+            self.busy_time += self.sim.now - started
+            self.sim.trace.record(
+                self.sim.now, "chan", self.name, "transfer",
+                master=master, nbytes=nbytes, start=started,
+            )
+            yield Notify(self._free_evt)
+        finally:
+            if granted:
+                # unwound while occupying the bus: release it and wake
+                # the queued requesters (fire, not Notify — the unwind
+                # may run outside any process context)
+                self.busy = False
+                self._free_evt.fire(self.sim)
+            elif request in self._requests:
+                # unwound while still queued: withdraw the request; the
+                # head of the queue may have been waiting on us losing
+                # the arbitration race, so re-wake the others
+                self._requests.remove(request)
+                if self._requests and not self.busy:
+                    self._free_evt.fire(self.sim)

@@ -33,10 +33,16 @@ class BusLink(Channel):
         self.priority = priority
         self.pending = deque()
 
-    def send(self, data, nbytes=4, master=None):
-        """Transfer ``data`` over the bus and interrupt the receiver."""
+    def send(self, data, nbytes=4, master=None, owner=None):
+        """Transfer ``data`` over the bus and interrupt the receiver.
+
+        ``owner=`` (an RTOS task handle) makes the bus occupancy
+        abortable if the sending task is killed mid-transfer — see
+        :meth:`repro.platform.bus.Bus.transfer`.
+        """
         yield from self.bus.transfer(
-            nbytes, master=master or self.name, priority=self.priority
+            nbytes, master=master or self.name, priority=self.priority,
+            owner=owner,
         )
         self.pending.append(data)
         self.irq_line.raise_irq()

@@ -34,7 +34,10 @@ from repro.rtos.sched import (
     SCHED_PRIORITY_NP,
     SCHED_RMS,
     SCHED_RR,
+    Component,
+    ComponentStats,
     FixedPriority,
+    HierarchicalScheduler,
     RoundRobin,
     Scheduler,
     make_scheduler,
@@ -50,12 +53,15 @@ from repro.rtos.task import (
 
 __all__ = [
     "APERIODIC",
+    "Component",
+    "ComponentStats",
     "DEFAULT_PRIORITY",
     "Dispatcher",
     "EDF",
     "EventManager",
     "FIFO",
     "FixedPriority",
+    "HierarchicalScheduler",
     "PERIODIC",
     "RMS",
     "RoundRobin",

@@ -49,6 +49,7 @@ class Dispatcher:
         self.metrics = metrics
         self.name = name
         self.scheduler = scheduler
+        scheduler.bind(self)
         self.preemption = preemption
         self.switch_overhead = switch_overhead
         #: wired by the facade: the PE's TaskManager (policy migration
@@ -89,6 +90,7 @@ class Dispatcher:
                 else:
                     task.slice_start = None
             self.scheduler = new_scheduler
+            new_scheduler.bind(self)
         self.started = True
         self.dispatch_if_idle()
 
@@ -156,6 +158,7 @@ class Dispatcher:
             if self.monitor is not None:
                 self.monitor.on_yield(task, now)
             task.run_start = None
+        self.scheduler.on_yield(task, now)
         if new_state is TaskState.READY:
             self.release_to_ready(task)
         else:
@@ -211,8 +214,25 @@ class Dispatcher:
             # lost the CPU asynchronously (immediate mode)
             yield from self.wait_until_running(task)
             return
-        candidate = self.scheduler.peek(self.sim.now)
-        if candidate is None or not self.scheduler.preempts(candidate, task, self.sim.now):
+        scheduler = self.scheduler
+        now = self.sim.now
+        candidate = scheduler.peek(now)
+        if candidate is None:
+            if not scheduler.expired(task, now):
+                return
+            # server budget exhausted and nothing else eligible: the
+            # CPU idles until the next replenishment (the supply model
+            # the analysis assumes — no silent budget overdraft)
+            task.stats.preemptions += 1
+            self.metrics.preemptions += 1
+            self.trace.record(
+                now, "sched", self.name, "preempt",
+                task=task.name, by="budget",
+            )
+            self.yield_cpu(task, TaskState.READY)
+            yield from self.wait_until_running(task)
+            return
+        if not scheduler.preempts(candidate, task, now):
             return
         task.stats.preemptions += 1
         self.metrics.preemptions += 1
@@ -254,3 +274,24 @@ class Dispatcher:
             running.preempt_evt.fire(self.sim)
         # step mode: the running task switches at its next scheduling
         # point (paper: t4 -> t4', Figure 8(b))
+
+    def preempt_running(self, by="budget"):
+        """Force the running task off the CPU (immediate mode only).
+
+        Unlike :meth:`resched_from_outside` this does not require a
+        better-keyed candidate: the hierarchical scheduler calls it when
+        the running task's server exhausts its budget, at which point the
+        task must stop even if nothing else is ready. The task re-enters
+        the ready queue and competes again once its server replenishes.
+        """
+        running = self.running
+        if running is None:
+            return
+        running.stats.preemptions += 1
+        self.metrics.preemptions += 1
+        self.trace.record(
+            self.sim.now, "sched", self.name, "preempt",
+            task=running.name, by=by,
+        )
+        self.yield_cpu(running, TaskState.READY)
+        running.preempt_evt.fire(self.sim)

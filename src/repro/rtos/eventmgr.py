@@ -14,6 +14,8 @@ callback-context notify that was scheduled earlier than the timeout's
 deadline wins (timer-queue insertion order decides).
 """
 
+import itertools
+
 from repro.kernel.commands import TIMEOUT
 from repro.rtos.errors import RTOSError
 from repro.rtos.events import RTOSEvent
@@ -24,7 +26,7 @@ class EventManager:
     """Event service of one PE's RTOS model."""
 
     __slots__ = ("sim", "trace", "name", "dispatcher", "tasks", "events",
-                 "obs", "faults")
+                 "obs", "faults", "_uid_seq")
 
     def __init__(self, sim, trace, name, dispatcher, tasks):
         self.sim = sim
@@ -33,6 +35,8 @@ class EventManager:
         self.dispatcher = dispatcher
         self.tasks = tasks
         self.events = []
+        #: per-model uid counter (see TaskManager._uid_seq)
+        self._uid_seq = itertools.count()
         #: optional RTOSObs instrument bundle (RTOSModel.observe)
         self.obs = None
         #: optional FaultInjector (RTOSModel.attach_faults)
@@ -41,6 +45,7 @@ class EventManager:
     def reset(self):
         """Drop all event state (RTOSModel.init)."""
         self.events = []
+        self._uid_seq = itertools.count()
 
     # ------------------------------------------------------------------
     # allocation
@@ -48,7 +53,7 @@ class EventManager:
 
     def new(self, name=None):
         """Allocate an RTOS event (paper type ``evt``)."""
-        event = RTOSEvent(name)
+        event = RTOSEvent(name, uid=next(self._uid_seq))
         self.events.append(event)
         return event
 

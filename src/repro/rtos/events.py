@@ -28,6 +28,9 @@ import itertools
 
 from repro.kernel.waitcore import WaitQueue
 
+# fallback uid source for events constructed outside an EventManager
+# (the manager owns a per-model counter, so multi-model runs get
+# construction-order-independent uids)
 _rtos_event_ids = itertools.count()
 
 
@@ -36,8 +39,8 @@ class RTOSEvent:
 
     __slots__ = ("name", "uid", "queue", "pending_time", "notify_count", "deleted")
 
-    def __init__(self, name=None):
-        self.uid = next(_rtos_event_ids)
+    def __init__(self, name=None, uid=None):
+        self.uid = next(_rtos_event_ids) if uid is None else uid
         self.name = name or f"evt{self.uid}"
         #: tasks blocked in event_wait / event_wait_any on this event
         self.queue = WaitQueue()

@@ -441,7 +441,9 @@ class RTOSModel(Channel):
 
     @scheduler.setter
     def scheduler(self, scheduler):
+        scheduler = make_scheduler(scheduler)
         self._dispatcher.scheduler = scheduler
+        scheduler.bind(self._dispatcher)
 
     @property
     def preemption(self):

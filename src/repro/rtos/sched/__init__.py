@@ -59,10 +59,21 @@ def make_scheduler(spec):
     raise TypeError(f"cannot build a scheduler from {spec!r}")
 
 
+# imported after make_scheduler exists: hier components build their local
+# scheduler through it
+from repro.rtos.sched.hier import (  # noqa: E402
+    Component,
+    ComponentStats,
+    HierarchicalScheduler,
+)
+
 __all__ = [
+    "Component",
+    "ComponentStats",
     "EDF",
     "FIFO",
     "FixedPriority",
+    "HierarchicalScheduler",
     "RMS",
     "RoundRobin",
     "SCHED_EDF",

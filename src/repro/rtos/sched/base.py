@@ -85,9 +85,34 @@ class Scheduler:
         scheduling point? Default: strict key comparison (preemptive)."""
         return self.key(candidate, now) < self.key(running, now)
 
+    def expired(self, task, now):
+        """Must ``task`` stop running even with nothing else ready?
+
+        Flat policies never revoke an idle CPU; the hierarchical
+        scheduler returns True when the task's server is out of budget
+        (the CPU then idles until the next replenishment).
+        """
+        return False
+
     def on_dispatch(self, task, now):
         """Hook invoked when ``task`` is dispatched (time slicing)."""
         task.slice_start = now
+
+    def on_yield(self, task, now):
+        """Hook invoked when ``task`` gives up the CPU.
+
+        Flat policies need no bookkeeping here; the hierarchical
+        scheduler settles server-budget consumption.
+        """
+
+    def bind(self, dispatcher):
+        """Attach the owning dispatcher.
+
+        Called when the scheduler is installed on a
+        :class:`~repro.rtos.dispatch.Dispatcher`. Flat policies ignore
+        it; the hierarchical scheduler uses the dispatcher's simulator
+        for budget timers and its preemption services for enforcement.
+        """
 
     # -- introspection -------------------------------------------------------
 

@@ -38,6 +38,9 @@ PERIODIC = 1
 #: priority assigned when the creator does not specify one
 DEFAULT_PRIORITY = 100
 
+# fallback uid source for tasks constructed outside a TaskManager (the
+# manager owns a per-model counter, so multi-model runs get
+# construction-order-independent uids)
 _task_seq = itertools.count()
 
 
@@ -91,9 +94,10 @@ class Task:
         "pi_locks",
     )
 
-    def __init__(self, name, tasktype, period, wcet, priority, rel_deadline=None):
+    def __init__(self, name, tasktype, period, wcet, priority, rel_deadline=None,
+                 uid=None):
         self.name = name
-        self.uid = next(_task_seq)
+        self.uid = next(_task_seq) if uid is None else uid
         self.tasktype = tasktype
         self.period = int(period)
         self.wcet = int(wcet)

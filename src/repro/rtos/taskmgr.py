@@ -9,6 +9,8 @@ tasks are cleaned up through the
 :class:`~repro.rtos.eventmgr.EventManager`.
 """
 
+import itertools
+
 from repro.rtos.errors import RTOSError, TaskKilled
 from repro.rtos.task import (
     APERIODIC,
@@ -23,7 +25,7 @@ class TaskManager:
     """Task lifecycle service of one PE's RTOS model."""
 
     __slots__ = ("sim", "trace", "metrics", "name", "dispatcher", "events",
-                 "tasks", "by_process", "obs", "monitor")
+                 "tasks", "by_process", "obs", "monitor", "_uid_seq")
 
     def __init__(self, sim, trace, metrics, name, dispatcher):
         self.sim = sim
@@ -35,6 +37,9 @@ class TaskManager:
         self.events = None
         self.tasks = []
         self.by_process = {}
+        #: per-model uid counter: task uids depend only on creation order
+        #: *within* this model, never on other models in the process
+        self._uid_seq = itertools.count()
         #: optional RTOSObs instrument bundle (RTOSModel.observe)
         self.obs = None
         #: optional FailureMonitor (RTOSModel.task_watch), same guard
@@ -50,6 +55,7 @@ class TaskManager:
         """Drop all task state (RTOSModel.init)."""
         self.tasks = []
         self.by_process = {}
+        self._uid_seq = itertools.count()
 
     # ------------------------------------------------------------------
     # Figure-4 calls
@@ -63,7 +69,8 @@ class TaskManager:
             raise RTOSError(f"periodic task {name!r} needs a positive period")
         if priority is None:
             priority = DEFAULT_PRIORITY
-        task = Task(name, tasktype, period, wcet, priority, rel_deadline)
+        task = Task(name, tasktype, period, wcet, priority, rel_deadline,
+                    uid=next(self._uid_seq))
         self.tasks.append(task)
         self.trace.record(self.sim.now, "task", name, "create")
         return task

@@ -80,9 +80,10 @@ class TimeManager:
             if not task.killed and dispatcher.running is task:
                 scheduler = dispatcher.scheduler
                 candidate = scheduler.peek(self.sim.now)
-                if candidate is None or not scheduler.preempts(
-                    candidate, task, self.sim.now
-                ):
+                if candidate is None:
+                    if not scheduler.expired(task, self.sim.now):
+                        return
+                elif not scheduler.preempts(candidate, task, self.sim.now):
                     return
             yield from dispatcher.schedule_point(task)
             return

@@ -1,0 +1,53 @@
+"""Idempotent architecture boot (regression).
+
+Calling ``Architecture.run`` twice used to re-spawn the ``_boot``
+process, re-running every PE's boot actions and calling
+``RTOSModel.start()`` again. A second ``run`` must *resume* the same
+timeline: boot actions once, RTOS state preserved.
+"""
+
+from repro.platform import Architecture
+
+
+def _counting_arch():
+    arch = Architecture(name="reboot")
+    pe = arch.add_pe("pe", sched="priority")
+    boots = []
+    pe.on_boot(lambda: boots.append(arch.sim.now))
+    progress = []
+
+    def body():
+        for _ in range(10):
+            yield from pe.os.time_wait(100)
+            progress.append(arch.sim.now)
+
+    pe.add_task("worker", body(), priority=1)
+    return arch, pe, boots, progress
+
+
+def test_second_run_resumes_without_rebooting():
+    arch, pe, boots, progress = _counting_arch()
+    arch.run(until=250)
+    assert boots == [0]
+    assert progress == [100, 200]
+    arch.run(until=1500)
+    # boot actions did not run again; the timeline continued seamlessly
+    assert boots == [0]
+    assert progress == [100 * i for i in range(1, 11)]
+
+
+def test_pe_boot_is_idempotent():
+    arch, pe, boots, progress = _counting_arch()
+    arch.run(until=50)
+    pe.boot()  # stray double boot
+    assert boots == [0]
+
+
+def test_run_twice_preserves_task_state():
+    arch, pe, boots, progress = _counting_arch()
+    arch.run(until=550)
+    mid_activations = pe.tasks[0].stats.activations
+    arch.run()
+    # re-boot used to re-release tasks; activation count must not jump
+    assert pe.tasks[0].stats.activations == mid_activations
+    assert len(progress) == 10

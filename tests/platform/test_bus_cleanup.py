@@ -1,0 +1,167 @@
+"""Bus request-bookkeeping cleanup (regression).
+
+``Bus.transfer`` used to leave its entry in ``_requests`` forever — and
+could leave ``busy`` stuck ``True`` — when the requesting process was
+killed or crashed while waiting or transferring, permanently starving
+the bus. The fix wraps the bookkeeping in ``try/finally`` and adds an
+``owner=`` abort vector: a killed owner's queued request is withdrawn
+(the wait additionally wakes on the task's preempt event) and a killed
+owner's in-flight occupancy is released.
+"""
+
+from repro.channels import RTOSSemaphore
+from repro.faults import FaultInjector, FaultPlan, FaultSpec
+from repro.kernel.simulator import Simulator
+from repro.platform import Architecture, BusLink, InterruptDriver, IrqLine
+from repro.platform.bus import Bus
+
+
+# ---------------------------------------------------------------------------
+# generator-level unit tests: the try/finally itself
+# ---------------------------------------------------------------------------
+
+
+def test_closed_transfer_while_occupying_releases_bus():
+    sim = Simulator()
+    bus = Bus(sim, name="bus", width=4, cycle_time=10)
+    holder = bus.transfer(40, master="a")
+    next(holder)  # acquires: busy, mid WaitFor
+    assert bus.busy
+    holder.close()  # process dies mid-transfer
+    assert not bus.busy
+    assert bus._requests == []
+
+
+def test_closed_transfer_while_queued_withdraws_request():
+    sim = Simulator()
+    bus = Bus(sim, name="bus", width=4, cycle_time=10)
+    holder = bus.transfer(40, master="a")
+    next(holder)
+    waiter = bus.transfer(8, master="b")
+    next(waiter)  # queued behind the holder
+    assert len(bus._requests) == 1
+    waiter.close()  # waiting process dies
+    assert bus._requests == []
+    # the holder is unaffected and completes normally
+    holder.close()
+    assert not bus.busy
+
+
+def test_arbitration_still_deterministic_after_withdrawal():
+    sim = Simulator()
+    bus = Bus(sim, name="bus", width=4, cycle_time=10)
+    holder = bus.transfer(40, master="a", priority=0)
+    next(holder)
+    urgent = bus.transfer(8, master="b", priority=1)
+    next(urgent)
+    casual = bus.transfer(8, master="c", priority=2)
+    next(casual)
+    urgent.close()
+    # the surviving request is head of the queue again
+    assert [req[2] for req in bus._requests] == ["c"]
+
+
+# ---------------------------------------------------------------------------
+# system-level regressions: task_kill / task_crash mid-transfer
+# ---------------------------------------------------------------------------
+
+
+def _two_pe_bus(kill_at=None, crash_task=None):
+    """pe0 sends a long message; pe1's sender queues behind it and is
+    killed/crashed mid-wait; pe0 then sends again — which starves
+    forever if the dead request leaks."""
+    arch = Architecture(name="bus-cleanup")
+    sim = arch.sim
+    bus = arch.add_bus("bus", width=4, cycle_time=10)
+    pe0 = arch.add_pe("pe0", sched="priority")
+    pe1 = arch.add_pe("pe1", sched="priority")
+
+    rx_line = IrqLine(sim, "rx")
+    link = BusLink(sim, bus, rx_line, name="link", priority=1)
+    rx = InterruptDriver(link, RTOSSemaphore(pe0.os, 0, "rx-sem"),
+                         os_model=pe0.os)
+    pe0.add_driver(rx, rx_line)
+
+    done = []
+
+    def pe0_body():
+        me = pe0.os.self_task()
+        # 400 bytes -> 100 cycles x 10 = 1000 time units on the bus
+        yield from bus.transfer(400, master="pe0-long", owner=me)
+        yield from pe0.os.time_wait(100)
+        yield from bus.transfer(8, master="pe0-again", owner=me)
+        done.append(sim.now)
+
+    def pe1_body():
+        me = pe1.os.self_task()
+        yield from link.send({"msg": 1}, nbytes=8, owner=me)
+        done.append("pe1-sent")  # must not be reached when killed
+
+    pe0.add_task("pe0-main", pe0_body(), priority=1)
+    victim = pe1.add_task("pe1-victim", pe1_body(), priority=1)
+
+    if kill_at is not None:
+        sim.schedule_at(kill_at, lambda: pe1.os.task_condemn(victim))
+    if crash_task is not None:
+        plan = FaultPlan([FaultSpec("task_crash", task=crash_task, at=500)])
+        injector = FaultInjector(sim, plan, seed=1)
+        injector.arm(model=pe1.os)
+    return arch, bus, done, victim
+
+
+def test_task_kill_while_waiting_for_bus_withdraws_request():
+    arch, bus, done, victim = _two_pe_bus(kill_at=500)
+    arch.run()
+    assert victim.killed
+    assert "pe1-sent" not in done
+    # the dead request is gone, the bus is free, and pe0's second
+    # transfer went through (starved forever before the fix)
+    assert bus._requests == []
+    assert not bus.busy
+    assert bus.transfer_count == 2
+    assert done == [1120]  # 1000 long + 100 compute + 20 short
+
+
+def test_task_crash_fault_injection_mid_transfer():
+    arch, bus, done, victim = _two_pe_bus(crash_task="pe1-victim")
+    arch.run()
+    assert victim.killed
+    assert "pe1-sent" not in done
+    assert bus._requests == []
+    assert not bus.busy
+    assert bus.transfer_count == 2
+
+
+def test_killed_bus_holder_releases_on_abort():
+    """The victim occupies the bus when killed: its occupancy must end
+    and the queued transfer must still acquire."""
+    arch = Architecture(name="holder-kill")
+    sim = arch.sim
+    bus = arch.add_bus("bus", width=4, cycle_time=10)
+    pe0 = arch.add_pe("pe0", sched="priority")
+    pe1 = arch.add_pe("pe1", sched="priority")
+    done = []
+
+    def holder_body():
+        me = pe0.os.self_task()
+        yield from bus.transfer(400, master="holder", owner=me)  # 1000 units
+        done.append("holder-done")  # must not be reached
+
+    def waiter_body():
+        me = pe1.os.self_task()
+        yield from pe1.os.time_wait(100)
+        yield from bus.transfer(8, master="waiter", owner=me)
+        done.append(sim.now)
+
+    holder = pe0.add_task("holder", holder_body(), priority=1)
+    pe1.add_task("waiter", waiter_body(), priority=1)
+    sim.schedule_at(500, lambda: pe0.os.task_condemn(holder))
+    arch.run()
+    assert holder.killed
+    assert "holder-done" not in done
+    assert not bus.busy
+    assert bus._requests == []
+    # the holder's aborted transfer is not counted; the waiter's is
+    assert bus.transfer_count == 1
+    # bus frees when the aborted occupancy elapses at t=1000
+    assert done == [1020]

@@ -1,0 +1,65 @@
+"""Per-model uid counters (regression).
+
+Task and RTOS-event uids used to come from process-global counters, so
+they depended on how many models had been constructed earlier in the
+process — multi-PE architectures and the farm's serial in-process
+fallback got run-order-dependent ids (and default event *names* like
+``evt7``). The counters now live on ``TaskManager``/``EventManager``:
+uids depend only on creation order within one model.
+"""
+
+from repro.kernel.simulator import Simulator
+from repro.rtos import PERIODIC, RTOSModel
+
+
+def _build_model(name):
+    sim = Simulator()
+    os = RTOSModel(sim, sched="priority", name=name)
+    tasks = [
+        os.task_create(f"{name}-t{i}", PERIODIC, 1000, 100)
+        for i in range(3)
+    ]
+    events = [os.event_new() for _ in range(3)]
+    return os, tasks, events
+
+
+def test_two_models_produce_identical_uid_sequences():
+    _, tasks_a, events_a = _build_model("a")
+    _, tasks_b, events_b = _build_model("b")
+    assert [t.uid for t in tasks_a] == [0, 1, 2]
+    assert [t.uid for t in tasks_b] == [0, 1, 2]
+    assert [e.uid for e in events_a] == [0, 1, 2]
+    assert [e.uid for e in events_b] == [0, 1, 2]
+
+
+def test_default_event_names_do_not_depend_on_model_order():
+    _, _, events_a = _build_model("a")
+    _, _, events_b = _build_model("b")
+    assert [e.name for e in events_a] == ["evt0", "evt1", "evt2"]
+    assert [e.name for e in events_a] == [e.name for e in events_b]
+
+
+def test_init_resets_the_counters():
+    os, tasks, events = _build_model("m")
+    os.init()
+    task = os.task_create("fresh", PERIODIC, 1000, 100)
+    event = os.event_new()
+    assert task.uid == 0
+    assert event.uid == 0
+
+
+def test_multi_pe_architecture_uids_are_per_pe():
+    from repro.platform import Architecture
+
+    arch = Architecture(name="uids")
+    pe0 = arch.add_pe("pe0", sched="priority")
+    pe1 = arch.add_pe("pe1", sched="priority")
+
+    def idle(os):
+        yield from os.time_wait(10)
+
+    t0 = pe0.add_task("x", idle(pe0.os))
+    t1 = pe1.add_task("y", idle(pe1.os))
+    # before the fix, pe1's first task got uid 1 (or worse, whatever
+    # earlier tests in the process left behind)
+    assert t0.uid == t1.uid == 0
