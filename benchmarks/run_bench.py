@@ -77,6 +77,10 @@ def _assert_uninstrumented(sim, os_=None, backend=None):
     assert sim.trace.record is _noop, "tracing not swapped to no-op"
     assert sim.trace.segment is _noop, "tracing not swapped to no-op"
     assert sim.profiler is None, "profiler unexpectedly enabled"
+    # the schedule-oracle seam must be unarmed: oracle is None means
+    # every decision point takes its branch-free FIFO default, which is
+    # the configuration the PR-1 baseline numbers were measured in
+    assert sim.oracle is None, "schedule oracle unexpectedly installed"
     if os_ is not None:
         services = (os_._dispatcher, os_._tasks, os_._events, os_._time)
         assert all(s.obs is None for s in services), "metrics attached"

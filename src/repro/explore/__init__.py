@@ -1,0 +1,42 @@
+"""Systematic exploration of scheduling nondeterminism.
+
+Built on the kernel's decision-point seam (:mod:`repro.kernel.oracle`):
+an :class:`~repro.explore.explorer.Explorer` re-executes a model once
+per schedule, forcing decision prefixes and pruning re-visited states
+via canonical fingerprints, and every violation it finds carries a
+replayable schedule. See DESIGN.md §12 and ``python -m repro.explore``.
+"""
+
+from repro.explore.explorer import (
+    ExploreResult,
+    Explorer,
+    Violation,
+    explore,
+    replay_run,
+)
+from repro.explore.fingerprint import event_pending, kernel_fingerprint
+from repro.explore.invariants import all_terminated, expect
+from repro.explore.models import MODELS, Model, build
+from repro.explore.schedule import (
+    SCHEDULE_VERSION,
+    load_schedule,
+    save_schedule,
+)
+
+__all__ = [
+    "MODELS",
+    "SCHEDULE_VERSION",
+    "ExploreResult",
+    "Explorer",
+    "Model",
+    "Violation",
+    "all_terminated",
+    "build",
+    "event_pending",
+    "expect",
+    "explore",
+    "kernel_fingerprint",
+    "load_schedule",
+    "replay_run",
+    "save_schedule",
+]

@@ -1,0 +1,377 @@
+"""Systematic interleaving exploration over decision points.
+
+The :class:`Explorer` enumerates the schedules a model can take by
+driving every :class:`~repro.kernel.oracle.DecisionPoint` of a run and
+re-executing the model from scratch per schedule (stateless DFS — the
+kernel has no snapshot/restore, and fresh re-execution is cheap at the
+scale of the exploration corpus). Each run forces a *prefix* of
+decision indices and extends it FIFO (choice 0); after the run, every
+decision depth that offered alternatives enqueues sibling prefixes.
+
+Pruning levels (``prune=``):
+
+* ``"none"`` — naive DFS: every reachable schedule executes in full.
+* ``"visited"`` — state-hash pruning: each decision records the
+  canonical fingerprint of the pre-decision state; once a state has
+  been expanded, later runs that reach it stop enqueueing alternates
+  (the first visitor already enqueued that subtree).
+* ``"sleep"`` — DPOR-lite on top of ``"visited"``: runs *abort* as soon
+  as they re-enter a visited state beyond their forced prefix (the
+  continuation from an equal state is deterministic and was already
+  executed), and queued prefixes whose outcome is provable from the
+  learned transition relation ``(state, pick) -> state`` are skipped
+  without executing at all. Explores strictly fewer decisions than
+  naive DFS on any model with converging interleavings.
+
+Soundness rests on the fingerprint capturing all behavior- and
+invariant-relevant state — see :mod:`repro.explore.fingerprint` for the
+contract and its knobs (``events``, ``state_extra``, ``include_now``).
+``prune="none"`` is the assumption-free baseline.
+
+After every completed (non-aborted) run the explorer checks for
+deadlock — blocked non-daemon processes with no pending timer — and
+runs the model's invariants. A violation captures the full replayable
+schedule (:class:`~repro.kernel.oracle.RecordingOracle`-shaped steps)
+plus the human-readable decision path; :func:`replay_run` re-executes
+such a schedule deterministically under a strict
+:class:`~repro.kernel.oracle.ReplayOracle`.
+"""
+
+from repro.explore.fingerprint import kernel_fingerprint
+from repro.kernel.errors import (
+    DeadlockError,
+    KernelError,
+    SimulationError,
+)
+from repro.kernel.oracle import (
+    ReplayOracle,
+    ScheduleDivergence,
+    ScheduleOracle,
+)
+
+PRUNE_MODES = ("none", "visited", "sleep")
+
+
+class _PruneRun(SimulationError):
+    """Internal control flow: abort a run whose continuation is covered.
+
+    Subclasses :class:`SimulationError` because the kernel's step loop
+    re-raises that type unwrapped (any other exception from inside a
+    process step would be wrapped and misread as a model error).
+    """
+
+    def __init__(self):
+        Exception.__init__(self, "run pruned: re-entered a visited state")
+
+
+class _ExploreOracle(ScheduleOracle):
+    """Drives one run: forced prefix, FIFO tail, per-decision capture."""
+
+    def __init__(self, explorer, model, prefix):
+        super().__init__()
+        self.explorer = explorer
+        self.model = model
+        self.prefix = prefix
+        #: RecordingOracle-shaped replayable steps
+        self.steps = []
+        #: canonical state hash before each decision
+        self.pre_hashes = []
+        #: alternative count of each decision
+        self.n_choices = []
+
+    def choose(self, point):
+        depth = len(self.steps)
+        state = self.explorer._hash(self.model)
+        self.pre_hashes.append(state)
+        if depth < len(self.prefix):
+            return self.prefix[depth]
+        if (
+            self.explorer.prune == "sleep"
+            and state in self.explorer._visited
+        ):
+            raise _PruneRun()
+        return 0
+
+    def pick(self, point):
+        index = super().pick(point)
+        self.steps.append({
+            "kind": point.kind,
+            "actor": point.actor,
+            "time": point.time,
+            "choices": list(point.choices),
+            "pick": index,
+        })
+        self.n_choices.append(len(point.choices))
+        return index
+
+
+class Violation:
+    """One schedule that broke an invariant (or deadlocked/errored)."""
+
+    __slots__ = ("kind", "message", "schedule", "path", "run_index")
+
+    def __init__(self, kind, message, schedule, path, run_index):
+        #: "deadlock" | "invariant" | "error"
+        self.kind = kind
+        self.message = message
+        #: replayable steps (feed to ReplayOracle / save_schedule)
+        self.schedule = schedule
+        #: human-readable "kind:label" decision trail
+        self.path = path
+        self.run_index = run_index
+
+    def to_dict(self):
+        return {
+            "kind": self.kind,
+            "message": self.message,
+            "path": list(self.path),
+            "run_index": self.run_index,
+            "schedule": [dict(step) for step in self.schedule],
+        }
+
+    def __repr__(self):
+        return f"Violation({self.kind!r}, {self.message!r})"
+
+
+class ExploreResult:
+    """Deterministic summary of one exploration."""
+
+    __slots__ = (
+        "model", "prune", "runs", "aborted", "skipped", "decisions",
+        "states", "violations", "complete", "max_runs", "max_depth",
+    )
+
+    def __init__(self, model, prune, max_runs, max_depth):
+        self.model = model
+        self.prune = prune
+        #: executions started (including aborted ones)
+        self.runs = 0
+        #: runs aborted mid-flight on re-entering a visited state
+        self.aborted = 0
+        #: queued prefixes skipped without executing (transition cache)
+        self.skipped = 0
+        #: decision points actually executed, across all runs
+        self.decisions = 0
+        #: distinct state fingerprints encountered
+        self.states = 0
+        self.violations = []
+        #: frontier drained without hitting max_runs/max_depth
+        self.complete = False
+        self.max_runs = max_runs
+        self.max_depth = max_depth
+
+    def to_dict(self):
+        return {
+            "model": self.model,
+            "prune": self.prune,
+            "runs": self.runs,
+            "aborted": self.aborted,
+            "skipped": self.skipped,
+            "decisions": self.decisions,
+            "states": self.states,
+            "complete": self.complete,
+            "max_runs": self.max_runs,
+            "max_depth": self.max_depth,
+            "violations": [v.to_dict() for v in self.violations],
+        }
+
+
+class Explorer:
+    """Enumerate the schedules of ``factory()``-built models.
+
+    ``factory`` is a zero-argument callable returning a fresh
+    :class:`~repro.explore.models.Model` (the corpus builders qualify).
+    """
+
+    def __init__(self, factory, prune="sleep", max_runs=10_000,
+                 max_depth=200, stop_on_first=False):
+        if prune not in PRUNE_MODES:
+            raise ValueError(
+                f"unknown prune mode {prune!r} (known: {PRUNE_MODES})"
+            )
+        self.factory = factory
+        self.prune = prune
+        self.max_runs = max_runs
+        self.max_depth = max_depth
+        self.stop_on_first = stop_on_first
+        self._visited = set()
+        #: learned deterministic transitions: (state, pick) -> state
+        self._trans = {}
+        self._root_hash = None
+
+    # ------------------------------------------------------------------
+    # driving
+    # ------------------------------------------------------------------
+
+    def run(self):
+        """Explore; returns an :class:`ExploreResult`."""
+        self._visited = set()
+        self._trans = {}
+        self._root_hash = None
+        all_states = set()
+        probe = self.factory()
+        result = ExploreResult(
+            probe.name, self.prune, self.max_runs, self.max_depth
+        )
+        stack = [()]
+        truncated = False
+        while stack:
+            if result.runs >= self.max_runs:
+                truncated = True
+                break
+            prefix = stack.pop()
+            if self.prune == "sleep" and self._provably_covered(prefix):
+                result.skipped += 1
+                continue
+            oracle, violation, pruned = self._execute(prefix)
+            result.runs += 1
+            result.decisions += len(oracle.steps)
+            all_states.update(oracle.pre_hashes)
+            if pruned:
+                result.aborted += 1
+            if self._root_hash is None and oracle.pre_hashes:
+                self._root_hash = oracle.pre_hashes[0]
+            if violation is not None:
+                kind, message = violation
+                result.violations.append(Violation(
+                    kind, message, list(oracle.steps),
+                    list(oracle.trail), result.runs - 1,
+                ))
+                if self.stop_on_first:
+                    # the run's own alternates were never enqueued, so
+                    # the frontier is not drained — don't claim it was
+                    truncated = True
+                    break
+            truncated |= self._enqueue_alternates(stack, prefix, oracle)
+        result.states = len(
+            self._visited if self.prune != "none" else all_states
+        )
+        result.complete = not stack and not truncated
+        return result
+
+    def _execute(self, prefix):
+        """One run under a forced prefix; returns (oracle, violation,
+        pruned)."""
+        model = self.factory()
+        oracle = _ExploreOracle(self, model, prefix)
+        model.sim.install_oracle(oracle)
+        try:
+            model.sim.run(until=model.horizon)
+        except _PruneRun:
+            return oracle, None, True
+        except (SimulationError, KernelError) as exc:
+            return oracle, ("error", str(exc)), False
+        violation = self._check(model, oracle)
+        return oracle, violation, False
+
+    def _check(self, model, oracle):
+        sim = model.sim
+        blocked = [
+            p for p in sim.blocked_processes()
+            if p.name not in model.daemons
+        ]
+        if blocked and sim._timers.next_time() is None:
+            error = DeadlockError(blocked, decision_path=oracle.trail)
+            return ("deadlock", str(error))
+        for invariant in model.invariants:
+            message = invariant(model)
+            if message:
+                return ("invariant", message)
+        return None
+
+    def _enqueue_alternates(self, stack, prefix, oracle):
+        """Enqueue sibling prefixes for the run's new decision depths.
+
+        Depths below ``len(prefix)`` were branched by ancestor runs;
+        scanning starts at the first fresh state. Under state pruning
+        the scan stops at the first already-visited state — the first
+        visitor expanded that subtree. Returns True when ``max_depth``
+        suppressed alternates (the exploration is then incomplete).
+        """
+        picks = [step["pick"] for step in oracle.steps]
+        hashes = oracle.pre_hashes
+        if self.prune == "sleep":
+            trans = self._trans
+            for depth in range(len(picks) - 1):
+                trans[(hashes[depth], picks[depth])] = hashes[depth + 1]
+        truncated = False
+        alternates = []
+        for depth in range(len(prefix), len(picks)):
+            if self.prune != "none":
+                state = hashes[depth]
+                if state in self._visited:
+                    break
+                self._visited.add(state)
+            if oracle.n_choices[depth] < 2:
+                continue
+            if depth >= self.max_depth:
+                truncated = True
+                continue
+            base = tuple(picks[:depth])
+            for alt in range(1, oracle.n_choices[depth]):
+                alternates.append(base + (alt,))
+        # deepest-first keeps the walk depth-first; reversed() makes
+        # sibling order (alt 1 before alt 2) match discovery order
+        for alternate in reversed(alternates):
+            stack.append(alternate)
+        return truncated
+
+    def _provably_covered(self, prefix):
+        """Walk ``prefix`` through the learned transition relation; a
+        full walk landing in a visited state needs no execution."""
+        state = self._root_hash
+        if state is None:
+            return False
+        for pick in prefix:
+            state = self._trans.get((state, pick))
+            if state is None:
+                return False
+        return state in self._visited
+
+    def _hash(self, model):
+        return kernel_fingerprint(
+            model.sim,
+            include_now=model.include_now,
+            events=model.events,
+            extra=model.fingerprint_extra(),
+        )
+
+
+def explore(factory, **kwargs):
+    """One-shot convenience: ``Explorer(factory, **kwargs).run()``."""
+    return Explorer(factory, **kwargs).run()
+
+
+def replay_run(factory, steps, strict=True):
+    """Re-execute a recorded schedule against a fresh model.
+
+    Returns ``(model, violation, trail)`` where ``violation`` is the
+    ``(kind, message)`` the schedule reproduces (None when the run
+    passes) and ``trail`` the decision path taken. Strict mode raises
+    :class:`~repro.kernel.oracle.ScheduleDivergence` when the model no
+    longer offers the recorded decisions.
+    """
+    model = factory()
+    oracle = model.sim.install_oracle(ReplayOracle(steps, strict=strict))
+    violation = None
+    try:
+        model.sim.run(until=model.horizon)
+    except ScheduleDivergence:
+        raise
+    except (SimulationError, KernelError) as exc:
+        violation = ("error", str(exc))
+    if violation is None:
+        blocked = [
+            p for p in model.sim.blocked_processes()
+            if p.name not in model.daemons
+        ]
+        if blocked and model.sim._timers.next_time() is None:
+            error = DeadlockError(blocked, decision_path=oracle.trail)
+            violation = ("deadlock", str(error))
+        else:
+            for invariant in model.invariants:
+                message = invariant(model)
+                if message:
+                    violation = ("invariant", message)
+                    break
+    return model, violation, list(oracle.trail)

@@ -1,0 +1,41 @@
+"""Invariant checkers for exploration.
+
+An invariant is a callable ``inv(model) -> None | str``: it inspects
+the finished run's model and returns ``None`` when the invariant holds
+or a human-readable violation message when it does not. The explorer
+runs every invariant after each non-pruned execution (deadlock-freedom
+is checked by the explorer itself — every blocked non-daemon process
+with no pending timer is a violation, no invariant needed).
+
+Invariants must read only state the model's fingerprint captures (see
+:mod:`repro.explore.fingerprint`): pruned continuations are assumed to
+reach the same verdict as the first visit of an equal-fingerprint state.
+"""
+
+
+def all_terminated(model):
+    """Every non-daemon process ran to completion by the horizon."""
+    lingering = sorted(
+        p.name for p in model.sim._live if p.name not in model.daemons
+    )
+    if lingering:
+        return (
+            f"processes still alive at the horizon: {', '.join(lingering)}"
+        )
+    return None
+
+
+def expect(predicate, message):
+    """Wrap a boolean predicate into an invariant.
+
+    ``predicate(model)`` truthy means the invariant holds; otherwise
+    ``message`` (a string, or a callable of the model for dynamic
+    detail) is the violation.
+    """
+
+    def invariant(model):
+        if predicate(model):
+            return None
+        return message(model) if callable(message) else message
+
+    return invariant

@@ -1,0 +1,55 @@
+"""Replayable schedule files (JSON, version 1).
+
+A schedule file persists the decision steps of one run — typically the
+violating schedule an exploration emitted — so the exact interleaving
+can be re-executed later (in a bug report, a regression test, a CI
+job) with :class:`~repro.kernel.oracle.ReplayOracle`::
+
+    {"version": 1, "model": "lostirq", "violation": "...", "steps": [
+        {"kind": "irq", "actor": "adc", "time": 8,
+         "choices": ["t+0", "t+1", "t+2"], "pick": 0},
+        ...
+    ]}
+
+Steps carry the full decision context (kind, actor, time, choice
+labels), so strict replay detects model drift instead of silently
+taking wrong branches.
+"""
+
+import json
+
+SCHEDULE_VERSION = 1
+
+
+def save_schedule(path, steps, model=None, violation=None):
+    """Write ``steps`` (RecordingOracle-shaped) to ``path``; returns the
+    document written."""
+    document = {
+        "version": SCHEDULE_VERSION,
+        "model": model,
+        "violation": violation,
+        "steps": [
+            step if isinstance(step, dict) else {"pick": int(step)}
+            for step in steps
+        ],
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return document
+
+
+def load_schedule(path):
+    """Read a schedule document; returns the dict (validated)."""
+    with open(path, encoding="utf-8") as handle:
+        document = json.load(handle)
+    version = document.get("version")
+    if version != SCHEDULE_VERSION:
+        raise ValueError(
+            f"unsupported schedule version {version!r} "
+            f"(expected {SCHEDULE_VERSION})"
+        )
+    steps = document.get("steps")
+    if not isinstance(steps, list):
+        raise ValueError("schedule file has no step list")
+    return document

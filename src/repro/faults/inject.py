@@ -29,6 +29,7 @@ instants on the fault track by the CTF exporter).
 import random
 
 from repro.faults.plan import FaultPlan
+from repro.kernel.oracle import DecisionPoint
 
 
 class FaultInjector:
@@ -108,10 +109,27 @@ class FaultInjector:
         if self._registry is not None:
             self._registry.counter(f"faults.{kind}").inc()
 
-    def _roll(self, spec):
-        """One probabilistic decision; prob == 1.0 stays stream-free."""
+    def _roll(self, spec, kind, actor):
+        """One probabilistic decision; prob == 1.0 stays stream-free.
+
+        Under an installed schedule oracle a genuinely probabilistic
+        spec (``0 < prob < 1``) stops being a coin flip and becomes a
+        ``fault`` decision point with choices ``("skip", kind)`` — the
+        explorer then branches on both outcomes instead of sampling one.
+        Index 0 (skip) is the oracle default, so a FifoOracle run is
+        fault-free at these sites, not equal to any particular RNG draw.
+        """
         prob = spec.params["prob"]
-        return prob >= 1.0 or self.rng.random() < prob
+        if prob >= 1.0:
+            return True
+        if prob <= 0.0:
+            return False
+        oracle = self.sim.oracle
+        if oracle is not None:
+            return oracle.pick(DecisionPoint(
+                "fault", ("skip", kind), actor=actor, time=self.sim.now,
+            )) == 1
+        return self.rng.random() < prob
 
     # ------------------------------------------------------------------
     # RTOS hooks (called by TimeManager / EventManager when armed)
@@ -136,7 +154,9 @@ class FaultInjector:
         for spec in self.plan.of_kind("exec_jitter"):
             if spec.task is not None and spec.task != task.name:
                 continue
-            if not spec.in_window(now) or not self._roll(spec):
+            if not spec.in_window(now) or not self._roll(
+                spec, "exec_jitter", task.name
+            ):
                 continue
             perturbed = int(nsec * spec.params["scale"]) + spec.params["offset"]
             if perturbed < 0:
@@ -154,7 +174,9 @@ class FaultInjector:
         for spec in self.plan.of_kind("lost_notify"):
             if spec.event is not None and spec.event != event.name:
                 continue
-            if spec.in_window(now) and self._roll(spec):
+            if spec.in_window(now) and self._roll(
+                spec, "lost_notify", event.name
+            ):
                 self._record("lost_notify", event.name)
                 return True
         return False
@@ -165,7 +187,9 @@ class FaultInjector:
         for spec in self.plan.of_kind("dup_notify"):
             if spec.event is not None and spec.event != event.name:
                 continue
-            if spec.in_window(now) and self._roll(spec):
+            if spec.in_window(now) and self._roll(
+                spec, "dup_notify", event.name
+            ):
                 self._record("dup_notify", event.name)
                 return True
         return False
@@ -192,7 +216,9 @@ class FaultInjector:
         for spec in self.plan.of_kind("drop_irq"):
             if spec.line is not None and spec.line != line.name:
                 continue
-            if spec.in_window(now) and self._roll(spec):
+            if spec.in_window(now) and self._roll(
+                spec, "drop_irq", line.name
+            ):
                 self._record("drop_irq", line.name)
                 return True
         return False
@@ -231,7 +257,9 @@ class FaultInjector:
                 continue
             if spec.op is not None and spec.op != op:
                 continue
-            if not spec.in_window(now) or not self._roll(spec):
+            if not spec.in_window(now) or not self._roll(
+                spec, "slow_channel", channel.name
+            ):
                 continue
             delay = spec.params["delay"]
             self._record("slow_channel", channel.name, op=op, delay=delay)

@@ -56,6 +56,14 @@ from repro.kernel.errors import (
     UnboundPortError,
 )
 from repro.kernel.events import Event
+from repro.kernel.oracle import (
+    DecisionPoint,
+    FifoOracle,
+    RecordingOracle,
+    ReplayOracle,
+    ScheduleDivergence,
+    ScheduleOracle,
+)
 from repro.kernel.process import Process, ProcessState
 from repro.kernel.simulator import Simulator
 from repro.kernel.behavior import Behavior, par, seq
@@ -67,7 +75,9 @@ __all__ = [
     "Behavior",
     "Channel",
     "DeadlockError",
+    "DecisionPoint",
     "Event",
+    "FifoOracle",
     "Fork",
     "Join",
     "KernelError",
@@ -78,6 +88,10 @@ __all__ = [
     "Port",
     "Process",
     "ProcessState",
+    "RecordingOracle",
+    "ReplayOracle",
+    "ScheduleDivergence",
+    "ScheduleOracle",
     "SimulationError",
     "Simulator",
     "TIMEOUT",

@@ -113,6 +113,7 @@ class FastSimulator(Simulator):
         times = timers.times
         now = self.now
         stamp = self._stamp
+        oracle = self.oracle
         steps = 0
         notifications = 0
         try:
@@ -204,7 +205,12 @@ class FastSimulator(Simulator):
                             value = event
                             continue
                     elif events:
-                        fired = select_pending(events, stamp, consumed)
+                        if oracle is None:
+                            fired = select_pending(events, stamp, consumed)
+                        else:
+                            fired = self._select_pending_choice(
+                                process, events, oracle
+                            )
                         if fired is not None:
                             value = fired
                             continue
@@ -263,18 +269,23 @@ class FastSimulator(Simulator):
         step = self._step
         timers = self._timers
         buckets = timers.buckets
+        oracle = self.oracle
         while True:
             run_queue = self._run_queue
             if run_queue:
-                # drain the current delta; spawned/timer-woken processes
-                # append to this same list and run within the delta
-                i = 0
-                while i < len(run_queue):
-                    process = run_queue[i]
-                    i += 1
-                    if process.state is not _TERMINATED:
-                        step(process)
-                del run_queue[:]
+                if oracle is not None:
+                    self._drain_delta_choices(oracle)
+                else:
+                    # drain the current delta; spawned/timer-woken
+                    # processes append to this same list and run within
+                    # the delta
+                    i = 0
+                    while i < len(run_queue):
+                        process = run_queue[i]
+                        i += 1
+                        if process.state is not _TERMINATED:
+                            step(process)
+                    del run_queue[:]
             if self._next_delta:
                 self.delta += 1
                 self._stamp = (self.now, self.delta)
@@ -308,6 +319,11 @@ class FastSimulator(Simulator):
             self._stamp = (next_time, self.delta)
             deltas_this_step = 0
             self._n_timesteps += 1
+            if oracle is not None:
+                # armed: fire order becomes a decision point (the
+                # backend-generic oracle path over pop_due_live)
+                self._fire_timers_choices(next_time, oracle)
+                continue
             # merged _fire_timers: detach the instant's bucket wholesale
             # and deliver in insertion order; re-pop because a callback
             # may schedule new same-instant timers into a fresh bucket
@@ -352,7 +368,11 @@ class FastSimulator(Simulator):
         if check_deadlock:
             blocked = self.blocked_processes()
             if blocked:
-                raise DeadlockError(blocked)
+                raise DeadlockError(
+                    blocked,
+                    decision_path=oracle.trail if oracle is not None
+                    else None,
+                )
 
     # ------------------------------------------------------------------
     # timer plumbing (wheel-backed twins of the reference internals)

@@ -1,0 +1,216 @@
+"""First-class decision points: the kernel's nondeterminism seam.
+
+Historically every tie-break in the stack was baked into a data
+structure: the run queue drained FIFO, same-instant timers fired in
+insertion order, wait-any picked the first pending event in argument
+order, the RTOS dispatcher broke priority ties by ready order, event
+notification woke waiters FIFO, interrupts arrived exactly at their
+programmed instants, and fault injection flipped seeded coins. All of
+those orders are *choices* — the paper's RTOS model makes scheduling
+behavior observable at the system level, and the Spin-style efforts in
+PAPERS.md check such models by enumerating exactly these choices.
+
+This module turns the scattered tie-breaks into one audited interface:
+
+* a :class:`DecisionPoint` describes one choice the simulation is about
+  to make — its ``kind``, the ``choices`` (stable string labels), the
+  deciding ``actor`` and the simulated ``time``;
+* a :class:`ScheduleOracle` resolves decision points. The kernel (and
+  the RTOS/platform/fault layers above it) consult the simulator's
+  installed oracle at every point where more than one choice exists.
+
+The default is **no oracle installed** (``Simulator.oracle is None``):
+every layer then takes its historical FIFO/insertion-order tie-break on
+a branch-free path, and traces stay byte-identical to earlier releases.
+:class:`FifoOracle` — always pick choice 0 — is the explicit twin of
+that default: installing it must not change any observable behavior
+(pinned by the tie-break regression tests and a hypothesis property).
+
+Decision kinds routed through the oracle:
+
+=========  ============================================================
+``ready``  which runnable process executes next within a delta cycle
+``timer``  which of several same-instant timers fires next (this also
+           resolves same-instant TIMEOUT-vs-notify races: both sides
+           are timers at that instant)
+``waitany``  which pending event satisfies a multi-event ``Wait``
+``dispatch``  which of several *tied-best* ready tasks the RTOS
+           dispatcher grants the CPU (ties only — strict priority
+           order is policy, not nondeterminism)
+``wake``   the order in which ``event_notify`` releases multiple
+           waiting tasks to the ready queue
+``irq``    which arrival slot a jittered interrupt lands in
+``fault``  whether an armed probabilistic fault fires (a branch, not a
+           coin flip, when an oracle is installed)
+=========  ============================================================
+
+:class:`RecordingOracle` captures every decision as a replayable step
+list; :class:`ReplayOracle` re-executes such a list deterministically —
+the violation-reproduction contract of :mod:`repro.explore`.
+"""
+
+from repro.kernel.errors import KernelError
+
+#: decision kinds the stack currently routes through the oracle
+DECISION_KINDS = (
+    "ready", "timer", "waitany", "dispatch", "wake", "irq", "fault",
+)
+
+
+class DecisionPoint:
+    """One nondeterministic choice about to be made by the simulation.
+
+    ``choices`` are stable string labels (process/task/event/line names,
+    timer labels, arrival-slot offsets) — never bare indices — so
+    recorded schedules are self-describing and replay can detect
+    divergence.
+    """
+
+    __slots__ = ("kind", "choices", "actor", "time")
+
+    def __init__(self, kind, choices, actor="", time=0):
+        self.kind = kind
+        self.choices = tuple(choices)
+        self.actor = actor
+        self.time = time
+
+    def __repr__(self):
+        return (
+            f"DecisionPoint({self.kind!r}, {self.choices!r}, "
+            f"actor={self.actor!r}, t={self.time})"
+        )
+
+
+class ScheduleOracle:
+    """Base class: resolves decision points, keeps the decision trail.
+
+    Subclasses implement :meth:`choose`; the simulation layers call
+    :meth:`pick`, which validates the answer and appends a
+    ``"kind:label"`` entry to :attr:`trail` — the decision-path prefix
+    that diagnostics (notably :class:`~repro.kernel.errors.DeadlockError`)
+    carry when a violation is reached mid-exploration.
+    """
+
+    def __init__(self):
+        #: ``"kind:chosen-label"`` per decision, in decision order
+        self.trail = []
+        #: total decisions resolved
+        self.decisions = 0
+
+    def choose(self, point):
+        """Return the index of the chosen entry in ``point.choices``."""
+        raise NotImplementedError
+
+    def pick(self, point):
+        """Resolve ``point``: validate the choice and record the trail."""
+        index = self.choose(point)
+        if not 0 <= index < len(point.choices):
+            raise KernelError(
+                f"oracle chose index {index} of {len(point.choices)} "
+                f"choices at {point!r}"
+            )
+        self.decisions += 1
+        self.trail.append(f"{point.kind}:{point.choices[index]}")
+        return index
+
+
+class FifoOracle(ScheduleOracle):
+    """Always pick the first choice — the explicit form of the default.
+
+    Choice 0 is, at every decision point, the historical tie-break
+    (FIFO ready order, timer insertion order, first pending event,
+    lowest ready-seq tied task, FIFO wake order, on-time IRQ arrival,
+    no fault injected), so a run under an installed ``FifoOracle`` is
+    byte-identical to a run with no oracle at all.
+    """
+
+    def choose(self, point):
+        return 0
+
+
+class RecordingOracle(ScheduleOracle):
+    """Delegate to an inner oracle and record every decision.
+
+    :attr:`steps` is the replayable schedule: one dict per decision with
+    the point's ``kind``/``actor``/``time``, the full ``choices`` label
+    list and the chosen index (``pick``). Feed it to
+    :class:`ReplayOracle` (or persist it with
+    :func:`repro.explore.schedule.save_schedule`).
+    """
+
+    def __init__(self, inner=None):
+        super().__init__()
+        self.inner = inner if inner is not None else FifoOracle()
+        self.steps = []
+
+    def choose(self, point):
+        return self.inner.choose(point)
+
+    def pick(self, point):
+        index = super().pick(point)
+        self.steps.append({
+            "kind": point.kind,
+            "actor": point.actor,
+            "time": point.time,
+            "choices": list(point.choices),
+            "pick": index,
+        })
+        return index
+
+
+class ScheduleDivergence(KernelError):
+    """A replayed schedule no longer matches the simulation's decisions.
+
+    Raised by :class:`ReplayOracle` in strict mode when the decision
+    point encountered at some step differs (kind or choice labels) from
+    the recorded one — the model under replay is not the model that was
+    recorded.
+    """
+
+
+class ReplayOracle(ScheduleOracle):
+    """Re-execute a recorded schedule deterministically.
+
+    ``steps`` is a :class:`RecordingOracle`-shaped list (dicts with at
+    least ``pick``; bare integers are accepted too). In strict mode
+    (default) each step's recorded ``kind`` and ``choices`` must match
+    the decision point actually reached, so silent divergence is an
+    error rather than a wrong-but-running replay. Once the schedule is
+    exhausted the oracle falls back to FIFO (choice 0) — a recorded
+    *prefix* replays the decisions that matter and defaults the rest.
+    """
+
+    def __init__(self, steps, strict=True):
+        super().__init__()
+        self.steps = list(steps)
+        self.strict = strict
+        self.position = 0
+
+    def choose(self, point):
+        if self.position >= len(self.steps):
+            return 0
+        step = self.steps[self.position]
+        self.position += 1
+        if isinstance(step, int):
+            return step
+        if self.strict:
+            kind = step.get("kind")
+            if kind is not None and kind != point.kind:
+                raise ScheduleDivergence(
+                    f"replay step {self.position}: recorded a "
+                    f"{kind!r} decision but the simulation reached "
+                    f"{point!r}"
+                )
+            choices = step.get("choices")
+            if choices is not None and tuple(choices) != point.choices:
+                raise ScheduleDivergence(
+                    f"replay step {self.position}: recorded choices "
+                    f"{tuple(choices)!r} but the simulation offers "
+                    f"{point.choices!r}"
+                )
+        return step["pick"]
+
+    @property
+    def exhausted(self):
+        """True once every recorded step has been consumed."""
+        return self.position >= len(self.steps)

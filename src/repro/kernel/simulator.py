@@ -39,9 +39,16 @@ from repro.kernel.commands import (
     WaitFor,
 )
 from repro.kernel.errors import DeadlockError, KernelError, SimulationError
+from repro.kernel.oracle import DecisionPoint
 from repro.kernel.process import Process, ProcessState
 from repro.kernel.trace import Trace
-from repro.kernel.waitcore import Timer, TimerQueue, select_pending
+from repro.kernel.waitcore import (
+    Timer,
+    TimerQueue,
+    pending_candidates,
+    select_pending,
+    timer_label,
+)
 
 _READY = ProcessState.READY
 _RUNNING = ProcessState.RUNNING
@@ -105,6 +112,13 @@ class Simulator:
         self._live = set()  # non-terminated processes
         self._current = None  # process currently executing a step
         self._started = False
+        #: installed ScheduleOracle, or None — the unarmed default. None
+        #: means every decision point takes its historical FIFO
+        #: tie-break on the branch-free hot path (the obs-style
+        #: ``is None`` guard); install_oracle() routes ready-set choice,
+        #: same-instant timer order and wait-any selection through the
+        #: oracle instead.
+        self.oracle = None
         #: wall-clock profiler (None until enable_profiling())
         self.profiler = None
         self._n_spawned = 0
@@ -172,21 +186,42 @@ class Simulator:
         self._n_spawned += 1
         return process
 
-    def schedule_at(self, time, callback):
+    def schedule_at(self, time, callback, label=None):
         """Run ``callback()`` when simulated time reaches ``time``.
 
         Used by hardware models (interrupt sources, timers). The callback
         executes before the processes of that timestep and may notify
-        events or spawn processes; it must not block.
+        events or spawn processes; it must not block. ``label`` names
+        the timer at same-instant fire-order decision points (see
+        :mod:`repro.kernel.oracle`); unlabeled callbacks fall back to
+        the callback's qualified name.
         """
         time = int(time)
         if time < self.now:
             raise ValueError(f"cannot schedule at {time} < now {self.now}")
-        return self._timers.schedule_callback(time, callback)
+        return self._timers.schedule_callback(time, callback, label)
 
-    def schedule_after(self, delay, callback):
+    def schedule_after(self, delay, callback, label=None):
         """Run ``callback()`` after ``delay`` time units."""
-        return self.schedule_at(self.now + int(delay), callback)
+        return self.schedule_at(self.now + int(delay), callback, label)
+
+    def install_oracle(self, oracle):
+        """Route every kernel decision point through ``oracle``.
+
+        Must be called before :meth:`run`; the run loop binds the
+        installed oracle once on entry. With an oracle installed, the
+        ready-set choice of each delta, the fire order of same-instant
+        timers and multi-event wait-any selection are resolved by
+        ``oracle.pick`` — layers above do the same for dispatch ties,
+        wake order, IRQ arrival slots and fault branches. Returns the
+        oracle for chaining.
+        """
+        self.oracle = oracle
+        return oracle
+
+    def clear_oracle(self):
+        """Restore the unarmed (implicit-FIFO) hot path."""
+        self.oracle = None
 
     def cancel_scheduled(self, timer):
         """Cancel a timer returned by :meth:`schedule_at`/:meth:`schedule_after`.
@@ -209,18 +244,23 @@ class Simulator:
         self._started = True
         deltas_this_step = 0
         step = self._step
+        oracle = self.oracle
         while True:
             run_queue = self._run_queue
             if run_queue:
-                # drain the current delta; spawned/timer-woken processes
-                # append to this same list and run within the delta
-                i = 0
-                while i < len(run_queue):
-                    process = run_queue[i]
-                    i += 1
-                    if process.state is not _TERMINATED:
-                        step(process)
-                del run_queue[:]
+                if oracle is not None:
+                    self._drain_delta_choices(oracle)
+                else:
+                    # drain the current delta; spawned/timer-woken
+                    # processes append to this same list and run within
+                    # the delta
+                    i = 0
+                    while i < len(run_queue):
+                        process = run_queue[i]
+                        i += 1
+                        if process.state is not _TERMINATED:
+                            step(process)
+                    del run_queue[:]
             if self._next_delta:
                 self.delta += 1
                 self._stamp = (self.now, self.delta)
@@ -252,14 +292,21 @@ class Simulator:
             self._stamp = (next_time, self.delta)
             deltas_this_step = 0
             self._n_timesteps += 1
-            self._fire_timers(next_time)
+            if oracle is not None:
+                self._fire_timers_choices(next_time, oracle)
+            else:
+                self._fire_timers(next_time)
         if until is not None and self.now < until:
             self.now = until
             self._stamp = (until, self.delta)
         if check_deadlock:
             blocked = self.blocked_processes()
             if blocked:
-                raise DeadlockError(blocked)
+                raise DeadlockError(
+                    blocked,
+                    decision_path=oracle.trail if oracle is not None
+                    else None,
+                )
 
     def enable_profiling(self):
         """Switch on wall-clock attribution of the stepping loop.
@@ -451,9 +498,14 @@ class Simulator:
     def _execute_wait(self, process, command):
         events = command.events
         if events:
-            fired = select_pending(
-                events, self._stamp, process.consumed_stamps
-            )
+            if len(events) == 1 or self.oracle is None:
+                fired = select_pending(
+                    events, self._stamp, process.consumed_stamps
+                )
+            else:
+                fired = self._select_pending_choice(
+                    process, events, self.oracle
+                )
             if fired is not None:
                 process.send_value = fired
                 return False
@@ -576,6 +628,106 @@ class Simulator:
             else:
                 timer.callback()
         self._n_timer_fires += fires
+
+    # ------------------------------------------------------------------
+    # decision points (oracle-armed twins of the hot paths; see
+    # repro.kernel.oracle — an installed oracle resolves every
+    # nondeterministic choice, the unarmed paths above keep the
+    # historical FIFO tie-breaks branch-free)
+    # ------------------------------------------------------------------
+
+    def _drain_delta_choices(self, oracle):
+        """Armed twin of the run loop's delta drain: the order in which
+        runnable processes execute within one delta is a ``ready``
+        decision point. Choice 0 is always the FIFO head, so a
+        :class:`~repro.kernel.oracle.FifoOracle` reproduces the unarmed
+        drain exactly (including processes spawned mid-delta running
+        after the already-queued ones)."""
+        run_queue = self._run_queue
+        step = self._step
+        while run_queue:
+            live = [p for p in run_queue if p.state is not _TERMINATED]
+            del run_queue[:]
+            if not live:
+                return
+            if len(live) == 1:
+                chosen = live[0]
+            else:
+                index = oracle.pick(DecisionPoint(
+                    "ready", tuple(p.name for p in live), time=self.now,
+                ))
+                chosen = live.pop(index)
+                run_queue.extend(live)
+            step(chosen)
+
+    def _fire_timers_choices(self, time, oracle):
+        """Armed twin of :meth:`_fire_timers`: the fire order of the
+        same-instant timer cohort is a ``timer`` decision point (this
+        is where same-instant TIMEOUT-vs-notify races are resolved —
+        both contenders are timers of the instant). Choice 0 is the
+        insertion-order head, matching the unarmed loop."""
+        run_append = self._run_queue.append
+        fires = 0
+        while True:
+            # re-pop after draining a cohort: a callback may have
+            # scheduled new same-instant timers (they fire after the
+            # current cohort, exactly as in the unarmed loop)
+            due = self._timers.pop_due_live(time)
+            if not due:
+                break
+            while due:
+                if len(due) == 1:
+                    timer = due.pop()
+                else:
+                    index = oracle.pick(DecisionPoint(
+                        "timer", tuple(timer_label(t) for t in due),
+                        time=time,
+                    ))
+                    timer = due.pop(index)
+                if timer.cancelled:
+                    # cancelled by an earlier fire of this cohort, after
+                    # it was already detached from the queue
+                    if self._timers.dead:
+                        self._timers.dead -= 1
+                    continue
+                fires += 1
+                process = timer.process
+                if process is not None:
+                    if process.state is _TERMINATED:
+                        continue
+                    value = timer.value
+                    process.timer = None
+                    if process.timer_cache is None:
+                        timer.value = None
+                        process.timer_cache = timer
+                    process._clear_waits()
+                    process.state = _READY
+                    process.send_value = value
+                    run_append(process)
+                else:
+                    timer.callback()
+        self._n_timer_fires += fires
+
+    def _select_pending_choice(self, process, events, oracle):
+        """Armed twin of :func:`select_pending` for multi-event waits:
+        which pending notification satisfies the wait is a ``waitany``
+        decision point. Choice 0 is the first pending event in argument
+        order, matching the unarmed selection."""
+        stamp = self._stamp
+        consumed = process.consumed_stamps
+        candidates = pending_candidates(events, stamp, consumed)
+        if not candidates:
+            return None
+        if len(candidates) == 1:
+            event = candidates[0]
+        else:
+            index = oracle.pick(DecisionPoint(
+                "waitany", tuple(e.name for e in candidates),
+                actor=process.name, time=self.now,
+            ))
+            event = candidates[index]
+        consumed[event.uid] = stamp
+        return event
 
 
 def _as_generator(runnable):

@@ -49,18 +49,25 @@ class Timer:
     ``bucket`` is used only by the fast backend's :class:`TimerWheel`
     (the calendar bucket currently holding this timer, for O(1)
     cancellation); the heap :class:`TimerQueue` leaves it ``None``.
+
+    ``label`` is an optional stable identifier used when same-instant
+    timer firing becomes a decision point (see
+    :mod:`repro.kernel.oracle`); :func:`timer_label` derives one from
+    the process/callback when none was given.
     """
 
     __slots__ = ("time", "process", "value", "callback", "cancelled",
-                 "bucket")
+                 "bucket", "label")
 
-    def __init__(self, time, process=None, value=None, callback=None):
+    def __init__(self, time, process=None, value=None, callback=None,
+                 label=None):
         self.time = time
         self.process = process
         self.value = value
         self.callback = callback
         self.cancelled = False
         self.bucket = None
+        self.label = label
 
     def cancel(self):
         """Cancel this timer (lazy: the heap entry is dropped later).
@@ -101,9 +108,9 @@ class TimerQueue:
         self.seq += 1
         heapq.heappush(self.heap, (time, self.seq, timer))
 
-    def schedule_callback(self, time, callback):
+    def schedule_callback(self, time, callback, label=None):
         """Schedule ``callback()`` to run at ``time``; returns the Timer."""
-        timer = Timer(time, callback=callback)
+        timer = Timer(time, callback=callback, label=label)
         self.push(time, timer)
         return timer
 
@@ -124,6 +131,27 @@ class TimerQueue:
             timer = Timer(time, process=process, value=value)
         self.push(time, timer)
         return timer
+
+    def pop_due_live(self, time):
+        """Detach and return the live timers due at ``time``, in fire
+        order (insertion order within the instant).
+
+        The oracle-armed firing path uses this instead of the in-place
+        heap loop: it needs the whole same-instant cohort up front to
+        offer the fire order as a decision point. Cancelled entries are
+        dropped (with the ``dead`` count maintained) exactly as the
+        in-place loop would.
+        """
+        heap = self.heap
+        live = []
+        while heap and (heap[0][2].cancelled or heap[0][0] == time):
+            timer = heapq.heappop(heap)[2]
+            if timer.cancelled:
+                if self.dead:
+                    self.dead -= 1
+                continue
+            live.append(timer)
+        return live
 
     def cancel(self, timer):
         """Cancel ``timer``; compacts the heap when cancelled entries
@@ -216,9 +244,9 @@ class TimerWheel:
             bucket.timers.append(timer)
         timer.bucket = bucket
 
-    def schedule_callback(self, time, callback):
+    def schedule_callback(self, time, callback, label=None):
         """Schedule ``callback()`` to run at ``time``; returns the Timer."""
-        timer = Timer(time, callback=callback)
+        timer = Timer(time, callback=callback, label=label)
         self.push(time, timer)
         return timer
 
@@ -265,6 +293,21 @@ class TimerWheel:
         if bucket is None:
             return None
         return bucket.timers
+
+    def pop_due_live(self, time):
+        """Detach and return the live timers due at ``time``, in fire
+        order (same contract as :meth:`TimerQueue.pop_due_live`)."""
+        live = []
+        bucket = self.buckets.pop(time, None)
+        if bucket is not None:
+            for timer in bucket.timers:
+                if timer.cancelled:
+                    if self.dead:
+                        self.dead -= 1
+                    continue
+                timer.bucket = None
+                live.append(timer)
+        return live
 
     def next_time(self):
         """Earliest pending fire time, or None.
@@ -382,6 +425,38 @@ def select_pending(events, stamp, consumed):
             consumed[event.uid] = stamp
             return event
     return None
+
+
+def pending_candidates(events, stamp, consumed):
+    """Every event of ``events`` whose notification pends unconsumed.
+
+    The wait-any *decision point* companion of :func:`select_pending`:
+    instead of committing to the first pending event (argument order),
+    it returns the full candidate list so an installed
+    :class:`~repro.kernel.oracle.ScheduleOracle` can choose. The caller
+    marks the chosen event's stamp consumed.
+    """
+    return [
+        event for event in events
+        if event._pending_stamp is stamp
+        and consumed.get(event.uid) is not stamp
+    ]
+
+
+def timer_label(timer):
+    """Stable human-readable identity of a timer, for decision points.
+
+    Resume timers are named after their process; callback timers carry
+    an explicit ``label`` (layers that arm callbacks pass one) or fall
+    back to the callback's qualified name.
+    """
+    if timer.label is not None:
+        return timer.label
+    process = timer.process
+    if process is not None:
+        return process.name
+    callback = timer.callback
+    return getattr(callback, "__qualname__", None) or repr(callback)
 
 
 def detach_waiter(waiter, events):

@@ -17,6 +17,7 @@ main bus driver through a semaphore and returns via the RTOS model's
 
 from repro.kernel.commands import Wait
 from repro.kernel.events import Event
+from repro.kernel.oracle import DecisionPoint
 
 
 class IrqLine:
@@ -75,15 +76,54 @@ class InterruptController:
 
 
 class InterruptSource:
-    """Raises an IRQ line at programmed instants (external stimulus)."""
+    """Raises an IRQ line at programmed instants (external stimulus).
 
-    def __init__(self, sim, line, times=(), period=None, count=None):
+    ``jitter`` widens each programmed instant ``t`` into the arrival
+    window ``[t, t + jitter]``. Without a schedule oracle the raise
+    happens at ``t`` (slot 0) exactly as before; under an installed
+    oracle each arrival becomes an ``irq`` decision point whose choices
+    are the slots of the window, so :mod:`repro.explore` enumerates
+    external-stimulus timing alongside scheduler interleavings.
+    """
+
+    def __init__(self, sim, line, times=(), period=None, count=None,
+                 jitter=0):
         self.sim = sim
         self.line = line
+        self.jitter = int(jitter)
+        if self.jitter < 0:
+            raise ValueError(f"negative jitter: {jitter}")
         for t in times:
-            sim.schedule_at(t, line.raise_irq)
+            self._program(t)
         if period is not None:
             if count is None:
                 raise ValueError("periodic source needs an explicit count")
             for i in range(1, count + 1):
-                sim.schedule_at(i * period, line.raise_irq)
+                self._program(i * period)
+
+    def _program(self, t):
+        if self.jitter:
+            self.sim.schedule_at(
+                t, lambda t=t: self._arrive(t),
+                label=f"irqslot:{self.line.name}",
+            )
+        else:
+            self.sim.schedule_at(t, self.line.raise_irq)
+
+    def _arrive(self, t):
+        """Arrival-window head: pick the slot, raise now or reschedule."""
+        oracle = self.sim.oracle
+        if oracle is None:
+            self.line.raise_irq()
+            return
+        slot = oracle.pick(DecisionPoint(
+            "irq", tuple(f"t+{k}" for k in range(self.jitter + 1)),
+            actor=self.line.name, time=self.sim.now,
+        ))
+        if slot == 0:
+            self.line.raise_irq()
+        else:
+            self.sim.schedule_at(
+                t + slot, self.line.raise_irq,
+                label=f"irq:{self.line.name}",
+            )

@@ -17,6 +17,7 @@ rescheduling here, so the "who gets the CPU next" logic exists once.
 """
 
 from repro.kernel.commands import WaitFor
+from repro.kernel.oracle import DecisionPoint
 from repro.rtos.errors import TaskKilled
 from repro.rtos.sched import make_scheduler
 from repro.rtos.task import TaskState
@@ -117,18 +118,43 @@ class Dispatcher:
         if self._dispatch_pending:
             return
         self._dispatch_pending = True
-        self.sim.schedule_at(self.sim.now, self._deferred_dispatch)
+        self.sim.schedule_at(
+            self.sim.now, self._deferred_dispatch,
+            label=f"dispatch:{self.name}",
+        )
 
     def _deferred_dispatch(self):
         self._dispatch_pending = False
         if not self.started or self.running is not None:
             return
         scheduler = self.scheduler
-        candidate = scheduler.peek(self.sim.now)
+        oracle = self.sim.oracle
+        if oracle is None:
+            candidate = scheduler.peek(self.sim.now)
+        else:
+            candidate = self._pick_tied(scheduler, oracle)
         if candidate is None:
             return
         scheduler.remove(candidate)
         self._dispatch(candidate)
+
+    def _pick_tied(self, scheduler, oracle):
+        """Oracle-armed dispatch pick among key-tied ready tasks.
+
+        ``tied_best(now)[0]`` equals ``peek(now)``'s choice, so index 0
+        (FIFO) reproduces the default dispatch byte-for-byte.
+        """
+        now = self.sim.now
+        tied = scheduler.tied_best(now)
+        if not tied:
+            return None
+        if len(tied) == 1:
+            return tied[0]
+        index = oracle.pick(DecisionPoint(
+            "dispatch", tuple(t.name for t in tied),
+            actor=self.name, time=now,
+        ))
+        return tied[index]
 
     def _dispatch(self, task):
         now = self.sim.now

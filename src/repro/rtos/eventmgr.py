@@ -17,6 +17,7 @@ deadline wins (timer-queue insertion order decides).
 import itertools
 
 from repro.kernel.commands import TIMEOUT
+from repro.kernel.oracle import DecisionPoint
 from repro.rtos.errors import RTOSError
 from repro.rtos.events import RTOSEvent
 from repro.rtos.task import TaskState
@@ -193,6 +194,9 @@ class EventManager:
         now = self.sim.now
         woken = event.queue.pop_all()
         if woken:
+            oracle = self.sim.oracle
+            if oracle is not None and len(woken) > 1:
+                woken = self._order_wake(event, list(woken), oracle)
             unenroll = self._unenroll
             release = self.dispatcher.release_to_ready
             for task in woken:
@@ -237,9 +241,30 @@ class EventManager:
             self.sim.cancel_scheduled(timer)
             task.wait_timer = None
 
+    def _order_wake(self, event, remaining, oracle):
+        """Oracle-armed wake ordering for a multi-waiter notify.
+
+        Iteratively picking index 0 reproduces the FIFO pop order, so
+        the FifoOracle keeps ready-queue insertion byte-identical to the
+        unarmed path.
+        """
+        ordered = []
+        now = self.sim.now
+        while remaining:
+            if len(remaining) == 1:
+                ordered.append(remaining.pop())
+                break
+            index = oracle.pick(DecisionPoint(
+                "wake", tuple(t.name for t in remaining),
+                actor=event.name, time=now,
+            ))
+            ordered.append(remaining.pop(index))
+        return ordered
+
     def _arm_timeout(self, task, timeout):
         task.wait_timer = self.sim.schedule_after(
-            timeout, lambda: self._wait_timeout(task)
+            timeout, lambda: self._wait_timeout(task),
+            label=f"timeout:{task.name}",
         )
 
     def _wait_timeout(self, task):

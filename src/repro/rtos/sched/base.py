@@ -80,6 +80,28 @@ class Scheduler:
         self._peek_valid = True
         return best
 
+    def tied_best(self, now):
+        """All ready tasks whose key ties the best one, FIFO order.
+
+        The first element always equals :meth:`peek`'s choice (same
+        ``(key, ready_seq)`` minimum), so an installed schedule oracle
+        picking index 0 reproduces the default dispatch exactly. The
+        dispatcher only consults this when an oracle is armed; the hot
+        path stays on the memoized :meth:`peek`.
+        """
+        ready = self._ready
+        if not ready:
+            return []
+        if len(ready) == 1:
+            return [ready[0]]
+        key = self.key
+        keyed = sorted(
+            ((key(t, now), t.ready_seq, t) for t in ready),
+            key=lambda item: item[:2],
+        )
+        best_key = keyed[0][0]
+        return [t for k, _, t in keyed if k == best_key]
+
     def preempts(self, candidate, running, now):
         """Should ``candidate`` (ready) preempt ``running`` at a
         scheduling point? Default: strict key comparison (preemptive)."""

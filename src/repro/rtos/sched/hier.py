@@ -335,6 +335,15 @@ class HierarchicalScheduler(Scheduler):
             return (comp.window_deadline(now), comp.index)
         return (comp.priority, comp.index)
 
+    def tied_best(self, now):
+        # server arbitration is total-ordered by (key, comp.index), so
+        # there is never a cross-component tie to expose; within the
+        # winning component, local ties are real decision points
+        comp = self._peek_component(now)
+        if comp is None:
+            return []
+        return comp.local.tied_best(now)
+
     def expired(self, task, now):
         comp = self.component_of(task)
         if comp.bounded and comp.remaining(now) <= 0:

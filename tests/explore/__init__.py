@@ -1,0 +1,1 @@
+"""Tests for the systematic interleaving explorer (repro.explore)."""

@@ -1,0 +1,74 @@
+"""CLI contract of ``python -m repro.explore`` (used by CI explore-smoke)."""
+
+import json
+
+import pytest
+
+from repro.explore.__main__ import main
+
+
+def test_list_names_the_corpus(capsys):
+    assert main(["--list"]) == 0
+    out = capsys.readouterr().out
+    for name in ("pingpong", "ties3", "lostnotify", "lostirq"):
+        assert name in out
+
+
+def test_model_is_required(capsys):
+    with pytest.raises(SystemExit):
+        main([])
+    with pytest.raises(SystemExit):
+        main(["--model", "nosuchmodel"])
+
+
+def test_summary_line(capsys):
+    assert main(["--model", "ties3", "--prune", "visited"]) == 0
+    out = capsys.readouterr().out
+    assert "ties3: 11 runs, 66 decisions, 8 states" in out
+    assert "complete=yes" in out
+
+
+def test_json_output_is_deterministic(capsys):
+    assert main(["--model", "lostirq", "--json"]) == 0
+    first = capsys.readouterr().out
+    assert main(["--model", "lostirq", "--json"]) == 0
+    second = capsys.readouterr().out
+    assert first == second
+    result = json.loads(first)
+    assert result["model"] == "lostirq"
+    assert len(result["violations"]) == 2
+
+
+def test_expect_violation_exit_codes(capsys):
+    assert main(["--model", "lostirq", "--expect-violation"]) == 0
+    assert main(["--model", "pingpong", "--expect-violation"]) == 2
+
+
+def test_emit_and_replay_roundtrip(tmp_path, capsys):
+    bug = tmp_path / "bug.json"
+    assert main([
+        "--model", "lostirq", "--schedule-out", str(bug),
+        "--expect-violation",
+    ]) == 0
+    assert bug.exists()
+    capsys.readouterr()  # drop the exploration summary
+    assert main([
+        "--model", "lostirq", "--replay", str(bug), "--expect-violation",
+        "--json",
+    ]) == 0
+    outcome = json.loads(capsys.readouterr().out)
+    assert outcome["violation"]["kind"] == "deadlock"
+    assert outcome["path"][-1].startswith("irq:")
+
+
+def test_replay_without_violation_fails_expectation(tmp_path, capsys):
+    clean = tmp_path / "clean.json"
+    from repro.explore import save_schedule
+
+    save_schedule(clean, [], model="pingpong")
+    assert main(["--model", "pingpong", "--replay", str(clean)]) == 0
+    assert "without violation" in capsys.readouterr().out
+    assert main([
+        "--model", "pingpong", "--replay", str(clean),
+        "--expect-violation",
+    ]) == 2

@@ -1,0 +1,64 @@
+"""Schedule file format: roundtrip, normalization, validation."""
+
+import json
+
+import pytest
+
+from repro.explore import (
+    SCHEDULE_VERSION,
+    load_schedule,
+    save_schedule,
+)
+
+
+STEPS = [
+    {"kind": "irq", "actor": "adc", "time": 8,
+     "choices": ["t+0", "t+1", "t+2"], "pick": 1},
+    {"kind": "ready", "actor": "", "time": 8,
+     "choices": ["a", "b"], "pick": 0},
+]
+
+
+def test_roundtrip_preserves_steps(tmp_path):
+    path = tmp_path / "bug.json"
+    written = save_schedule(
+        path, STEPS, model="lostirq", violation="deadlock: ..."
+    )
+    document = load_schedule(path)
+    assert document == written
+    assert document["version"] == SCHEDULE_VERSION
+    assert document["model"] == "lostirq"
+    assert document["violation"] == "deadlock: ..."
+    assert document["steps"] == STEPS
+
+
+def test_bare_int_steps_are_normalized(tmp_path):
+    path = tmp_path / "s.json"
+    save_schedule(path, [0, 2, 1])
+    assert load_schedule(path)["steps"] == [
+        {"pick": 0}, {"pick": 2}, {"pick": 1},
+    ]
+
+
+def test_files_are_stable_text(tmp_path):
+    a = tmp_path / "a.json"
+    b = tmp_path / "b.json"
+    save_schedule(a, STEPS, model="m")
+    save_schedule(b, STEPS, model="m")
+    text = a.read_text()
+    assert text == b.read_text()
+    assert text.endswith("\n")
+
+
+def test_unsupported_version_is_rejected(tmp_path):
+    path = tmp_path / "bad.json"
+    path.write_text(json.dumps({"version": 99, "steps": []}))
+    with pytest.raises(ValueError, match="unsupported schedule version"):
+        load_schedule(path)
+
+
+def test_missing_step_list_is_rejected(tmp_path):
+    path = tmp_path / "bad.json"
+    path.write_text(json.dumps({"version": SCHEDULE_VERSION}))
+    with pytest.raises(ValueError, match="no step list"):
+        load_schedule(path)

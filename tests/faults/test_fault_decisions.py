@@ -1,0 +1,62 @@
+"""Probabilistic faults as decision branches under an installed oracle.
+
+With an oracle armed, an injector's ``prob`` in (0, 1) stops being a
+coin flip and becomes a two-way ``fault`` decision (``skip`` vs the
+fault kind) — the seam :mod:`repro.explore` enumerates. Certain
+(``prob >= 1``) and impossible (``prob <= 0``) faults stay
+deterministic and never consult the oracle.
+"""
+
+from repro.explore.models import lostnotify
+from repro.kernel import FifoOracle, RecordingOracle, ReplayOracle
+from repro.faults.plan import FaultSpec
+
+
+def _run(oracle=None, prob=0.5):
+    model = lostnotify()
+    if prob != 0.5:
+        # re-arming replaces the corpus model's prob=0.5 injector
+        from repro.faults.inject import FaultInjector
+
+        FaultInjector(
+            model.sim, [FaultSpec("lost_notify", event="data", prob=prob)]
+        ).arm(model=model.os)
+    if oracle is not None:
+        model.sim.install_oracle(oracle)
+    model.sim.run(until=model.horizon)
+    blocked = [p.name for p in model.sim.blocked_processes()]
+    return model, blocked, oracle
+
+
+def test_fifo_oracle_takes_the_skip_branch():
+    _, bare_blocked, _ = _run()
+    model, blocked, oracle = _run(RecordingOracle(FifoOracle()))
+    assert blocked == bare_blocked == []
+    fault = [s for s in oracle.steps if s["kind"] == "fault"]
+    assert [(s["choices"], s["pick"], s["actor"]) for s in fault] == [
+        (["skip", "lost_notify"], 0, "data"),
+    ]
+
+
+def test_forced_fault_branch_loses_the_notify():
+    # decisions reached: two ready picks (boot delta), then the branch
+    oracle = ReplayOracle([0, 0, 1])
+    _, blocked, _ = _run(oracle)
+    assert blocked == ["waiter"]
+    assert oracle.trail == [
+        "ready:waiter", "ready:notifier", "fault:lost_notify",
+    ]
+
+
+def test_certain_fault_never_consults_the_oracle():
+    oracle = RecordingOracle()
+    _, blocked, _ = _run(oracle, prob=1.0)
+    assert blocked == ["waiter"]
+    assert [s for s in oracle.steps if s["kind"] == "fault"] == []
+
+
+def test_impossible_fault_never_consults_the_oracle():
+    oracle = RecordingOracle()
+    _, blocked, _ = _run(oracle, prob=0.0)
+    assert blocked == []
+    assert [s for s in oracle.steps if s["kind"] == "fault"] == []

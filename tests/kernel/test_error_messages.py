@@ -45,3 +45,41 @@ def test_deadlock_message_singular_and_multi_event():
         "deadlock: 1 process still blocked: "
         "'solo' waiting on events [a, b]"
     )
+
+
+def test_deadlock_message_appends_decision_path():
+    from repro.kernel import FifoOracle
+
+    sim = Simulator()
+    e1, e2 = Event("e1"), Event("e2")
+
+    def p1():
+        yield Wait(e1)
+
+    def p2():
+        yield Wait(e2)
+
+    sim.spawn(p1(), name="alpha")
+    sim.spawn(p2(), name="beta")
+    sim.install_oracle(FifoOracle())
+    with pytest.raises(DeadlockError) as excinfo:
+        sim.run(check_deadlock=True)
+    assert str(excinfo.value) == (
+        "deadlock: 2 processes still blocked: "
+        "'alpha' waiting on event [e1]; 'beta' waiting on event [e2] "
+        "[decision path: ready:alpha]"
+    )
+    assert excinfo.value.decision_path == ("ready:alpha",)
+
+
+def test_deadlock_decision_path_truncates_to_last_ten():
+    from repro.kernel.errors import _format_decision_path
+
+    path = tuple(f"ready:p{i}" for i in range(13))
+    rendered = _format_decision_path(path)
+    assert rendered.startswith(" [decision path: ... 3 earlier -> ready:p3")
+    assert rendered.endswith("ready:p12]")
+    # at exactly ten steps the full path renders untruncated
+    short = _format_decision_path(path[:10])
+    assert "earlier" not in short
+    assert short.count("->") == 9

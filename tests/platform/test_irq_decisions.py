@@ -1,0 +1,59 @@
+"""IRQ arrival slots as decision points (jittered InterruptSource)."""
+
+import pytest
+
+from repro.kernel import RecordingOracle, ReplayOracle, Simulator, WaitFor
+from repro.platform.interrupt import (
+    InterruptController,
+    InterruptSource,
+    IrqLine,
+)
+
+
+def _run(jitter, oracle=None):
+    sim = Simulator()
+    line = IrqLine(sim, "adc")
+    pic = InterruptController(sim, "pic")
+    hits = []
+
+    def isr():
+        hits.append(sim.now)
+        yield WaitFor(0)
+
+    pic.register(line, isr)
+    InterruptSource(sim, line, times=(8,), jitter=jitter)
+    if oracle is not None:
+        sim.install_oracle(oracle)
+    sim.run(until=50)
+    return hits, oracle
+
+
+def test_unjittered_source_is_not_a_decision_point():
+    hits, oracle = _run(0, RecordingOracle())
+    assert hits == [8]
+    assert [s for s in oracle.steps if s["kind"] == "irq"] == []
+
+
+def test_jittered_arrival_defaults_to_the_programmed_instant():
+    bare, _ = _run(2)
+    assert bare == [8]
+    hits, oracle = _run(2, RecordingOracle())
+    assert hits == [8]
+    irq = [s for s in oracle.steps if s["kind"] == "irq"]
+    assert [(s["choices"], s["pick"], s["actor"], s["time"])
+            for s in irq] == [(["t+0", "t+1", "t+2"], 0, "adc", 8)]
+
+
+@pytest.mark.parametrize("slot,expected", [(1, 9), (2, 10)])
+def test_forced_slot_delays_the_arrival(slot, expected):
+    oracle = ReplayOracle([{"kind": "irq", "pick": slot}], strict=False)
+    hits, _ = _run(2, oracle)
+    assert hits == [expected]
+    assert oracle.trail == [f"irq:t+{slot}"]
+
+
+def test_negative_jitter_is_rejected():
+    sim = Simulator()
+    line = IrqLine(sim, "adc")
+    with pytest.raises(ValueError, match="jitter"):
+        InterruptSource(sim, line, times=(8,), jitter=-1)

@@ -1,0 +1,133 @@
+"""Property-based tests of the decision-point seam (hypothesis).
+
+Two contracts from the oracle refactor, over randomly generated small
+kernel models:
+
+* **FIFO twin** — a run under an installed :class:`FifoOracle` is
+  observably identical to a run with no oracle at all (choice 0 is the
+  historical tie-break at every decision point).
+* **Record/replay** — recording the decisions of a run (under an
+  arbitrary oracle) and replaying them strictly against a fresh model
+  reproduces the run exactly.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kernel import (
+    Event,
+    FifoOracle,
+    Notify,
+    RecordingOracle,
+    ReplayOracle,
+    ScheduleOracle,
+    Simulator,
+    Wait,
+    WaitFor,
+)
+from repro.kernel.commands import TIMEOUT
+
+N_EVENTS = 3
+
+_actions = st.one_of(
+    st.tuples(st.just("waitfor"), st.integers(0, 6)),
+    st.tuples(st.just("notify"), st.integers(0, N_EVENTS - 1)),
+    st.tuples(
+        st.just("wait"),
+        st.integers(0, N_EVENTS - 1),
+        st.one_of(st.none(), st.integers(0, 5)),
+    ),
+    st.tuples(
+        st.just("wait2"),
+        st.integers(0, N_EVENTS - 1),
+        st.integers(0, N_EVENTS - 1),
+        st.integers(0, 5),
+    ),
+)
+
+programs = st.lists(
+    st.lists(_actions, min_size=1, max_size=5), min_size=2, max_size=4
+)
+
+
+def _build(spec):
+    """A fresh simulator running ``spec``; returns (sim, log).
+
+    Every observable step appends to the log: which process did what,
+    when, and which event a wait returned (timeouts keep waits finite,
+    so generated deadlock-prone programs still terminate logging).
+    """
+    sim = Simulator()
+    events = [Event(f"e{i}") for i in range(N_EVENTS)]
+    log = []
+
+    def proc(name, actions):
+        for action in actions:
+            if action[0] == "waitfor":
+                yield WaitFor(action[1])
+                log.append((name, "slept", sim.now))
+            elif action[0] == "notify":
+                yield Notify(events[action[1]])
+                log.append((name, "notified", action[1], sim.now))
+            elif action[0] == "wait":
+                fired = yield Wait(events[action[1]], timeout=action[2])
+                label = "timeout" if fired is TIMEOUT else fired.name
+                log.append((name, "woke", label, sim.now))
+            else:
+                fired = yield Wait(
+                    events[action[1]], events[action[2]],
+                    timeout=action[3],
+                )
+                label = "timeout" if fired is TIMEOUT else fired.name
+                log.append((name, "woke2", label, sim.now))
+
+    for index, actions in enumerate(spec):
+        sim.spawn(proc(f"p{index}", actions), name=f"p{index}")
+    return sim, log
+
+
+def _run(spec, oracle=None):
+    sim, log = _build(spec)
+    if oracle is not None:
+        sim.install_oracle(oracle)
+    sim.run(until=200)
+    return log + [("end", sim.now)]
+
+
+class _RandomOracle(ScheduleOracle):
+    """Pick uniformly from a seeded stream — an arbitrary schedule."""
+
+    def __init__(self, seed):
+        super().__init__()
+        self._rng = random.Random(seed)
+
+    def choose(self, point):
+        return self._rng.randrange(len(point.choices))
+
+
+@given(programs)
+@settings(max_examples=60, deadline=None)
+def test_fifo_oracle_is_observably_identical_to_no_oracle(spec):
+    assert _run(spec) == _run(spec, FifoOracle())
+
+
+@given(programs)
+@settings(max_examples=60, deadline=None)
+def test_fifo_oracle_trail_is_stable(spec):
+    first = FifoOracle()
+    second = FifoOracle()
+    assert _run(spec, first) == _run(spec, second)
+    assert first.trail == second.trail
+
+
+@given(programs, st.integers(0, 2**16))
+@settings(max_examples=60, deadline=None)
+def test_recorded_schedules_replay_byte_identically(spec, seed):
+    recording = RecordingOracle(_RandomOracle(seed))
+    recorded_log = _run(spec, recording)
+    replay = ReplayOracle(recording.steps, strict=True)
+    assert _run(spec, replay) == recorded_log
+    assert replay.trail == recording.trail
+    assert replay.exhausted or not recording.steps

@@ -1,0 +1,121 @@
+"""RTOS-layer decision points: dispatch ties and multi-waiter wake order.
+
+The dispatcher consults the oracle only when several ready tasks are
+*tied best* under the active policy (strict priority order is policy,
+not nondeterminism); the event manager consults it when one notify
+releases several waiters. Both default to the historical order (ready
+order / FIFO pop) when unarmed or under FifoOracle.
+"""
+
+from repro.kernel import RecordingOracle, ReplayOracle, ScheduleOracle
+from tests.rtos.conftest import Harness
+
+
+def _tied_bench(oracle=None):
+    bench = Harness()
+
+    def body(task):
+        def _b():
+            yield from bench.os.time_wait(5)
+            bench.mark(task.name)
+
+        return _b()
+
+    bench.task("t1", body, priority=1)
+    bench.task("t2", body, priority=1)
+    if oracle is not None:
+        bench.sim.install_oracle(oracle)
+    bench.run(until=100)
+    return bench, oracle
+
+
+def test_dispatch_tie_is_a_decision_point():
+    bare, _ = _tied_bench()
+    assert bare.log == [("t1", 5), ("t2", 10)]
+
+    bench, oracle = _tied_bench(RecordingOracle())
+    assert bench.log == bare.log
+    dispatch = [s for s in oracle.steps if s["kind"] == "dispatch"]
+    assert dispatch[0]["choices"] == ["t1", "t2"]
+    assert dispatch[0]["pick"] == 0
+
+
+def test_forced_dispatch_pick_flips_execution_order():
+    # decisions reached: ready x2 (initial delta), then the dispatch tie
+    bench, _ = _tied_bench(ReplayOracle([0, 0, 1], strict=False))
+    assert bench.log == [("t2", 5), ("t1", 10)]
+
+
+def test_untied_dispatch_consults_no_oracle():
+    bench = Harness()
+
+    def body(task):
+        def _b():
+            yield from bench.os.time_wait(5)
+            bench.mark(task.name)
+
+        return _b()
+
+    bench.task("hi", body, priority=1)
+    bench.task("lo", body, priority=2)
+    oracle = bench.sim.install_oracle(RecordingOracle())
+    bench.run(until=100)
+    assert bench.log == [("hi", 5), ("lo", 10)]
+    assert [s for s in oracle.steps if s["kind"] == "dispatch"] == []
+
+
+def _wake_bench(oracle=None):
+    bench = Harness()
+    evt = bench.os.event_new("evt")
+
+    def waiter(task):
+        def _b():
+            yield from bench.os.event_wait(evt)
+            bench.mark(task.name)
+
+        return _b()
+
+    def notifier(task):
+        def _b():
+            yield from bench.os.time_wait(10)
+            yield from bench.os.event_notify(evt)
+
+        return _b()
+
+    for name in ("w1", "w2", "w3"):
+        bench.task(name, waiter, priority=1)
+    bench.task("n", notifier, priority=5)
+    if oracle is not None:
+        bench.sim.install_oracle(oracle)
+    bench.run(until=100)
+    return bench, oracle
+
+
+def test_multi_waiter_wake_order_is_a_decision_point():
+    bare, _ = _wake_bench()
+    assert bare.log == [("w1", 10), ("w2", 10), ("w3", 10)]
+
+    bench, oracle = _wake_bench(RecordingOracle())
+    assert bench.log == bare.log
+    wake = [s for s in oracle.steps if s["kind"] == "wake"]
+    # iterative selection: one pick per release while >1 waiter remains
+    assert [(s["choices"], s["pick"]) for s in wake] == [
+        (["w1", "w2", "w3"], 0),
+        (["w2", "w3"], 0),
+    ]
+    assert wake[0]["actor"] == "evt"
+
+
+def test_forced_wake_order_reverses_ready_sequence():
+    class LastWake(ScheduleOracle):
+        """Reverse only the wake order; FIFO everywhere else."""
+
+        def choose(self, point):
+            if point.kind == "wake":
+                return len(point.choices) - 1
+            return 0
+
+    # reversed release order reverses ready_seq, which the (FIFO-kept)
+    # dispatch tie-break then follows
+    bench, _ = _wake_bench(LastWake())
+    assert bench.log == [("w3", 10), ("w2", 10), ("w1", 10)]
