@@ -102,7 +102,12 @@ class SweepResult:
         ``"scalars"``. Runs carrying an observability-registry snapshot
         under ``"metrics"`` (see ``MetricsRegistry.snapshot``) get those
         merged metric-by-metric — counters summed, gauges min/max'd,
-        histograms added bucket-wise — under ``"metrics"``.
+        histograms added bucket-wise — under ``"metrics"``. Runs
+        carrying a span-analytics payload under ``"spans"`` (the
+        workloads' ``with_spans=True``) get their per-task latency
+        digests merged (order-insensitive, byte-identical across run
+        orders), summarized to p50/p95/p99 percentiles, and their job
+        censuses summed, under ``"spans"``.
         """
         values = [v for v in self.values() if isinstance(v, dict)]
         scalars = {}
@@ -131,6 +136,37 @@ class SweepResult:
             from repro.obs.metrics import MetricsRegistry
 
             aggregate["metrics"] = MetricsRegistry.aggregate(snapshots)
+        span_dumps = [
+            v["spans"] for v in values if isinstance(v.get("spans"), dict)
+        ]
+        if span_dumps:
+            from repro.obs.analyzers import LatencyAnalyzer
+
+            latency = LatencyAnalyzer.merge_dicts(
+                [d["latency"] for d in span_dumps if "latency" in d]
+            )
+            census = {}
+            for dump in span_dumps:
+                tasks = dump.get("misses", {}).get("tasks", {})
+                for task, row in tasks.items():
+                    out = census.setdefault(task, {})
+                    for key, count in row.items():
+                        out[key] = out.get(key, 0) + count
+            totals = {}
+            for row in census.values():
+                for key, count in row.items():
+                    totals[key] = totals.get(key, 0) + count
+            aggregate["spans"] = {
+                "latency": latency,
+                "percentiles": LatencyAnalyzer.summarize_dump(latency),
+                "misses": {
+                    "tasks": {
+                        task: dict(sorted(census[task].items()))
+                        for task in sorted(census)
+                    },
+                    "totals": dict(sorted(totals.items())),
+                },
+            }
         return aggregate
 
     # -- tabulation --------------------------------------------------------

@@ -28,10 +28,36 @@ DEFAULT_HORIZON = 6_000_000
 DEFAULT_GRANULARITY = 10_000
 
 
+def span_instruments():
+    """A trace streaming straight into a span builder, plus analyzers.
+
+    Used by the ``with_spans=True`` workloads: the
+    :class:`~repro.obs.spans.SpanBuilder` *is* the trace sink, so even
+    a multi-million-record run reconstructs its latency digests and job
+    census in O(tasks) memory — no record is ever retained. Returns
+    ``(trace, builder, latency, misses)``.
+    """
+    from repro.kernel.trace import Trace
+    from repro.obs.analyzers import LatencyAnalyzer, MissSummary
+    from repro.obs.spans import SpanBuilder
+
+    latency = LatencyAnalyzer()
+    misses = MissSummary()
+    builder = SpanBuilder(latency, misses)
+    return Trace(sink=builder), builder, latency, misses
+
+
+def span_dump(builder, latency, misses, now):
+    """Flush ``builder`` and dump the ``"spans"`` result payload."""
+    builder.finish(now)
+    return {"latency": latency.as_dict(), "misses": misses.as_dict()}
+
+
 def periodic_taskset_run(policy="priority", preemption="step",
                          granularity=DEFAULT_GRANULARITY,
                          horizon=DEFAULT_HORIZON, task_set=None,
-                         switch_overhead=0, with_obs=False):
+                         switch_overhead=0, with_obs=False,
+                         with_spans=False):
     """One periodic task set under one scheduling configuration.
 
     Returns the scheduler-ablation metrics: deadline misses, context
@@ -40,7 +66,11 @@ def periodic_taskset_run(policy="priority", preemption="step",
     :class:`~repro.obs.metrics.MetricsRegistry` is attached to the OS
     services for the run and its snapshot rides along under the
     ``"metrics"`` key (aggregatable across runs with
-    ``SweepResult.aggregate``).
+    ``SweepResult.aggregate``). With ``with_spans=True`` the trace is
+    streamed through a :class:`~repro.obs.spans.SpanBuilder` (O(tasks)
+    memory, no records retained) and the per-task latency digests and
+    job census ride along under ``"spans"`` — also merged by
+    ``SweepResult.aggregate``.
     """
     task_set = [tuple(entry) for entry in (task_set or DEFAULT_TASK_SET)]
     registry = None
@@ -48,10 +78,16 @@ def periodic_taskset_run(policy="priority", preemption="step",
         from repro.obs.metrics import MetricsRegistry
 
         registry = MetricsRegistry()
-    sim = Simulator()
-    sim.trace.enabled = False
+    trace = builder = latency = misses = None
+    if with_spans:
+        trace, builder, latency, misses = span_instruments()
+    sim = Simulator(trace=trace)
+    if trace is None:
+        sim.trace.enabled = False
     os_ = RTOSModel(sim, sched=policy, preemption=preemption,
                     switch_overhead=switch_overhead, registry=registry)
+    if with_spans:
+        os_.trace_spans(True)
     tasks = []
     for index, (name, period, exec_time) in enumerate(task_set):
         task = os_.task_create(
@@ -100,6 +136,8 @@ def periodic_taskset_run(policy="priority", preemption="step",
     }
     if registry is not None:
         result["metrics"] = registry.snapshot()
+    if builder is not None:
+        result["spans"] = span_dump(builder, latency, misses, sim.now)
     return result
 
 
@@ -167,21 +205,23 @@ def hierarchical_taskset_run(top="priority", preemption="immediate",
 def fault_campaign_run(policy="priority", preemption="step", seed=0,
                        plan="baseline", on_miss="log", budget_factor=None,
                        horizon=DEFAULT_HORIZON,
-                       granularity=DEFAULT_GRANULARITY, task_set=None):
+                       granularity=DEFAULT_GRANULARITY, task_set=None,
+                       with_spans=False):
     """One fault-campaign point: the ablation task set under one seeded
     fault plan, with every task watched under the ``on_miss`` policy.
 
     ``plan`` is a :data:`repro.faults.campaign.PLAN_PRESETS` name or an
     inline fault-plan JSON string (both hashable, so configs cache).
-    Returns survival/miss-rate metrics; see
-    :func:`repro.faults.campaign.run_campaign_point`.
+    Returns survival/miss-rate metrics; with ``with_spans=True`` the
+    per-task latency digests and job census ride along under
+    ``"spans"``. See :func:`repro.faults.campaign.run_campaign_point`.
     """
     from repro.faults.campaign import run_campaign_point
 
     return run_campaign_point(
         policy=policy, preemption=preemption, seed=seed, plan=plan,
         on_miss=on_miss, budget_factor=budget_factor, horizon=horizon,
-        granularity=granularity, task_set=task_set,
+        granularity=granularity, task_set=task_set, with_spans=with_spans,
     )
 
 

@@ -76,16 +76,20 @@ def resolve_plan(plan):
 
 def run_campaign_point(policy="priority", preemption="step", seed=0,
                        plan="baseline", on_miss="log", budget_factor=None,
-                       horizon=6_000_000, granularity=10_000, task_set=None):
+                       horizon=6_000_000, granularity=10_000, task_set=None,
+                       with_spans=False):
     """One campaign point: a watched periodic task set under one fault plan.
 
     Builds the farm's scheduler-ablation task set, watches every task
     with the ``on_miss`` policy (optionally arming execution budgets of
     ``wcet * budget_factor``), arms ``plan`` through a
     :class:`~repro.faults.inject.FaultInjector` seeded with ``seed``,
-    and returns a flat survival/miss-rate metrics dict.
+    and returns a flat survival/miss-rate metrics dict. With
+    ``with_spans=True`` the trace is streamed through a span builder
+    (O(tasks) memory) and the per-task latency digests and job census
+    ride along under ``"spans"``.
     """
-    from repro.farm.workloads import DEFAULT_TASK_SET
+    from repro.farm.workloads import DEFAULT_TASK_SET, span_dump, span_instruments
     from repro.faults.inject import FaultInjector
     from repro.kernel import Simulator, WaitFor
     from repro.rtos import PERIODIC, RTOSModel
@@ -93,9 +97,15 @@ def run_campaign_point(policy="priority", preemption="step", seed=0,
 
     task_set = [tuple(entry) for entry in (task_set or DEFAULT_TASK_SET)]
     plan_obj = resolve_plan(plan)
-    sim = Simulator()
-    sim.trace.enabled = False
+    trace = builder = latency = misses = None
+    if with_spans:
+        trace, builder, latency, misses = span_instruments()
+    sim = Simulator(trace=trace)
+    if trace is None:
+        sim.trace.enabled = False
     os_ = RTOSModel(sim, sched=policy, preemption=preemption)
+    if with_spans:
+        os_.trace_spans(True)
     notifications = []
 
     def on_failure(task, kind, now):
@@ -164,6 +174,8 @@ def run_campaign_point(policy="priority", preemption="step", seed=0,
     }
     if on_miss == "notify":
         result["notifications"] = len(notifications)
+    if builder is not None:
+        result["spans"] = span_dump(builder, latency, misses, sim.now)
     return result
 
 

@@ -66,6 +66,13 @@ class FastSimulator(Simulator):
     Construct via ``Simulator(backend="fast")`` (or set
     ``REPRO_KERNEL_BACKEND=fast``); constructing :class:`FastSimulator`
     directly is equivalent.
+
+    ``enable_profiling()`` works here too, by design: it installs the
+    instance-level ``_step`` shadow (the profiled stepping twin shared
+    with the reference engine), so a profiled fast run temporarily
+    pays reference-dispatch cost per step — identical results, full
+    wall-clock attribution — and ``disable_profiling()`` drops the
+    shadow to restore the flattened hot loop.
     """
 
     backend = "fast"

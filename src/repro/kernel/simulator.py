@@ -320,6 +320,12 @@ class Simulator:
         Returns the attached :class:`~repro.obs.profiler.SimProfiler`
         (reused, with its counts preserved, if profiling was already
         enabled once).
+
+        Works on every backend: the instance attribute shadows the
+        engine's own ``_step`` (including the fast engine's flattened
+        loop, whose ``run`` re-binds ``self._step`` each call), so a
+        profiled run always uses the shared profiled twin and
+        :meth:`disable_profiling` restores the engine's native loop.
         """
         from repro.obs.profiler import SimProfiler
 

@@ -13,12 +13,27 @@ One subsystem spanning every layer of the reproduction:
   (``Simulator.enable_profiling()`` / ``profile_report()``);
 * **exporters** (:mod:`repro.obs.ctf` plus the pre-existing VCD/Gantt
   renderers) — Chrome Trace Format / Perfetto JSON over the same trace
-  query layer.
+  query layer, with causal wake-edge flow arrows and per-task latency
+  counter tracks;
+* **causal spans** (:mod:`repro.obs.spans`) — streaming O(1)-memory
+  reconstruction of task lifecycle and blocking spans with causal
+  wake edges, over any sink/stream;
+* **analyzers** (:mod:`repro.obs.analyzers`) — deterministic mergeable
+  latency digests (p50/p95/p99), priority-inversion detection,
+  worst-case witnesses, miss census; assembled into run health
+  reports by :mod:`repro.obs.report`.
 
 ``python -m repro.obs`` is the command-line entry point (``export``,
-``stats``, ``profile`` subcommands).
+``stats``, ``profile``, ``report`` subcommands).
 """
 
+from repro.obs.analyzers import (
+    InversionDetector,
+    LatencyAnalyzer,
+    LatencyDigest,
+    MissSummary,
+    WorstCaseTracker,
+)
 from repro.obs.ctf import to_ctf, validate_ctf, write_ctf
 from repro.obs.instruments import (
     HandshakeObs,
@@ -33,6 +48,15 @@ from repro.obs.metrics import (
     MetricsRegistry,
 )
 from repro.obs.profiler import SimProfiler
+from repro.obs.report import build_report, format_report
+from repro.obs.spans import (
+    BlockSpan,
+    JobSpan,
+    SpanAnalyzer,
+    SpanBuilder,
+    WakeEdge,
+    build_spans,
+)
 from repro.obs.sinks import (
     JsonlSink,
     ListSink,
@@ -44,20 +68,33 @@ from repro.obs.sinks import (
 )
 
 __all__ = [
+    "BlockSpan",
     "Counter",
     "Gauge",
     "HandshakeObs",
     "Histogram",
+    "InversionDetector",
+    "JobSpan",
     "JsonlSink",
+    "LatencyAnalyzer",
+    "LatencyDigest",
     "ListSink",
     "MetricsRegistry",
+    "MissSummary",
     "QueueObs",
     "RTOSObs",
     "RingBufferSink",
     "SemaphoreObs",
     "SimProfiler",
+    "SpanAnalyzer",
+    "SpanBuilder",
     "TeeSink",
     "TraceSink",
+    "WakeEdge",
+    "WorstCaseTracker",
+    "build_report",
+    "build_spans",
+    "format_report",
     "iter_jsonl",
     "load_jsonl",
     "to_ctf",

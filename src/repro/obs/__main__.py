@@ -13,10 +13,20 @@ Subcommands
 ``profile``
     Run a model under the simulator's wall-clock profiler and print the
     per-command / per-process attribution report.
+``report``
+    Run a model (or load a recorded JSONL trace) through the causal
+    span builder and print the run-health report — per-task latency
+    percentiles, top blocking chains, priority-inversion incidents,
+    worst-case witnesses and the job/miss census — as fixed-width text
+    or (``--json``) deterministic JSON.
 
-The bundled models are the paper's running example (Figure 3):
+The bundled models are the paper's running example (Figure 3) —
 ``fig3-arch`` (the RTOS-refined architecture model, the default) and
-``fig3-spec`` (the unscheduled specification model).
+``fig3-spec`` (the unscheduled specification model) — plus the span
+demos of :mod:`repro.apps.inversion`: ``pi-demo`` (the seeded
+priority-inversion scenario; ``pi-demo-pip`` is the same system healed
+by priority inheritance) and ``fault-demo`` (an overloaded, watched,
+fault-injected task set).
 """
 
 import argparse
@@ -28,14 +38,23 @@ from repro.obs.ctf import write_ctf
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.sinks import JsonlSink, TeeSink, load_jsonl
 
-MODELS = ("fig3-arch", "fig3-spec")
+MODELS = ("fig3-arch", "fig3-spec", "pi-demo", "pi-demo-pip", "fault-demo")
 
 
 def _run_model(model, trace=None, registry=None, profile=False):
-    from repro.apps import fig3
+    from repro.apps import fig3, inversion
 
     if model == "fig3-spec":
         return fig3.run_unscheduled(
+            trace=trace, registry=registry, profile=profile
+        )
+    if model in ("pi-demo", "pi-demo-pip"):
+        return inversion.run_inversion(
+            pi=model.endswith("pip"), trace=trace, registry=registry,
+            profile=profile,
+        )
+    if model == "fault-demo":
+        return inversion.run_fault_demo(
             trace=trace, registry=registry, profile=profile
         )
     return fig3.run_architecture(
@@ -133,6 +152,33 @@ def cmd_profile(args):
     return 0
 
 
+def cmd_report(args):
+    from repro.obs.report import build_report, format_report
+    from repro.obs.sinks import iter_jsonl
+
+    if args.input is not None:
+        try:
+            records = list(iter_jsonl(args.input, strict=args.strict))
+        except OSError as exc:
+            detail = exc.strerror or exc
+            print(f"error: cannot read trace {args.input}: {detail}",
+                  file=sys.stderr)
+            return 2
+        except (ValueError, KeyError, TypeError) as exc:
+            print(f"error: corrupt JSONL trace {args.input}: {exc}",
+                  file=sys.stderr)
+            return 2
+    else:
+        result = _run_model(args.model)
+        records = result.trace.records
+    report = build_report(records, top=args.top)
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        print(format_report(report))
+    return 0
+
+
 def build_parser():
     parser = argparse.ArgumentParser(
         prog="python -m repro.obs",
@@ -187,6 +233,31 @@ def build_parser():
         help="rows per profile section (default: %(default)s)",
     )
     profile.set_defaults(func=cmd_profile)
+
+    report = sub.add_parser(
+        "report",
+        help="span-based run health report (latency percentiles, "
+             "blocking chains, inversions, miss census)",
+    )
+    _add_model_argument(report)
+    report.add_argument(
+        "--input", metavar="PATH", default=None,
+        help="analyze a recorded JSONL trace instead of running a model",
+    )
+    report.add_argument(
+        "--json", action="store_true",
+        help="print deterministic JSON instead of the text tables",
+    )
+    report.add_argument(
+        "--top", type=int, default=10,
+        help="blocking chains to keep (default: %(default)s)",
+    )
+    report.add_argument(
+        "--strict", action="store_true",
+        help="reject truncated JSONL input instead of tolerating a "
+             "cut-off final line",
+    )
+    report.set_defaults(func=cmd_report)
     return parser
 
 
@@ -195,7 +266,12 @@ def main(argv=None):
     if args.command == "export" and args.input is not None and args.jsonl:
         print("--input and --jsonl are mutually exclusive", file=sys.stderr)
         return 2
-    return args.func(args)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # stdout piped into a pager/head that exited early: not an error
+        sys.stderr.close()
+        return 0
 
 
 if __name__ == "__main__":

@@ -15,7 +15,12 @@ JSON array-of-events dialect, loadable by Perfetto's legacy importer and
   instant events on the "fault" group;
 * ``user``/``chan``/other records -> instant events on the "app" group;
 * a derived **counter track** (``ph: "C"``, name ``running``) stepping
-  +1/-1 at every segment boundary — CPU/actor occupancy over time.
+  +1/-1 at every segment boundary — CPU/actor occupancy over time;
+* reconstructed **causal wake edges** (:mod:`repro.obs.spans`) -> flow
+  arrows (``ph: "s"``/``"f"``) from the waking actor's track to the
+  woken task's track — Perfetto draws who ended each block;
+* per-task **response-time counter tracks** (``ph: "C"``, name
+  ``latency.<task>``) stepping at each job completion.
 
 Timestamps are the simulator's integer time units passed through
 unchanged (CTF nominally wants microseconds; for a relative timeline the
@@ -49,11 +54,12 @@ _GROUP_NAMES = {
 _INSTANT_PID = {"sched": OS_PID, "irq": IRQ_PID, "fault": FAULT_PID}
 
 
-def to_ctf(trace, time_unit="ns"):
+def to_ctf(trace, time_unit="ns", flows=True):
     """Render ``trace`` as a Chrome Trace Format document (a dict).
 
     The result is JSON-ready: ``json.dump(to_ctf(trace), fh)`` or use
-    :func:`write_ctf`.
+    :func:`write_ctf`. ``flows=False`` skips the span reconstruction
+    (no wake arrows, no latency counter tracks).
     """
     events = []
     segments = exec_segments(trace)
@@ -121,6 +127,9 @@ def to_ctf(trace, time_unit="ns"):
             "args": _jsonable(record.data),
         })
 
+    if flows:
+        events.extend(_flow_events(trace, tids))
+
     return {
         "traceEvents": events,
         "displayTimeUnit": "ms",
@@ -129,6 +138,46 @@ def to_ctf(trace, time_unit="ns"):
             "time_unit": time_unit,
         },
     }
+
+
+def _flow_events(trace, tids):
+    """Causal wake arrows + per-task latency counters from the span
+    layer (works on armed and unarmed streams alike)."""
+    from repro.obs.spans import build_spans
+
+    builder = build_spans(trace.records)
+    events = []
+    flow_id = 0
+    for block in builder.blocks:
+        edge = block.edge
+        if edge is None or not edge.source:
+            continue
+        source_tid = tids.get(edge.source)
+        target_tid = tids.get(block.task)
+        if source_tid is None or target_tid is None:
+            continue
+        flow_id += 1
+        name = f"wake:{edge.kind}"
+        finish = block.resumed if block.resumed is not None else edge.time
+        events.append({
+            "name": name, "cat": "wake", "ph": "s", "id": flow_id,
+            "ts": edge.time, "pid": EXEC_PID, "tid": source_tid,
+            "args": {"event": edge.event, "blocked": block.duration},
+        })
+        events.append({
+            "name": name, "cat": "wake", "ph": "f", "bp": "e",
+            "id": flow_id, "ts": finish, "pid": EXEC_PID,
+            "tid": target_tid, "args": {},
+        })
+    for job in builder.jobs:
+        if job.response is None:
+            continue
+        events.append({
+            "name": f"latency.{job.task}", "ph": "C", "ts": job.end,
+            "pid": EXEC_PID, "tid": 0,
+            "args": {"response": job.response},
+        })
+    return events
 
 
 def write_ctf(trace, path, validate=True, **kwargs):
@@ -166,6 +215,8 @@ _REQUIRED = {
     "i": ("name", "ts", "pid", "tid", "s"),
     "C": ("name", "ts", "pid", "args"),
     "M": ("name", "pid", "args"),
+    "s": ("name", "id", "ts", "pid", "tid"),
+    "f": ("name", "id", "ts", "pid", "tid"),
 }
 
 
@@ -180,6 +231,8 @@ def validate_ctf(document):
     * ``ts``/``dur`` are non-negative numbers, ``pid``/``tid`` ints;
     * instant-event scope ``s`` is one of ``t``/``p``/``g``;
     * counter args are numeric;
+    * flow events pair up: every start (``s``) id has a finish (``f``)
+      and vice versa;
     * per (pid, tid) track, ``X`` durations are monotone and
       non-overlapping (sorted by ``ts``, each starts at or after the
       previous one's end).
@@ -190,6 +243,7 @@ def validate_ctf(document):
     if not isinstance(events, list):
         raise ValueError("traceEvents must be a list")
     tracks = {}
+    flow_starts, flow_finishes = set(), set()
     for index, event in enumerate(events):
         if not isinstance(event, dict):
             raise ValueError(f"event #{index} is not an object")
@@ -227,6 +281,16 @@ def validate_ctf(document):
                     raise ValueError(
                         f"event #{index}: counter {key!r} not numeric"
                     )
+        elif phase == "s":
+            flow_starts.add(event["id"])
+        elif phase == "f":
+            flow_finishes.add(event["id"])
+    unpaired = flow_starts ^ flow_finishes
+    if unpaired:
+        raise ValueError(
+            f"unpaired flow ids: {sorted(unpaired)[:5]} "
+            f"({len(unpaired)} total)"
+        )
     for (pid, tid), spans in tracks.items():
         spans.sort(key=lambda span: (span[0], span[0] + span[1]))
         cursor = None

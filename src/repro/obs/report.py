@@ -1,0 +1,168 @@
+"""Run health reports: one deterministic verdict per trace.
+
+:func:`build_report` streams a record iterable through a
+:class:`~repro.obs.spans.SpanBuilder` wired to the full analyzer set
+(:mod:`repro.obs.analyzers`) and returns a plain JSON-serializable
+dict; :func:`format_report` renders it as fixed-width text. Both are
+deterministic: the same trace produces byte-identical JSON (the CI
+obs-smoke job diffs two runs).
+
+The report answers the paper-level questions a designer asks of an
+RTOS model run: per-task latency percentiles (response, scheduling
+latency, blocking), the top blocking chains with their causal wake
+edges, priority-inversion incidents (who held the resource, who
+inverted, for how long), the worst-case witness chain per task, and
+the job/miss census. ``python -m repro.obs report`` is the CLI front
+end.
+"""
+
+from repro.obs.analyzers import (
+    InversionDetector,
+    LatencyAnalyzer,
+    MissSummary,
+    WorstCaseTracker,
+)
+from repro.obs.spans import SpanBuilder
+
+__all__ = ["build_report", "format_report"]
+
+
+def build_report(records, top=10):
+    """Build the run-health report dict from a trace-record iterable."""
+    latency = LatencyAnalyzer()
+    inversions = InversionDetector(top=top)
+    worst = WorstCaseTracker()
+    misses = MissSummary()
+    builder = SpanBuilder(latency, inversions, worst, misses)
+    emit = builder.emit
+    now = None
+    for record in records:
+        emit(record)
+        now = record.time
+    builder.finish(now)
+    return {
+        "records": builder.emitted,
+        "end_time": now,
+        "tasks": builder.tasks,
+        "latency": latency.summary(),
+        "blocking_chains": inversions.chains(),
+        "inversions": inversions.incidents,
+        "worst_case": worst.as_dict(),
+        "misses": misses.as_dict(),
+    }
+
+
+def _fmt(value):
+    return "-" if value is None else str(value)
+
+
+def _table(headers, rows):
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)).rstrip(),
+        "  ".join("-" * widths[i] for i in range(len(headers))),
+    ]
+    for row in rows:
+        lines.append(
+            "  ".join(cell.ljust(widths[i])
+                      for i, cell in enumerate(row)).rstrip()
+        )
+    return lines
+
+
+def format_report(report):
+    """Fixed-width text rendering of a :func:`build_report` dict."""
+    lines = [
+        f"run health report — {report['records']} records, "
+        f"end time {_fmt(report['end_time'])}",
+        "",
+        "per-task latency (simulated time units)",
+    ]
+    latency = report["latency"]
+    tasks = sorted(set(latency["response"]) | set(latency["sched_latency"])
+                   | set(latency["blocking"]))
+    rows = []
+    for task in tasks:
+        for kind, label in (("response", "response"),
+                            ("sched_latency", "sched lat"),
+                            ("blocking", "blocking")):
+            cell = latency[kind].get(task)
+            if cell is None or not cell["count"]:
+                continue
+            rows.append((
+                task, label, str(cell["count"]), _fmt(cell["p50"]),
+                _fmt(cell["p95"]), _fmt(cell["p99"]), _fmt(cell["max"]),
+                _fmt(cell["mean"]),
+            ))
+    if rows:
+        lines += _table(
+            ("task", "metric", "n", "p50", "p95", "p99", "max", "mean"),
+            rows,
+        )
+    else:
+        lines.append("  (no completed spans)")
+
+    misses = report["misses"]
+    lines += ["", "job census"]
+    rows = [
+        (task, str(row["jobs"]), str(row["completed"]), str(row["missed"]),
+         str(row["killed"]), str(row["open"]), str(row["skipped_cycles"]))
+        for task, row in sorted(misses["tasks"].items())
+    ]
+    if rows:
+        totals = misses["totals"]
+        rows.append((
+            "(total)", str(totals["jobs"]), str(totals["completed"]),
+            str(totals["missed"]), str(totals["killed"]),
+            str(totals["open"]), str(totals["skipped_cycles"]),
+        ))
+        lines += _table(
+            ("task", "jobs", "done", "missed", "killed", "open", "skipped"),
+            rows,
+        )
+    else:
+        lines.append("  (no jobs)")
+
+    incidents = report["inversions"]
+    lines += ["", f"priority-inversion incidents: {len(incidents)}"]
+    for inc in incidents:
+        lines.append(
+            f"  {inc['task']} blocked {inc['duration']} on "
+            f"{inc['resource']} held by {inc['holder']}; inverted by "
+            f"{inc['inverter']} (ran {inc['inverter_time']}) "
+            f"[{inc['start']}..{inc['end']}]"
+        )
+
+    chains = report["blocking_chains"]
+    lines += ["", f"top blocking chains: {len(chains)}"]
+    for chain in chains:
+        edge = chain["edge"]
+        cause = "open"
+        if edge is not None:
+            cause = edge["kind"]
+            if edge["source"]:
+                cause += f" from {edge['source']}"
+            if edge["event"]:
+                cause += f" on {edge['event']}"
+        lines.append(
+            f"  {chain['task']} {chain['reason']} {_fmt(chain['duration'])} "
+            f"[{chain['start']}..{_fmt(chain['end'])}] ended by {cause}"
+        )
+
+    worst = report["worst_case"]
+    lines += ["", "worst-case witnesses"]
+    for task, job in sorted(worst.items()):
+        lines.append(
+            f"  {task}: response {job['response']} "
+            f"(release {job['release']}, end {_fmt(job['end'])}, "
+            f"{job['preemptions']} preemptions, "
+            f"blocked {job['blocked_time']}, outcome {job['outcome']})"
+        )
+        for entry in job["chain"]:
+            lines.append("    " + " ".join(str(part) for part in entry))
+        if job["chain_dropped"]:
+            lines.append(f"    ... {job['chain_dropped']} entries dropped")
+    return "\n".join(lines)

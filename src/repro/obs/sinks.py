@@ -85,26 +85,39 @@ class JsonlSink(TraceSink):
     memory — ``records`` is empty; reload the file with
     :func:`load_jsonl` to query or export it.
 
+    ``emit`` encodes the record and appends it to a small line buffer;
+    the buffer is written out every ``buffer_records`` lines (one
+    syscall per batch instead of two per record — this is what keeps
+    the hot-path overhead near the in-memory sinks, see the
+    EXPERIMENTS.md sink-overhead table). Call :meth:`flush` to push
+    buffered lines to the OS mid-run; :meth:`close` flushes
+    automatically. A reader that needs every record *as it happens*
+    (live tailing) can pass ``buffer_records=1``.
+
     Usable as a context manager (the :class:`TraceSink` base closes on
     exit); ``emit`` after ``close`` raises :class:`RuntimeError` rather
     than hitting the closed file object.
     """
 
-    def __init__(self, path):
+    def __init__(self, path, buffer_records=256):
         self.path = path
         self._fh = open(path, "w")
         self._emitted = 0
+        self._buffer = []
+        self._limit = max(1, int(buffer_records))
 
     def emit(self, record):
-        fh = self._fh
-        if fh.closed:
+        if self._fh.closed:
             raise RuntimeError(
                 f"emit() on closed JsonlSink({self.path!r}); "
                 "the sink cannot be reused after close()"
             )
-        fh.write(dumps_record(record))
-        fh.write("\n")
+        buffer = self._buffer
+        buffer.append(dumps_record(record))
         self._emitted += 1
+        if len(buffer) >= self._limit:
+            self._fh.write("\n".join(buffer) + "\n")
+            buffer.clear()
 
     @property
     def emitted(self):
@@ -112,15 +125,20 @@ class JsonlSink(TraceSink):
 
     def clear(self):
         """Truncate the backing file and restart the stream."""
+        self._buffer.clear()
         self._fh.seek(0)
         self._fh.truncate()
         self._emitted = 0
 
     def flush(self):
+        if self._buffer:
+            self._fh.write("\n".join(self._buffer) + "\n")
+            self._buffer.clear()
         self._fh.flush()
 
     def close(self):
         if not self._fh.closed:
+            self.flush()
             self._fh.close()
 
 
@@ -176,6 +194,12 @@ def record_to_obj(record):
     return obj
 
 
+# ``default=str`` defeats json.dumps' cached-encoder fast path, so one
+# precompiled encoder serves every record instead of building a fresh
+# JSONEncoder per line
+_ENCODE = json.JSONEncoder(separators=(",", ":"), default=str).encode
+
+
 def dumps_record(record):
     """One compact JSON line for ``record`` (no trailing newline).
 
@@ -183,9 +207,7 @@ def dumps_record(record):
     stream must never fail because an application put an object into a
     user mark.
     """
-    return json.dumps(
-        record_to_obj(record), separators=(",", ":"), default=str
-    )
+    return _ENCODE(record_to_obj(record))
 
 
 def obj_to_record(obj):
@@ -195,23 +217,44 @@ def obj_to_record(obj):
     )
 
 
-def iter_jsonl(path):
-    """Yield :class:`TraceRecord` objects from a JSONL trace file."""
+def iter_jsonl(path, strict=False):
+    """Yield :class:`TraceRecord` objects from a JSONL trace file.
+
+    A crashed or killed run leaves a cut-off final line — undecodable
+    *and* missing its newline terminator. By default that tail is
+    tolerated (iteration simply ends at the last complete record — the
+    natural contract for post-mortem analysis of exactly such runs).
+    ``strict=True`` restores the raise. A malformed but *complete*
+    line (newline-terminated, or followed by more data) is real
+    corruption and always raises :class:`json.JSONDecodeError`.
+    """
     with open(path) as fh:
-        for line in fh:
-            line = line.strip()
-            if line:
-                yield obj_to_record(json.loads(line))
+        lines = iter(fh)
+        for line in lines:
+            stripped = line.strip()
+            if not stripped:
+                continue
+            try:
+                obj = json.loads(stripped)
+            except json.JSONDecodeError:
+                if strict or line.endswith("\n"):
+                    raise  # complete line that isn't JSON: corrupt
+                for rest in lines:
+                    if rest.strip():
+                        raise  # not the final line: corrupt mid-file
+                return
+            yield obj_to_record(obj)
 
 
-def load_jsonl(path):
+def load_jsonl(path, strict=False):
     """Load a JSONL trace file into a fresh in-memory ``Trace``.
 
     The result supports the full query layer (``segments``, ``count``,
     ...) and every exporter (VCD, Gantt, Chrome Trace Format).
+    ``strict=`` is :func:`iter_jsonl`'s truncated-tail behavior.
     """
     trace = Trace()
     records = trace.records
-    for record in iter_jsonl(path):
+    for record in iter_jsonl(path, strict=strict):
         records.append(record)
     return trace

@@ -27,7 +27,7 @@ class EventManager:
     """Event service of one PE's RTOS model."""
 
     __slots__ = ("sim", "trace", "name", "dispatcher", "tasks", "events",
-                 "obs", "faults", "_uid_seq")
+                 "obs", "faults", "spans", "_uid_seq")
 
     def __init__(self, sim, trace, name, dispatcher, tasks):
         self.sim = sim
@@ -42,6 +42,9 @@ class EventManager:
         self.obs = None
         #: optional FaultInjector (RTOSModel.attach_faults)
         self.faults = None
+        #: span-source arming (RTOSModel.trace_spans): truthy makes
+        #: notify records name their source (task / isr / kernel)
+        self.spans = None
 
     def reset(self):
         """Drop all event state (RTOSModel.init)."""
@@ -177,17 +180,28 @@ class EventManager:
         if event.deleted:
             raise RTOSError(f"event_notify on deleted event {event.name!r}")
         event.notify_count += 1
+        src = None
+        if self.spans is not None:
+            # the notifier's identity, resolved *before* delivery can
+            # reschedule: a bound task, an ISR/bootstrap process, or a
+            # timer callback (no process at all)
+            current = self.tasks.current_task()
+            if current is not None:
+                src = current.name
+            else:
+                process = self.sim._current
+                src = f"isr:{process.name}" if process is not None else "kernel"
         faults = self.faults
         if faults is None:
-            self._deliver(event)
+            self._deliver(event, src)
         elif not faults.lose_notify(event):
-            self._deliver(event)
+            self._deliver(event, src)
             if faults.duplicate_notify(event):
-                self._deliver(event)
+                self._deliver(event, src)
         current = self.tasks.current_task()
         yield from self.dispatcher.resched(current)
 
-    def _deliver(self, event):
+    def _deliver(self, event, src=None):
         """One delivery of a notification: wake waiters or leave the
         same-instant pending mark (the fault layer may skip or repeat
         this; an unarmed model calls it exactly once per notify)."""
@@ -204,10 +218,16 @@ class EventManager:
                 release(task)
         else:
             event.pending_time = now
-        self.trace.record(
-            now, "task", self.name, "notify",
-            event=event.name, woken=len(woken),
-        )
+        if src is None:
+            self.trace.record(
+                now, "task", self.name, "notify",
+                event=event.name, woken=len(woken),
+            )
+        else:
+            self.trace.record(
+                now, "task", self.name, "notify",
+                event=event.name, woken=len(woken), src=src,
+            )
 
     # ------------------------------------------------------------------
     # enrollment bookkeeping (shared by notify / timeout / kill)

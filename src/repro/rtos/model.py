@@ -207,6 +207,29 @@ class RTOSModel(Channel):
         self._tasks.condemn(tid)
 
     # ------------------------------------------------------------------
+    # span sources (see repro.obs.spans)
+    # ------------------------------------------------------------------
+
+    def trace_spans(self, enabled=True):
+        """Arm (or disarm) the span sources in the OS services.
+
+        Armed, the services emit the records precise span
+        reconstruction needs: ``task_endcycle`` records the cycle
+        completion, overrun releases are recorded, ``task_create``
+        carries the static task parameters (priority/period/wcet), and
+        ``event_notify`` names its source (task, ``isr:<process>`` or
+        ``kernel``). Disarmed (the default) no extra record or data key
+        is emitted, so golden traces stay byte-identical — the same
+        zero-cost ``is None`` guard as every other instrumentation
+        seam. :class:`~repro.obs.spans.SpanBuilder` works on unarmed
+        streams too, with inferred completions and wake sources.
+        """
+        armed = True if enabled else None
+        self._tasks.spans = armed
+        self._events.spans = armed
+        return self
+
+    # ------------------------------------------------------------------
     # operating system management
     # ------------------------------------------------------------------
 

@@ -25,7 +25,7 @@ class TaskManager:
     """Task lifecycle service of one PE's RTOS model."""
 
     __slots__ = ("sim", "trace", "metrics", "name", "dispatcher", "events",
-                 "tasks", "by_process", "obs", "monitor", "_uid_seq")
+                 "tasks", "by_process", "obs", "monitor", "spans", "_uid_seq")
 
     def __init__(self, sim, trace, metrics, name, dispatcher):
         self.sim = sim
@@ -44,6 +44,10 @@ class TaskManager:
         self.obs = None
         #: optional FailureMonitor (RTOSModel.task_watch), same guard
         self.monitor = None
+        #: span-source arming (RTOSModel.trace_spans): truthy adds the
+        #: completion/overrun-release records and create metadata the
+        #: span builder needs; None keeps traces byte-identical
+        self.spans = None
 
     def _observe_response(self, task, response):
         """Record one response time in both stat layers."""
@@ -72,7 +76,14 @@ class TaskManager:
         task = Task(name, tasktype, period, wcet, priority, rel_deadline,
                     uid=next(self._uid_seq))
         self.tasks.append(task)
-        self.trace.record(self.sim.now, "task", name, "create")
+        if self.spans is None:
+            self.trace.record(self.sim.now, "task", name, "create")
+        else:
+            self.trace.record(
+                self.sim.now, "task", name, "create", kind=tasktype,
+                period=period, wcet=wcet, priority=priority,
+                **({} if rel_deadline is None else {"deadline": rel_deadline}),
+            )
         return task
 
     def activate(self, tid):
@@ -147,16 +158,34 @@ class TaskManager:
                 next_release = monitor.adjust_release(task, now, next_release)
             if next_release <= now:
                 # overrun: the next instance is already due
+                release = task.release_time
                 self._set_release(task, next_release)
+                if self.spans is not None:
+                    # span sources: completion edge, then the release
+                    # edge no timer will fire for (already due)
+                    self.trace.record(now, "task", task.name, "endcycle",
+                                      release=release)
+                    self.trace.record(now, "task", task.name, "release",
+                                      at=next_release)
                 yield from self.dispatcher.schedule_point(task)
                 return
+            release = task.release_time
             self.dispatcher.yield_cpu(task, TaskState.IDLE_PERIOD)
+            if self.spans is not None:
+                # after yield_cpu so the cycle's final execution segment
+                # precedes the completion edge in the stream
+                self.trace.record(now, "task", task.name, "endcycle",
+                                  release=release)
             self.sim.schedule_at(
                 next_release, lambda: self._periodic_release(task, next_release)
             )
             yield from self.dispatcher.wait_until_running(task)
         else:
+            release = task.release_time
             self.dispatcher.yield_cpu(task, TaskState.SLEEPING)
+            if self.spans is not None:
+                self.trace.record(now, "task", task.name, "endcycle",
+                                  release=release)
             yield from self.dispatcher.wait_until_running(task)
 
     def kill(self, tid):

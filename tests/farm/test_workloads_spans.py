@@ -1,0 +1,30 @@
+"""Span analytics riding the farm workloads (``with_spans=True``)."""
+
+import json
+
+from repro.farm.workloads import periodic_taskset_run
+
+
+def test_periodic_taskset_with_spans_matches_task_stats():
+    result = periodic_taskset_run(with_spans=True, horizon=2_000_000)
+    spans = result["spans"]
+    # span-derived worst response must agree with the task-stats table
+    # the ablation reports (same jobs, independently reconstructed)
+    from repro.obs.analyzers import LatencyDigest
+
+    for task, worst in result["worst_response"].items():
+        digest = LatencyDigest.from_dict(spans["latency"]["response"][task])
+        if digest.count:
+            assert digest.max == worst
+
+
+def test_periodic_taskset_spans_deterministic():
+    a = periodic_taskset_run(with_spans=True, horizon=2_000_000)
+    b = periodic_taskset_run(with_spans=True, horizon=2_000_000)
+    assert json.dumps(a["spans"], sort_keys=True) == json.dumps(
+        b["spans"], sort_keys=True)
+
+
+def test_periodic_taskset_default_untouched():
+    result = periodic_taskset_run(horizon=2_000_000)
+    assert "spans" not in result

@@ -152,3 +152,70 @@ def test_campaign_cli_unknown_plan_exits_2(capsys):
     ])
     assert code == 2
     assert "invalid sweep configuration" in capsys.readouterr().err
+
+
+# ----------------------------------------------------------------------
+# span analytics riding campaign points (PR-9)
+# ----------------------------------------------------------------------
+
+def test_campaign_point_with_spans_payload():
+    # crash t1 *inside* a job (released at 1_200_000, wcet 100_000) so
+    # the kill closes an open job span, visible in the census
+    plan = json.dumps(
+        [{"kind": "task_crash", "task": "t1", "at": 1_250_000}]
+    )
+    result = run_campaign_point(plan=plan, seed=3, with_spans=True,
+                                **FAST)
+    spans = result["spans"]
+    assert set(spans) == {"latency", "misses"}
+    census = spans["misses"]
+    assert set(census["tasks"]) == {"t1", "t2", "t3"}
+    assert census["totals"]["jobs"] > 0
+    assert census["tasks"]["t1"]["killed"] == 1
+    # digests are JSON-clean and reproducible
+    again = run_campaign_point(plan=plan, seed=3, with_spans=True,
+                               **FAST)
+    assert json.dumps(result["spans"], sort_keys=True) == json.dumps(
+        again["spans"], sort_keys=True)
+
+
+def test_campaign_point_without_spans_shape_unchanged():
+    result = run_campaign_point(plan="baseline", seed=1, **FAST)
+    assert "spans" not in result
+
+
+def test_sweep_aggregate_merges_span_digests():
+    from repro.farm.results import STATUS_OK, RunResult, SweepResult
+    from repro.farm.sweep import RunConfig
+    from repro.obs.analyzers import LatencyDigest
+
+    points = [
+        run_campaign_point(plan="baseline", seed=seed, with_spans=True,
+                           **FAST)
+        for seed in (1, 2)
+    ]
+    runs = [
+        RunResult(RunConfig("repro.farm.workloads:fault_campaign_run",
+                            {"seed": seed}), STATUS_OK, value=value)
+        for seed, value in enumerate(points)
+    ]
+    forward = SweepResult(runs).aggregate()
+    backward = SweepResult(list(reversed(runs))).aggregate()
+    # merged digests are order-insensitive and byte-identical
+    assert json.dumps(forward["spans"], sort_keys=True) == json.dumps(
+        backward["spans"], sort_keys=True)
+    merged = forward["spans"]
+    # counts add up across runs
+    for task in ("t1", "t2", "t3"):
+        merged_count = LatencyDigest.from_dict(
+            merged["latency"]["response"][task]).count
+        assert merged_count == sum(
+            LatencyDigest.from_dict(
+                p["spans"]["latency"]["response"][task]).count
+            for p in points
+        )
+        assert merged["misses"]["tasks"][task]["jobs"] == sum(
+            p["spans"]["misses"]["tasks"][task]["jobs"] for p in points
+        )
+    assert "percentiles" in merged
+    assert merged["percentiles"]["response"]["t1"]["count"] > 0

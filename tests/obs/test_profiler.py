@@ -93,3 +93,49 @@ def test_report_limit_truncates_rows():
     report = sim.profile_report(limit=2)
     listed = [line for line in report.splitlines() if line.startswith("p")]
     assert len(listed) <= 3  # 2 rows + possible "process" header word
+
+
+# ----------------------------------------------------------------------
+# backend coverage: profiling must work on every engine (PR-9)
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("backend", ["reference", "fast"])
+def test_profiler_collects_on_both_backends(backend):
+    sim = Simulator(backend=backend)
+    assert sim.backend == backend
+    profiler = sim.enable_profiling()
+    _workload(sim)
+    sim.run()
+    assert profiler.by_command["waitfor"][0] == 3
+    assert profiler.by_command["notify"][0] == 1
+    assert profiler.by_process["prod"][0] >= 3
+    assert "waitfor" in sim.profile_report()
+
+
+@pytest.mark.parametrize("backend", ["reference", "fast"])
+def test_profiled_run_trace_is_byte_identical(backend):
+    def lines(profiled):
+        sim = Simulator(backend=backend)
+        if profiled:
+            sim.enable_profiling()
+        _workload(sim)
+        sim.run()
+        return [
+            (r.time, r.category, r.actor, r.info, sorted(r.data.items()))
+            for r in sim.trace.records
+        ]
+
+    assert lines(profiled=True) == lines(profiled=False)
+
+
+def test_fast_backend_disable_restores_flat_loop():
+    sim = Simulator(backend="fast")
+    native_step = type(sim)._step
+    sim.enable_profiling()
+    assert sim._step.__func__ is not native_step
+    sim.disable_profiling()
+    assert "_step" not in sim.__dict__
+    assert sim._step.__func__ is native_step
+    _workload(sim)
+    sim.run()  # still runs correctly on the native loop
+    assert sim.now == 15

@@ -1,0 +1,89 @@
+"""Run health reports: content, CLI wiring, determinism."""
+
+import json
+
+import pytest
+
+from repro.apps.inversion import run_fault_demo, run_inversion
+from repro.obs.__main__ import main
+from repro.obs.report import build_report, format_report
+
+
+@pytest.fixture()
+def pi_records():
+    return list(run_inversion(rounds=3).trace.records)
+
+
+def test_report_names_inverter_and_duration(pi_records):
+    report = build_report(pi_records)
+    incidents = report["inversions"]
+    assert len(incidents) == 3
+    first = incidents[0]
+    assert first["task"] == "hi"
+    assert first["holder"] == "lo"
+    assert first["inverter"] == "mid"
+    assert first["duration"] == 60
+    text = format_report(report)
+    assert "inverted by mid" in text
+    assert "blocked 60" in text
+
+
+def test_report_is_json_deterministic(pi_records):
+    a = json.dumps(build_report(list(pi_records)), sort_keys=True)
+    b = json.dumps(build_report(list(pi_records)), sort_keys=True)
+    assert a == b
+    # and JSON-serializable end to end (no sets, no dataclasses)
+    json.loads(a)
+
+
+def test_report_fault_demo_census():
+    records = list(run_fault_demo().trace.records)
+    report = build_report(records)
+    totals = report["misses"]["totals"]
+    assert totals["killed"] >= 2
+    assert totals["missed"] >= 1
+    text = format_report(report)
+    assert "job census" in text
+    assert "t3" in text
+
+
+def test_cli_report_text(capsys):
+    assert main(["report", "--model", "pi-demo"]) == 0
+    out = capsys.readouterr().out
+    assert "inverted by mid" in out
+    assert "priority-inversion incidents: 3" in out
+
+
+def test_cli_report_pip_heals(capsys):
+    assert main(["report", "--model", "pi-demo-pip"]) == 0
+    out = capsys.readouterr().out
+    assert "priority-inversion incidents: 0" in out
+
+
+def test_cli_report_json_roundtrip_from_file(tmp_path, capsys):
+    path = tmp_path / "trace.jsonl"
+    assert main(["export", "--model", "pi-demo", "--jsonl", str(path)]) == 0
+    capsys.readouterr()
+    assert main(["report", "--input", str(path), "--json"]) == 0
+    from_file = capsys.readouterr().out
+    assert main(["report", "--model", "pi-demo", "--json"]) == 0
+    from_model = capsys.readouterr().out
+    # a recorded trace reports identically to a live run
+    assert from_file == from_model
+    payload = json.loads(from_file)
+    assert payload["inversions"][0]["inverter"] == "mid"
+
+
+def test_cli_report_rejects_missing_file(capsys):
+    assert main(["report", "--input", "/nonexistent/trace.jsonl"]) == 2
+    assert "cannot read" in capsys.readouterr().err
+
+
+def test_cli_report_strict_rejects_truncated(tmp_path, capsys):
+    path = tmp_path / "cut.jsonl"
+    path.write_text('{"t":0,"c":"exec","a":"p","d":{"start":0,"end":1}}\n'
+                    '{"t":1,"c":"ex')  # no trailing newline: killed run
+    assert main(["report", "--input", str(path)]) == 0
+    capsys.readouterr()
+    assert main(["report", "--input", str(path), "--strict"]) == 2
+    assert "corrupt" in capsys.readouterr().err

@@ -206,3 +206,70 @@ def test_disabled_trace_skips_all_sinks(tmp_path):
     trace.close()
     assert len(trace.records) == 0
     assert path.read_text() == ""
+
+
+# ----------------------------------------------------------------------
+# write batching + truncated-tail tolerance (PR-9)
+# ----------------------------------------------------------------------
+
+def test_jsonl_sink_batches_writes(tmp_path):
+    path = tmp_path / "t.jsonl"
+    sink = JsonlSink(path, buffer_records=4)
+    for i in range(3):
+        sink.emit(TraceRecord(i, "user", "a", f"m{i}", {}))
+    # below the batch threshold nothing has reached the file yet
+    assert path.read_text() == ""
+    sink.emit(TraceRecord(4, "user", "a", "m4", {}))
+    sink.flush()  # mid-batch flush pushes everything buffered
+    assert len(path.read_text().splitlines()) == 4
+    sink.emit(TraceRecord(5, "user", "a", "m5", {}))
+    sink.close()  # close flushes the remainder
+    assert len(list(iter_jsonl(path))) == 5
+    assert sink.emitted == 5
+
+
+def test_jsonl_sink_close_flushes_partial_batch(tmp_path):
+    path = tmp_path / "t.jsonl"
+    with JsonlSink(path, buffer_records=100) as sink:
+        sink.emit(TraceRecord(0, "user", "a", "only", {}))
+    assert [r.info for r in iter_jsonl(path)] == ["only"]
+
+
+def test_jsonl_sink_clear_drops_buffered_lines(tmp_path):
+    path = tmp_path / "t.jsonl"
+    sink = JsonlSink(path, buffer_records=100)
+    sink.emit(TraceRecord(0, "user", "a", "buffered", {}))
+    sink.clear()
+    sink.emit(TraceRecord(1, "user", "a", "kept", {}))
+    sink.close()
+    assert [r.info for r in iter_jsonl(path)] == ["kept"]
+
+
+def test_iter_jsonl_tolerates_truncated_final_line(tmp_path):
+    path = tmp_path / "cut.jsonl"
+    full = dumps_record(TraceRecord(0, "user", "a", "ok", {}))
+    # a killed run cuts the last line mid-record, no trailing newline
+    path.write_text(full + "\n" + full[: len(full) // 2])
+    records = list(iter_jsonl(path))
+    assert [r.info for r in records] == ["ok"]
+    with pytest.raises(ValueError):
+        list(iter_jsonl(path, strict=True))
+    with pytest.raises(ValueError):
+        load_jsonl(path, strict=True)
+    assert load_jsonl(path).count("user") == 1
+
+
+def test_iter_jsonl_rejects_complete_garbage_line(tmp_path):
+    # a newline-terminated non-JSON line is corruption, not truncation
+    path = tmp_path / "bad.jsonl"
+    path.write_text("this is not json\n")
+    with pytest.raises(ValueError):
+        list(iter_jsonl(path))
+
+
+def test_iter_jsonl_rejects_mid_file_corruption(tmp_path):
+    path = tmp_path / "mid.jsonl"
+    good = dumps_record(TraceRecord(0, "user", "a", "ok", {}))
+    path.write_text(good + "\nnot-json\n" + good + "\n")
+    with pytest.raises(ValueError):
+        list(iter_jsonl(path))
