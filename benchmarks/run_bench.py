@@ -88,6 +88,8 @@ def _assert_uninstrumented(sim, os_=None, backend=None):
             and os_._events.faults is None, "fault injector attached"
         assert os_.monitor is None and os_._tasks.monitor is None \
             and os_._dispatcher.monitor is None, "failure monitor attached"
+        assert os_.mc is None and os_._tasks.mc is None, \
+            "mode controller unexpectedly armed"
         assert os_._tasks.spans is None and os_._events.spans is None, \
             "span sources unexpectedly armed"
 

@@ -27,9 +27,12 @@ import random
 
 from repro.analysis.schedulability import (
     ComponentSpec,
+    MCTaskSpec,
     PESpec,
     SystemSpec,
     TaskSpec,
+    check_amc_rtb,
+    check_edf_vd,
     check_system,
 )
 from repro.platform.architecture import Architecture
@@ -39,8 +42,13 @@ from repro.rtos.task import PERIODIC
 __all__ = [
     "build_architecture",
     "cross_validate",
+    "cross_validate_mc",
     "generate_matrix",
+    "generate_mc_matrix",
+    "run_matrix",
+    "run_mc_matrix",
     "simulate",
+    "simulate_mc",
 ]
 
 
@@ -295,14 +303,225 @@ def run_matrix(count=20, seed=7, horizon=None):
     }
 
 
+# ---------------------------------------------------------------------------
+# mixed criticality: AMC certificate vs MC-armed simulation
+# ---------------------------------------------------------------------------
+#
+# The MC contract extends the hierarchical one:
+#
+#     If :func:`check_amc_rtb` certifies a HI task, then simulating the
+#     task set with the MC controller armed (flat fixed-priority,
+#     immediate preemption, sticky mode raise — recovery disabled to
+#     match the single-switch AMC model) and every HI task *always*
+#     executing its HI budget (the injected overrun) must show zero
+#     deadline misses for that task.
+#
+# The no-MC baseline run of the same set is the witness: with LO tasks
+# never degraded the same overrunning workload demonstrably drives HI
+# tasks into misses, proving the degradation — not slack — shields them.
+
+
+def simulate_mc(tasks, degrade="drop", with_mc=True, horizon=None):
+    """Simulate one MC task set; HI tasks always execute ``wcet_hi``.
+
+    With ``with_mc`` the model's :class:`~repro.rtos.mc.MCController`
+    is armed (no recovery window: the raise is sticky, matching the
+    AMC analysis); without it the same workload runs undefended, every
+    task merely watched for eager miss detection. Returns per-task
+    ``{"misses", "releases", "cycles"}`` plus MC counters under
+    ``"__mc__"``.
+    """
+    from repro.kernel import Simulator, WaitFor
+    from repro.rtos import RTOSModel
+
+    if horizon is None:
+        periods = [spec.period for spec in tasks]
+        horizon = max(min(2 * math.lcm(*periods), 200_000),
+                      10 * max(periods))
+    sim = Simulator()
+    sim.trace.enabled = False
+    os_ = RTOSModel(sim, sched="priority", preemption="immediate")
+    if with_mc:
+        os_.mc_configure(degrade=degrade)
+    handles = []
+    for spec in tasks:
+        rel_deadline = (
+            spec.deadline if spec.deadline != spec.period else None
+        )
+        if with_mc:
+            task = os_.task_create(
+                spec.name, PERIODIC, spec.period,
+                [spec.wcet_lo, spec.wcet_hi], priority=spec.priority,
+                rel_deadline=rel_deadline, criticality=spec.criticality,
+            )
+        else:
+            task = os_.task_create(
+                spec.name, PERIODIC, spec.period, spec.wcet_lo,
+                priority=spec.priority, rel_deadline=rel_deadline,
+            )
+            os_.task_watch(task, policy="log")
+        handles.append(task)
+        exec_time = spec.wcet_hi if spec.is_hi else spec.wcet_lo
+        sim.spawn(
+            os_.task_body(task, _periodic_body(os_, exec_time)),
+            name=spec.name,
+        )
+
+    def boot():
+        yield WaitFor(0)
+        os_.start()
+
+    sim.spawn(boot(), name="boot")
+    sim.run(until=horizon)
+    results = {
+        task.name: {
+            "misses": task.stats.deadline_misses,
+            "releases": task.stats.activations + task.stats.cycles_completed,
+            "cycles": task.stats.cycles_completed,
+        }
+        for task in handles
+    }
+    results["__mc__"] = {
+        "mode": os_.mc_mode(),
+        "mode_raises": os_.metrics.mode_raises,
+        "jobs_degraded": os_.metrics.jobs_degraded,
+        "budget_overruns": os_.metrics.budget_overruns,
+    }
+    return results
+
+
+def cross_validate_mc(tasks, degrade="drop", horizon=None):
+    """AMC-rtb certificate vs MC-armed simulation, plus the baseline.
+
+    Returns a dict with both analytic verdicts (AMC-rtb drives the
+    contract; EDF-VD rides along as a second certificate), the
+    MC-armed and no-MC simulated miss counts, the violation list, and:
+
+    * ``"consistent"`` — no certified HI task missed with MC armed;
+    * ``"shielded"`` — at least one certified HI task missed in the
+      *baseline* but not with MC armed: degradation, not slack, is
+      what saved it (the CI witness).
+    """
+    tasks = list(tasks)
+    # drop matches classical AMC (LO tasks stop after the switch);
+    # skip / elastic leave LO tasks releasing at twice their period
+    # (the controller's default skip_factor / elastic_factor), which
+    # the policy-aware rtb bound must account for
+    amc = check_amc_rtb(
+        tasks, lo_period_scale=None if degrade == "drop" else 2
+    )
+    edf_vd = check_edf_vd(tasks)
+    mc_run = simulate_mc(tasks, degrade=degrade, horizon=horizon)
+    baseline = simulate_mc(tasks, degrade=degrade, with_mc=False,
+                           horizon=horizon)
+    certified_hi = sorted(
+        tv.task for tv in amc.hi_tasks if tv.schedulable
+    )
+    violations = []
+    for name in certified_hi:
+        misses = mc_run[name]["misses"]
+        if misses:
+            violations.append(
+                f"HI task {name!r} certified by AMC-rtb but missed "
+                f"{misses} deadlines with MC armed"
+            )
+    hi_names = [spec.name for spec in tasks if spec.is_hi]
+    baseline_hi_misses = {
+        name: baseline[name]["misses"] for name in hi_names
+    }
+    shielded = sorted(
+        name for name in certified_hi
+        if baseline_hi_misses[name] and not mc_run[name]["misses"]
+    )
+    return {
+        "tasks": [spec.name for spec in tasks],
+        "degrade": degrade,
+        "amc_schedulable": amc.schedulable,
+        "edf_vd_schedulable": edf_vd.schedulable,
+        "certified_hi": certified_hi,
+        "mc_misses": {
+            name: row["misses"] for name, row in mc_run.items()
+            if name != "__mc__"
+        },
+        "baseline_hi_misses": baseline_hi_misses,
+        "mc_state": mc_run["__mc__"],
+        "shielded": shielded,
+        "violations": violations,
+        "consistent": not violations,
+    }
+
+
+def generate_mc_matrix(count=12, seed=7):
+    """Deterministically generate ``count`` dual-criticality task sets.
+
+    Each set interleaves LO and HI tasks in priority order (LO tasks
+    above *and* below HI ones — the regime AMC is about) with a
+    baseline utilization ``U_LO^LO + U_HI^HI`` above 1, so undefended
+    overruns demonstrably overload the set. Roughly a third get a HI
+    budget so large that even the steady HI mode overloads — the
+    analysis is the judge; the harness only needs both verdicts and
+    the contract to hold.
+    """
+    rng = random.Random(seed)
+    sets = []
+    for i in range(count):
+        overload = i % 3 == 2
+        scale = rng.choice((1, 2, 5))
+        jitter = rng.uniform(0.9, 1.1)
+        hi2_budget = 1500 if overload else 700
+        sets.append((
+            MCTaskSpec(f"s{i}_lo1", 400 * scale,
+                       int(100 * scale * jitter), criticality="LO",
+                       priority=1),
+            MCTaskSpec(f"s{i}_hi1", 800 * scale, int(80 * scale * jitter),
+                       int(240 * scale * jitter), criticality="HI",
+                       priority=2),
+            MCTaskSpec(f"s{i}_lo2", 1000 * scale,
+                       int(150 * scale * jitter), criticality="LO",
+                       priority=3),
+            MCTaskSpec(f"s{i}_hi2", 2000 * scale,
+                       int(200 * scale * jitter),
+                       int(hi2_budget * scale * jitter), criticality="HI",
+                       priority=4),
+        ))
+    return sets
+
+
+def run_mc_matrix(count=12, seed=7, degrade="drop", horizon=None):
+    """Cross-validate a generated MC matrix; returns the summary dict."""
+    reports = [
+        cross_validate_mc(tasks, degrade=degrade, horizon=horizon)
+        for tasks in generate_mc_matrix(count, seed)
+    ]
+    certified = [r for r in reports if r["certified_hi"]]
+    shielded = [r for r in reports if r["shielded"]]
+    uncertified = [r for r in reports if not r["amc_schedulable"]]
+    uncertified_with_misses = [
+        r for r in uncertified if any(r["baseline_hi_misses"].values())
+    ]
+    return {
+        "count": len(reports),
+        "seed": seed,
+        "degrade": degrade,
+        "certified": len(certified),
+        "uncertified": len(uncertified),
+        "uncertified_with_misses": len(uncertified_with_misses),
+        "shielded": len(shielded),
+        "violations": [v for r in reports for v in r["violations"]],
+        "consistent": all(r["consistent"] for r in reports),
+        "reports": reports,
+    }
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis.crossval",
         description="Cross-validate the RTOS simulator against the "
                     "analytic schedulability checker.",
     )
-    parser.add_argument("--count", type=int, default=20,
-                        help="number of generated configurations")
+    parser.add_argument("--count", type=int, default=None,
+                        help="number of generated configurations "
+                             "(default: 20, or 12 with --mc)")
     parser.add_argument("--seed", type=int, default=7)
     parser.add_argument("--horizon", type=int, default=None,
                         help="simulation horizon override (time units)")
@@ -311,9 +530,19 @@ def main(argv=None):
     parser.add_argument("--require-witness", action="store_true",
                         help="also fail unless at least one analytically-"
                              "unschedulable config misses in simulation")
+    parser.add_argument("--mc", action="store_true",
+                        help="run the mixed-criticality matrix instead: "
+                             "AMC-rtb certificates vs MC-armed simulation "
+                             "under always-overrunning HI tasks")
+    parser.add_argument("--degrade", default="drop",
+                        choices=("drop", "skip", "elastic"),
+                        help="LO degradation policy for the MC matrix")
     args = parser.parse_args(argv)
 
-    summary = run_matrix(args.count, args.seed, args.horizon)
+    if args.mc:
+        return _main_mc(args)
+    count = args.count if args.count is not None else 20
+    summary = run_matrix(count, args.seed, args.horizon)
     if args.json:
         with open(args.json, "w") as fh:
             json.dump(summary, fh, indent=2, sort_keys=True)
@@ -331,6 +560,36 @@ def main(argv=None):
     if args.require_witness and not summary["unschedulable_with_misses"]:
         print("no unschedulable configuration produced a simulated miss")
         status = 1
+    return status
+
+
+def _main_mc(args):
+    count = args.count if args.count is not None else 12
+    summary = run_mc_matrix(count, args.seed, args.degrade, args.horizon)
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(summary, fh, indent=2, sort_keys=True)
+    print(
+        f"{summary['count']} MC sets ({summary['degrade']}): "
+        f"{summary['certified']} with certified HI tasks, "
+        f"{summary['uncertified']} uncertified "
+        f"({summary['uncertified_with_misses']} with baseline HI misses), "
+        f"{summary['shielded']} shielded by degradation"
+    )
+    status = 0
+    for violation in summary["violations"]:
+        print(f"VIOLATION: {violation}")
+        status = 1
+    if not summary["violations"]:
+        print("MC contract holds: no certified HI task missed with MC armed")
+    if args.require_witness:
+        if not summary["shielded"]:
+            print("no certified set demonstrated degradation shielding "
+                  "(baseline HI miss vs MC-armed clean)")
+            status = 1
+        if not summary["uncertified_with_misses"]:
+            print("no uncertified set produced a baseline HI miss")
+            status = 1
     return status
 
 

@@ -44,8 +44,13 @@ __all__ = [
     "TaskVerdict",
     "ComponentVerdict",
     "SystemVerdict",
+    "MCTaskSpec",
+    "MCTaskVerdict",
+    "MCVerdict",
     "bdr_interface",
+    "check_amc_rtb",
     "check_component",
+    "check_edf_vd",
     "check_system",
     "dbf",
     "sbf_bdr",
@@ -466,6 +471,290 @@ def _check_top_level(pe):
                 f"{r} > period {server.period}"
             )
     return True, "all server response times within periods"
+
+
+# ---------------------------------------------------------------------------
+# mixed criticality: AMC-rtb (fixed priority) and EDF-VD (EDF)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class MCTaskSpec:
+    """A dual-criticality sporadic/periodic task (Vestal model).
+
+    ``wcet_lo`` is the optimistic (LO-mode) budget, ``wcet_hi`` the
+    pessimistic (HI-mode) one; LO tasks default ``wcet_hi`` to
+    ``wcet_lo`` (they receive no HI-mode allowance). ``priority``
+    (lower = more urgent) is used by :func:`check_amc_rtb` only.
+    """
+
+    name: str
+    period: int
+    wcet_lo: int
+    wcet_hi: int = None
+    criticality: str = "LO"
+    deadline: int = None
+    priority: int = None
+
+    def __post_init__(self):
+        if self.period <= 0 or self.wcet_lo <= 0:
+            raise ValueError(
+                f"task {self.name!r}: period and wcet_lo must be > 0"
+            )
+        if self.criticality not in ("LO", "HI"):
+            raise ValueError(
+                f"task {self.name!r}: criticality must be 'LO' or 'HI', "
+                f"got {self.criticality!r}"
+            )
+        if self.wcet_hi is None:
+            object.__setattr__(self, "wcet_hi", self.wcet_lo)
+        if self.wcet_hi < self.wcet_lo:
+            raise ValueError(
+                f"task {self.name!r}: need wcet_lo <= wcet_hi "
+                f"(got {self.wcet_lo} > {self.wcet_hi})"
+            )
+        if self.deadline is None:
+            object.__setattr__(self, "deadline", self.period)
+        if not 0 < self.deadline <= self.period:
+            raise ValueError(
+                f"task {self.name!r}: need 0 < deadline <= period "
+                f"(got D={self.deadline}, T={self.period})"
+            )
+
+    @property
+    def is_hi(self):
+        return self.criticality == "HI"
+
+    def utilization(self, level):
+        wcet = self.wcet_hi if level == "HI" else self.wcet_lo
+        return wcet / self.period
+
+
+@dataclass
+class MCTaskVerdict:
+    task: str
+    criticality: str
+    schedulable: bool
+    #: worst-case response times per analyzed phase (AMC-rtb);
+    #: ``None`` for phases the task does not participate in
+    response_lo: int = None
+    response_hi: int = None
+    response_switch: int = None
+    reason: str = ""
+
+
+@dataclass
+class MCVerdict:
+    """Outcome of one mixed-criticality schedulability test.
+
+    ``schedulable`` means *certified*: every task meets its deadline in
+    LO mode, and every HI task also meets it in steady HI mode and
+    across the mode switch — the property the MC cross-validation
+    asserts against simulation.
+    """
+
+    test: str
+    schedulable: bool
+    tasks: list = field(default_factory=list)
+    #: utilization summary: (level of task, level of budget) -> value
+    utilization: dict = field(default_factory=dict)
+    #: EDF-VD deadline-scaling factor (None for AMC / unused)
+    x_factor: float = None
+    reason: str = ""
+
+    def task_verdict(self, name):
+        for tv in self.tasks:
+            if tv.task == name:
+                return tv
+        raise KeyError(f"no task named {name!r} in the verdict")
+
+    @property
+    def hi_tasks(self):
+        return [tv for tv in self.tasks if tv.criticality == "HI"]
+
+
+def _rta(own_wcet, deadline, interference):
+    """Response-time fixed point ``R = own_wcet + interference(R)``.
+
+    Returns the converged response time, or ``None`` when it exceeds
+    ``deadline`` (busy-window divergence included).
+    """
+    r = own_wcet
+    for _ in range(MAX_TEST_POINTS):
+        nxt = own_wcet + interference(r)
+        if nxt == r:
+            # converged — but the fixed point itself must meet the
+            # deadline (own_wcet alone can already exceed it)
+            return r if r <= deadline else None
+        r = nxt
+        if r > deadline:
+            return None
+    return None  # did not converge: conservatively unschedulable
+
+
+def check_amc_rtb(tasks, lo_period_scale=None):
+    """Adaptive mixed criticality, response-time-bound flavor (AMC-rtb).
+
+    Fixed-priority scheduling (explicit ``priority``, lower = more
+    urgent), the Baruah/Burns/Davis 2011 sufficient test, three phases:
+
+    1. **LO mode**: every task's response with all tasks at their LO
+       budgets must meet its deadline;
+    2. **steady HI mode**: every HI task's response with only HI tasks
+       (at HI budgets) interfering must meet its deadline — LO tasks
+       receive no further releases after the switch;
+    3. **mode switch** (the rtb bound): every HI task's response with
+       HI interference at HI budgets *plus* LO carry-over interference
+       capped at its own LO-mode response time must meet its deadline::
+
+           R*_i = C_i(HI) + Σ_{j∈hpH(i)} ⌈R*_i/T_j⌉·C_j(HI)
+                          + Σ_{k∈hpL(i)} ⌈R^LO_i/T_k⌉·C_k(LO)
+
+    ``lo_period_scale`` adapts the test to degradation policies that
+    *slow* LO tasks instead of stopping them (``skip``'s release
+    decimation, ``elastic``'s period stretch): phases 2 and 3 then add
+    post-switch LO interference at periods scaled by that factor (on
+    top of the unscaled carry-over term — conservatively counting
+    both). ``None`` models ``drop`` (classical AMC: no LO releases
+    after the switch).
+
+    Sufficient, not necessary: certified ⇒ no HI-task deadline miss no
+    matter when (or whether) the switch happens.
+    """
+    tasks = list(tasks)
+    if lo_period_scale is not None and lo_period_scale < 1:
+        raise ValueError(
+            f"lo_period_scale must be >= 1, got {lo_period_scale!r}"
+        )
+    if any(task.priority is None for task in tasks):
+        raise ValueError("AMC-rtb needs an explicit priority on every task")
+    ordered = sorted(tasks, key=lambda t: (t.priority, t.name))
+    verdict = MCVerdict("amc-rtb", True)
+    verdict.utilization = _mc_utilization(tasks)
+    by_name = {}
+    for i, task in enumerate(ordered):
+        higher = ordered[:i]
+        tv = MCTaskVerdict(task.name, task.criticality, True)
+        by_name[task.name] = tv
+
+        tv.response_lo = _rta(
+            task.wcet_lo, task.deadline,
+            lambda r, higher=higher: sum(
+                math.ceil(r / h.period) * h.wcet_lo for h in higher
+            ),
+        )
+        if tv.response_lo is None:
+            tv.schedulable = False
+            tv.reason = "LO-mode response exceeds deadline"
+        if task.is_hi and tv.schedulable:
+            hp_hi = [h for h in higher if h.is_hi]
+            hp_lo = [h for h in higher if not h.is_hi]
+
+            def hi_interference(r, hp_hi=hp_hi, hp_lo=hp_lo):
+                total = sum(
+                    math.ceil(r / h.period) * h.wcet_hi for h in hp_hi
+                )
+                if lo_period_scale is not None:
+                    # degraded LO tasks keep releasing, slower
+                    total += sum(
+                        math.ceil(r / (k.period * lo_period_scale))
+                        * k.wcet_lo
+                        for k in hp_lo
+                    )
+                return total
+
+            tv.response_hi = _rta(task.wcet_hi, task.deadline,
+                                  hi_interference)
+            if tv.response_hi is None:
+                tv.schedulable = False
+                tv.reason = "steady HI-mode response exceeds deadline"
+            else:
+                r_lo = tv.response_lo
+                carry = sum(
+                    math.ceil(r_lo / k.period) * k.wcet_lo for k in hp_lo
+                )
+                tv.response_switch = _rta(
+                    task.wcet_hi + carry, task.deadline, hi_interference,
+                )
+                if tv.response_switch is None:
+                    tv.schedulable = False
+                    tv.reason = "mode-switch response exceeds deadline"
+        if not tv.schedulable:
+            verdict.schedulable = False
+            if not verdict.reason:
+                verdict.reason = f"{task.name}: {tv.reason}"
+    verdict.tasks = [by_name[task.name] for task in tasks]
+    return verdict
+
+
+def check_edf_vd(tasks):
+    """EDF with virtual deadlines, utilization-based sufficient test.
+
+    Baruah et al. 2012: with ``U_LO^LO`` (LO tasks at LO budgets),
+    ``U_HI^LO`` and ``U_HI^HI`` (HI tasks at LO / HI budgets):
+
+    * ``U_LO^LO + U_HI^HI <= 1`` — schedulable by plain EDF, no
+      deadline scaling needed (``x = 1``);
+    * otherwise schedulable by EDF-VD iff
+      ``x := U_HI^LO / (1 − U_LO^LO)`` satisfies
+      ``x·U_LO^LO + U_HI^HI <= ...`` i.e.
+      ``U_HI^LO / (1 − U_LO^LO) <= (1 − U_HI^HI) / U_LO^LO`` —
+      HI deadlines are then scaled by ``x`` in LO mode.
+
+    Analytic certificate only: the runtime model enforces budgets and
+    modes but does not scale deadlines (documented scope boundary).
+    """
+    tasks = list(tasks)
+    u = _mc_utilization(tasks)
+    u_lo_lo = u[("LO", "LO")]
+    u_hi_lo = u[("HI", "LO")]
+    u_hi_hi = u[("HI", "HI")]
+    verdict = MCVerdict("edf-vd", True)
+    verdict.utilization = u
+    verdict.tasks = [
+        MCTaskVerdict(task.name, task.criticality, True) for task in tasks
+    ]
+
+    def fail(reason):
+        verdict.schedulable = False
+        verdict.reason = reason
+        for tv in verdict.tasks:
+            tv.schedulable = False
+            tv.reason = reason
+        return verdict
+
+    if u_lo_lo + u_hi_lo > 1.0 + 1e-9:
+        return fail(
+            f"LO-mode utilization {u_lo_lo + u_hi_lo:.3f} > 1"
+        )
+    if u_hi_hi > 1.0 + 1e-9:
+        return fail(f"HI-mode utilization {u_hi_hi:.3f} > 1")
+    if u_lo_lo + u_hi_hi <= 1.0 + 1e-9:
+        verdict.x_factor = 1.0
+        verdict.reason = "plain EDF sufficient (U_LO^LO + U_HI^HI <= 1)"
+        return verdict
+    if u_lo_lo >= 1.0:
+        return fail(f"LO-task utilization {u_lo_lo:.3f} leaves no slack")
+    x = u_hi_lo / (1.0 - u_lo_lo)
+    if x * u_lo_lo + u_hi_hi <= 1.0 + 1e-9:
+        verdict.x_factor = round(x, 6)
+        verdict.reason = f"EDF-VD with deadline scale x={x:.3f}"
+        return verdict
+    return fail(
+        f"EDF-VD condition violated: x·U_LO^LO + U_HI^HI = "
+        f"{x * u_lo_lo + u_hi_hi:.3f} > 1"
+    )
+
+
+def _mc_utilization(tasks):
+    u = {("LO", "LO"): 0.0, ("HI", "LO"): 0.0, ("HI", "HI"): 0.0}
+    for task in tasks:
+        if task.is_hi:
+            u[("HI", "LO")] += task.wcet_lo / task.period
+            u[("HI", "HI")] += task.wcet_hi / task.period
+        else:
+            u[("LO", "LO")] += task.wcet_lo / task.period
+    return {key: round(value, 6) for key, value in u.items()}
 
 
 def check_system(spec):

@@ -20,9 +20,16 @@ watchdog policy — the trace the CI obs-smoke job feeds to
 ``python -m repro.obs report`` to prove killed/hung tasks close their
 spans with terminal watchdog edges.
 
-Both runners follow the ``fig3`` runner contract (``trace=``,
+:func:`run_mc_demo` is the mixed-criticality shape of
+:mod:`repro.rtos.mc`: two LO tasks outrank one HI task whose execution
+alternates between its optimistic and pessimistic budget, so every
+other HI job overruns, raises the mode, sheds the LO load and (after
+the hysteresis window) recovers — the trace carries ``mode`` records
+and the report grows criticality-mode, watchdog and MC sections.
+
+All runners follow the ``fig3`` runner contract (``trace=``,
 ``registry=``, ``profile=``) so the obs CLI treats them as bundled
-models; both arm the span sources by default (``spans=False`` opts
+models; all arm the span sources by default (``spans=False`` opts
 out).
 """
 
@@ -31,7 +38,7 @@ from repro.channels.mutex import RTOSMutex
 from repro.kernel import Simulator, WaitFor
 from repro.rtos import APERIODIC, PERIODIC, RTOSModel
 
-__all__ = ["run_inversion", "run_fault_demo"]
+__all__ = ["run_inversion", "run_fault_demo", "run_mc_demo"]
 
 #: one inversion round: lo holds the lock this long...
 HOLD = 40
@@ -174,6 +181,77 @@ def run_fault_demo(sched="priority", seed=1, horizon=_FAULT_HORIZON,
         {"kind": "task_crash", "task": "t1", "at": horizon // 2 + 2_500},
     ))
     FaultInjector(sim, plan, seed=seed).arm(model=os_)
+
+    def boot():
+        yield WaitFor(0)
+        os_.start()
+
+    sim.spawn(boot(), name="boot")
+    sim.run(until=horizon)
+    return Fig3Result(sim=sim, trace=sim.trace, os=os_, tasks=tasks)
+
+
+#: mc-demo task set: (name, period, wcet levels, priority, criticality)
+_MC_TASKS = (
+    ("lo1", 2_000, 400, 1, "LO"),
+    ("lo2", 2_000, 400, 2, "LO"),
+    ("hi", 4_000, (1_000, 2_000), 3, "HI"),
+)
+_MC_HORIZON = 40_000
+#: overrun-free time before the mode steps back down
+_MC_RECOVERY = 6_000
+
+
+def run_mc_demo(sched="priority", horizon=_MC_HORIZON, degrade="drop",
+                recovery_window=_MC_RECOVERY, trace=None, registry=None,
+                profile=False, spans=True):
+    """Mixed-criticality raise/recover demo; returns a
+    :class:`~repro.apps.fig3.Fig3Result`.
+
+    Two LO tasks outrank the HI task (the classic MC shape: the HI
+    task only meets its deadline at the pessimistic budget because the
+    mode switch sheds LO load). The HI body alternates between its LO
+    budget (1000) and its HI budget (2000), so every other job
+    overruns: budget watchdog -> mode raise -> LO releases degraded ->
+    hysteresis recovery once the window passes -- a full raise/recover
+    cycle roughly every two HI periods, with zero HI deadline misses.
+    """
+    sim = Simulator(trace=trace)
+    os_ = RTOSModel(sim, sched=sched, preemption="immediate", name="mc.os")
+    if spans:
+        os_.trace_spans(True)
+    if registry is not None:
+        os_.observe(registry)
+    if profile:
+        sim.enable_profiling()
+    os_.mc_configure(degrade=degrade, recovery_window=recovery_window)
+    tasks = {}
+    for name, period, wcet, priority, criticality in _MC_TASKS:
+        task = os_.task_create(
+            name, PERIODIC, period, wcet,
+            priority=priority, criticality=criticality,
+        )
+        tasks[name] = task
+        if isinstance(wcet, tuple):
+            lo_exec, hi_exec = wcet[0], wcet[-1]
+
+            def body(lo_exec=lo_exec, hi_exec=hi_exec):
+                cycle = 0
+                while True:
+                    yield from os_.time_wait(
+                        hi_exec if cycle % 2 else lo_exec
+                    )
+                    cycle += 1
+                    yield from os_.task_endcycle()
+
+        else:
+
+            def body(exec_time=wcet):
+                while True:
+                    yield from os_.time_wait(exec_time)
+                    yield from os_.task_endcycle()
+
+        sim.spawn(os_.task_body(task, body()), name=name)
 
     def boot():
         yield WaitFor(0)

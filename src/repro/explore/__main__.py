@@ -10,7 +10,10 @@ Examples::
 
 Exit codes: 0 on success; with ``--expect-violation``, 0 when a
 violation was found (or reproduced by ``--replay``) and 2 when none
-was — the contract the CI smoke job asserts on.
+was; with ``--expect-clean``, the inverse — 2 when any violation was
+found and additionally 3 when the exploration did not complete (so an
+exhaustiveness claim cannot be made). The CI smoke jobs assert on
+both contracts.
 """
 
 import argparse
@@ -57,6 +60,11 @@ def _parser():
         "--expect-violation", action="store_true",
         help="exit 2 unless a violation was found/reproduced",
     )
+    parser.add_argument(
+        "--expect-clean", action="store_true",
+        help="exit 2 if any violation was found, 3 if the exploration "
+        "did not complete (certification gate)",
+    )
     return parser
 
 
@@ -88,6 +96,8 @@ def _do_replay(factory, args):
         print("replay completed without violation")
     if args.expect_violation and violation is None:
         return 2
+    if args.expect_clean and violation is not None:
+        return 2
     return 0
 
 
@@ -95,6 +105,10 @@ def main(argv=None):
     args = _parser().parse_args(argv)
     if args.list:
         return _do_list()
+    if args.expect_violation and args.expect_clean:
+        _parser().error(
+            "--expect-violation and --expect-clean are mutually exclusive"
+        )
     if not args.model:
         _parser().error("--model is required (or use --list)")
     try:
@@ -133,6 +147,11 @@ def main(argv=None):
             print(f"  first violating schedule -> {args.schedule_out}")
     if args.expect_violation and not result.violations:
         return 2
+    if args.expect_clean:
+        if result.violations:
+            return 2
+        if not result.complete:
+            return 3
     return 0
 
 

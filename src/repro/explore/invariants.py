@@ -25,6 +25,34 @@ def all_terminated(model):
     return None
 
 
+def no_hi_miss(model):
+    """No above-base-criticality task ever missed a deadline.
+
+    Reads the MC registry and the FailureMonitor's eager miss counters
+    of ``model.os`` — the runtime half of the mixed-criticality
+    contract: an AMC-certified HI task protected by mode switching must
+    never miss, whatever the interleaving or overrun pattern. Models
+    using this invariant must surface the miss counters (and the mode
+    index, which shapes continuations) through ``state_extra``.
+    """
+    os_ = model.os
+    if os_.mc is None or os_.monitor is None:
+        return None
+    missed = []
+    for info in sorted(os_.mc._by_uid.values(), key=lambda i: i.task.uid):
+        if info.index == 0:
+            continue
+        count = os_.monitor.miss_counts.get(info.task.uid, 0)
+        if count:
+            missed.append(f"{info.task.name} ({count})")
+    if missed:
+        return (
+            "criticality breach: HI task(s) missed deadlines under MC "
+            f"protection: {', '.join(missed)}"
+        )
+    return None
+
+
 def expect(predicate, message):
     """Wrap a boolean predicate into an invariant.
 

@@ -24,9 +24,13 @@ the run factory the explorer re-executes:
   end of timestep, so early arrival slots lose the wakeup and deadlock
   the sampler (seeded missed-wakeup bug across kernel, RTOS *and*
   platform decision kinds).
+* :func:`mc3` — a three-task mixed-criticality workload whose HI task
+  probabilistically overruns its LO budget; the MC mode switch must
+  shield it in *every* branch (bug-free: the ``no_hi_miss`` invariant
+  holds exhaustively).
 """
 
-from repro.explore.invariants import expect
+from repro.explore.invariants import expect, no_hi_miss
 from repro.faults.inject import FaultInjector
 from repro.faults.plan import FaultSpec
 from repro.kernel import Event, Notify, Simulator, Wait, WaitFor
@@ -35,7 +39,7 @@ from repro.platform.interrupt import (
     InterruptSource,
     IrqLine,
 )
-from repro.rtos import APERIODIC, RTOSModel
+from repro.rtos import APERIODIC, PERIODIC, RTOSModel
 
 
 class Model:
@@ -226,12 +230,76 @@ def lostirq():
     return model
 
 
+def mc3():
+    """Three-task MC workload under probabilistic overrun (bug-free).
+
+    Two LO tasks (period 20, wcet 4) outrank one HI task (period 40,
+    ``wcet=[10, 20]``) — the classic mixed-criticality shape where the
+    HI task only survives its pessimistic budget because the mode
+    switch sheds LO load. An ``exec_jitter`` fault doubles the HI
+    execution with ``prob=0.5``, so every HI cycle branches into a
+    within-budget and an overrunning schedule. The ``no_hi_miss``
+    invariant must hold on *every* branch: overrun ⇒ budget watchdog ⇒
+    mode raise ⇒ LO releases dropped ⇒ the HI job still meets its
+    deadline — the runtime half of the AMC certificate, checked
+    exhaustively.
+    """
+    sim = Simulator()
+    sim.trace.enabled = False
+    os_ = RTOSModel(sim, sched="priority", preemption="immediate")
+    os_.mc_configure(degrade="drop")
+    specs = (
+        ("lo1", 20, 4, 1, None),
+        ("lo2", 20, 4, 2, None),
+        ("hi", 40, (10, 20), 3, "HI"),
+    )
+    for name, period, wcet, priority, criticality in specs:
+        task = os_.task_create(
+            name, PERIODIC, period, wcet,
+            priority=priority, criticality=criticality,
+        )
+        exec_time = wcet[0] if isinstance(wcet, tuple) else wcet
+
+        def body(exec_time=exec_time):
+            while True:
+                yield from os_.time_wait(exec_time)
+                yield from os_.task_endcycle()
+
+        sim.spawn(os_.task_body(task, body()), name=name)
+    FaultInjector(
+        sim, [FaultSpec("exec_jitter", task="hi", scale=2.0, prob=0.5)]
+    ).arm(model=os_)
+
+    def boot():
+        yield WaitFor(0)
+        os_.start()
+
+    sim.spawn(boot(), name="boot")
+    model = Model(
+        "mc3", sim, horizon=80,
+        # the mode index shapes continuations (release suppression) and
+        # the monitor counters decide the invariant — both are invisible
+        # to the kernel fingerprint, so surface them explicitly
+        state_extra=lambda m: (
+            m.os.mc.mode_index,
+            tuple(sorted(m.os.monitor.miss_counts.items())),
+            tuple(sorted(m.os.monitor.overrun_counts.items())),
+            tuple(sorted(m.os.monitor.budgets.items())),
+            tuple(sorted(m.os.monitor.budget_used.items())),
+        ),
+    )
+    model.os = os_
+    model.invariants = (no_hi_miss,)
+    return model
+
+
 #: name -> zero-argument fresh-model factory (the exploration corpus)
 MODELS = {
     "pingpong": pingpong,
     "ties3": ties3,
     "lostnotify": lostnotify,
     "lostirq": lostirq,
+    "mc3": mc3,
 }
 
 

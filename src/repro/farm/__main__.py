@@ -6,6 +6,7 @@ Built-in sweeps::
     python -m repro.farm taskset            # scheduler ablation task set
     python -m repro.farm table1             # the three Table-1 models
     python -m repro.farm campaign           # fault campaign: seed x plan x sched
+    python -m repro.farm mc                 # MC ablation: degrade x MC-on/off x seed
     python -m repro.farm spec sweep.json    # any target, declarative JSON
 
 Common flags: ``--serial`` (in-process), ``--jobs N``, ``--timeout S``,
@@ -128,6 +129,28 @@ def build_parser():
                      help="write the deterministic campaign report JSON "
                      "(no wall-clock fields; byte-identical across runs)")
 
+    mcp = sub.add_parser(
+        "mc", parents=[common],
+        help="mixed-criticality ablation: degrade policy x MC-on/off x seed",
+    )
+    mcp.add_argument("--seeds", type=_int_list, default=[1, 2, 3],
+                     metavar="LIST", help="injector seeds")
+    mcp.add_argument("--degrade", type=_csv_list,
+                     default=["drop", "skip", "elastic"], metavar="LIST",
+                     help="degradation policies to sweep")
+    mcp.add_argument("--plan", default="overrun_storm",
+                     help="fault-plan preset or inline JSON "
+                     "(default: %(default)s)")
+    mcp.add_argument("--sched", type=_csv_list, default=["priority"],
+                     metavar="LIST")
+    mcp.add_argument("--recovery-window", type=int, default=None,
+                     metavar="NS", help="hysteresis recovery window "
+                     "(default: sticky raises)")
+    mcp.add_argument("--horizon", type=int, default=6_000_000)
+    mcp.add_argument("--report", metavar="FILE",
+                     help="write the deterministic campaign report JSON "
+                     "(no wall-clock fields; byte-identical across runs)")
+
     spc = sub.add_parser(
         "spec", parents=[common],
         help="run a declarative sweep from a JSON file",
@@ -176,6 +199,14 @@ def build_spec(args):
         return campaign_spec(
             seeds=args.seeds, plans=args.plans, scheds=args.sched,
             on_miss=args.on_miss, budget_factor=args.budget_factor,
+            horizon=args.horizon,
+        )
+    if args.command == "mc":
+        from repro.faults.campaign import mc_campaign_spec
+
+        return mc_campaign_spec(
+            seeds=args.seeds, degrades=args.degrade, plan=args.plan,
+            scheds=args.sched, recovery_window=args.recovery_window,
             horizon=args.horizon,
         )
     if args.command == "spec":

@@ -27,6 +27,16 @@ DEFAULT_TASK_SET = (
 DEFAULT_HORIZON = 6_000_000
 DEFAULT_GRANULARITY = 10_000
 
+#: (name, period, wcet levels, priority, criticality) — the
+#: mixed-criticality campaign set: the LO tasks outrank the HI task
+#: (utilization 0.70 at the optimistic budgets), so the HI task only
+#: survives its pessimistic budget when the mode switch sheds LO load
+MC_TASK_SET = (
+    ("lo1", 400_000, (100_000,), 1, "LO"),
+    ("lo2", 500_000, (100_000,), 2, "LO"),
+    ("hi", 1_000_000, (250_000, 500_000), 3, "HI"),
+)
+
 
 def span_instruments():
     """A trace streaming straight into a span builder, plus analyzers.
@@ -223,6 +233,103 @@ def fault_campaign_run(policy="priority", preemption="step", seed=0,
         on_miss=on_miss, budget_factor=budget_factor, horizon=horizon,
         granularity=granularity, task_set=task_set, with_spans=with_spans,
     )
+
+
+def mc_campaign_run(policy="priority", seed=0, plan="overrun_storm",
+                    degrade="drop", recovery_window=None, with_mc=True,
+                    horizon=DEFAULT_HORIZON, task_set=None):
+    """One mixed-criticality campaign point: :data:`MC_TASK_SET` under a
+    seeded overrun plan, with or without the mode controller.
+
+    ``with_mc=True`` arms :meth:`RTOSModel.mc_configure` (policy
+    ``degrade``, optional hysteresis ``recovery_window``) and enrolls
+    every task at its criticality with its per-level budgets;
+    ``with_mc=False`` runs the identical workload as a plain watched
+    baseline — the ablation pair whose HI-miss delta is the shielding
+    the campaign report exhibits. Bodies request the optimistic budget
+    in one ``time_wait`` so the fault plan's ``exec_jitter`` scales
+    whole jobs, matching the Vestal model's per-job overrun.
+    """
+    from repro.faults.campaign import resolve_plan
+    from repro.faults.inject import FaultInjector
+    from repro.rtos.task import TaskState
+
+    task_set = [tuple(entry) for entry in (task_set or MC_TASK_SET)]
+    plan_obj = resolve_plan(plan)
+    sim = Simulator()
+    sim.trace.enabled = False
+    os_ = RTOSModel(sim, sched=policy, preemption="immediate")
+    if with_mc:
+        os_.mc_configure(degrade=degrade, recovery_window=recovery_window)
+    tasks = []
+    for name, period, wcet_levels, priority, criticality in task_set:
+        wcet_levels = tuple(wcet_levels)
+        if with_mc:
+            task = os_.task_create(
+                name, PERIODIC, period, list(wcet_levels),
+                priority=priority, criticality=criticality,
+            )
+        else:
+            task = os_.task_create(
+                name, PERIODIC, period, wcet_levels[0], priority=priority
+            )
+            os_.task_watch(task, policy="log")
+        tasks.append((task, criticality))
+
+        def body(exec_time=wcet_levels[0]):
+            while True:
+                yield from os_.time_wait(exec_time)
+                yield from os_.task_endcycle()
+
+        sim.spawn(os_.task_body(task, body()), name=name)
+
+    injector = FaultInjector(sim, plan_obj, seed=seed).arm(model=os_)
+
+    def boot():
+        yield WaitFor(0)
+        os_.start()
+
+    sim.spawn(boot(), name="boot")
+    sim.run(until=horizon)
+
+    monitor = os_.monitor
+    base = task_set[0][4]  # lowest criticality level in the set
+    hi_misses = sum(monitor.miss_counts.get(t.uid, 0)
+                    for t, crit in tasks if crit != base)
+    lo_misses = sum(monitor.miss_counts.get(t.uid, 0)
+                    for t, crit in tasks if crit == base)
+    misses = hi_misses + lo_misses
+    releases = sum(monitor.releases.values())
+    survivors = sum(
+        1 for t, _ in tasks if t.state is not TaskState.TERMINATED
+    )
+    snap = os_.metrics.snapshot(sim.now)
+    return {
+        "policy": policy,
+        "seed": seed,
+        "plan": plan if isinstance(plan, str) else plan_obj.to_json(),
+        "degrade": degrade,
+        "with_mc": with_mc,
+        "mode": os_.mc_mode(),
+        "mode_raises": snap["mode_raises"],
+        "mode_recoveries": snap["mode_recoveries"],
+        "jobs_degraded": snap["jobs_degraded"],
+        "misses": misses,
+        "hi_misses": hi_misses,
+        "lo_misses": lo_misses,
+        "releases": releases,
+        "miss_rate": round(misses / releases, 6) if releases else 0.0,
+        "budget_overruns": snap["budget_overruns"],
+        "faults_injected": snap["faults_injected"],
+        "injected": dict(injector.counts),
+        "survivors": survivors,
+        "survival": round(survivors / len(tasks), 6) if tasks else 1.0,
+        "n_tasks": len(tasks),
+        "switches": snap["context_switches"],
+        "preemptions": snap["preemptions"],
+        "utilization": snap["utilization"],
+        "sim_time": snap["sim_time"],
+    }
 
 
 def vocoder_specification_run(n_frames=10, seed=2003):

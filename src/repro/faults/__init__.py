@@ -23,6 +23,7 @@ from repro.faults.campaign import (
     PLAN_PRESETS,
     campaign_report,
     campaign_spec,
+    mc_campaign_spec,
     resolve_plan,
     run_campaign_point,
     write_campaign_report,
@@ -42,6 +43,7 @@ __all__ = [
     "POLICIES",
     "campaign_report",
     "campaign_spec",
+    "mc_campaign_spec",
     "resolve_plan",
     "run_campaign_point",
     "write_campaign_report",

@@ -53,6 +53,13 @@ PLAN_PRESETS = {
         {"kind": "task_crash", "task": "t1", "at": 4_000_000},
         {"kind": "exec_jitter", "task": "t3", "offset": 50_000, "prob": 0.25},
     ),
+    # mixed-criticality overrun storm: the HI task repeatedly blows its
+    # optimistic budget while the LO load jitters (task names match the
+    # farm's MC_TASK_SET lo1/lo2/hi)
+    "overrun_storm": (
+        {"kind": "exec_jitter", "task": "hi", "scale": 2.0, "prob": 0.6},
+        {"kind": "exec_jitter", "task": "lo1", "scale": 1.1, "prob": 0.3},
+    ),
 }
 
 
@@ -198,6 +205,36 @@ def campaign_spec(seeds=(1, 2, 3), plans=("baseline", "jitter", "crash"),
         )
         .axis("policy", list(scheds))
         .axis("plan", list(plans))
+        .axis("seed", list(seeds))
+    )
+
+
+def mc_campaign_spec(seeds=(1, 2, 3), degrades=("drop", "skip", "elastic"),
+                     plan="overrun_storm", scheds=("priority",),
+                     recovery_window=None, horizon=6_000_000):
+    """Build the MC-ablation SweepSpec: (sched x degrade x MC-on/off x seed).
+
+    Every point runs :func:`repro.farm.workloads.mc_campaign_run` on the
+    farm's mixed-criticality task set under the same seeded overrun
+    plan; the ``with_mc`` axis is the ablation — identical workload with
+    the mode controller armed vs. a plain watched baseline, so the
+    report directly exhibits the HI-miss shielding.
+    """
+    from repro.farm.sweep import SweepSpec
+
+    resolve_plan(plan)  # fail fast on unknown presets / bad JSON
+    return (
+        SweepSpec(
+            "repro.farm.workloads:mc_campaign_run",
+            base={
+                "plan": plan,
+                "recovery_window": recovery_window,
+                "horizon": horizon,
+            },
+        )
+        .axis("policy", list(scheds))
+        .axis("degrade", list(degrades))
+        .axis("with_mc", [True, False])
         .axis("seed", list(seeds))
     )
 

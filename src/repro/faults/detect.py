@@ -75,11 +75,23 @@ class FailureMonitor:
         self.releases = {}
         #: task uid -> execution time consumed in the current cycle
         self.budget_used = {}
+        #: task uid -> eager detections while watched (snapshot fodder)
+        self.miss_counts = {}
+        self.overrun_counts = {}
         self._deadline_timers = {}
+        self._deadline_at = {}
         self._budget_timers = {}
+        #: task uid -> time the current cycle's budget charging starts
+        #: from; diverges from ``task.run_start`` when a release happens
+        #: mid-dispatch (back-to-back overrun cycles), so one dispatch
+        #: span never charges across a cycle boundary
+        self._charge_from = {}
         self._missed = set()
         self._overrun = set()
         self._skip = set()
+        #: optional MC controller (repro.rtos.mc): budget overruns of
+        #: registered tasks double as its mode-switch sensors
+        self.mc = None
 
     # ------------------------------------------------------------------
     # configuration
@@ -123,6 +135,8 @@ class FailureMonitor:
         self.handlers.pop(uid, None)
         self.budgets.pop(uid, None)
         self.budget_used.pop(uid, None)
+        self._charge_from.pop(uid, None)
+        self._deadline_at.pop(uid, None)
         for timers in (self._deadline_timers, self._budget_timers):
             timer = timers.pop(uid, None)
             if timer is not None:
@@ -142,6 +156,10 @@ class FailureMonitor:
         self.budgets.clear()
         self.releases.clear()
         self.budget_used.clear()
+        self.miss_counts.clear()
+        self.overrun_counts.clear()
+        self._charge_from.clear()
+        self._deadline_at.clear()
         self._missed.clear()
         self._overrun.clear()
         self._skip.clear()
@@ -158,19 +176,39 @@ class FailureMonitor:
         self._overrun.discard(uid)
         if uid in self.budgets:
             self.budget_used[uid] = 0
+            if (
+                self._dispatcher.running is task
+                and task.run_start is not None
+            ):
+                # back-to-back release: an overrun cycle rolled straight
+                # into the next one without yielding the CPU, so there
+                # is no fresh dispatch to re-arm the budget watchdog.
+                # Restart the charge window and the timer here, against
+                # the *new* release id — otherwise the old timer goes
+                # stale and the new cycle runs unwatched.
+                self._charge_from[uid] = self.sim.now
+                self._arm_budget(task, self.budgets[uid])
         if uid in self.policies and task.abs_deadline is not None:
             self._arm_deadline(task)
 
     def on_dispatch(self, task):
         """``task`` got the CPU: arm its remaining execution budget."""
-        budget = self.budgets.get(task.uid)
-        if budget is None or task.uid in self._overrun:
+        uid = task.uid
+        self._charge_from.pop(uid, None)
+        budget = self.budgets.get(uid)
+        if budget is None or uid in self._overrun:
             return
-        remaining = budget - self.budget_used.get(task.uid, 0)
-        release = task.release_time
-        self._budget_timers[task.uid] = self.sim.schedule_after(
+        self._arm_budget(task, budget - self.budget_used.get(uid, 0))
+
+    def _arm_budget(self, task, remaining):
+        uid = task.uid
+        old = self._budget_timers.pop(uid, None)
+        if old is not None:
+            self.sim.cancel_scheduled(old)
+        seq = task.release_seq
+        self._budget_timers[uid] = self.sim.schedule_after(
             max(remaining, 0) + 1,
-            lambda: self._budget_expired(task, release),
+            lambda: self._budget_expired(task, seq),
         )
 
     def on_yield(self, task, now):
@@ -180,8 +218,14 @@ class FailureMonitor:
         if timer is not None:
             self.sim.cancel_scheduled(timer)
         if uid in self.budgets and task.run_start is not None:
+            start = task.run_start
+            mark = self._charge_from.pop(uid, None)
+            if mark is not None and mark > start:
+                # part of this dispatch span belonged to the previous
+                # cycle (back-to-back release); charge only from the mark
+                start = mark
             self.budget_used[uid] = (
-                self.budget_used.get(uid, 0) + now - task.run_start
+                self.budget_used.get(uid, 0) + now - start
             )
 
     def consume_miss(self, task):
@@ -195,7 +239,7 @@ class FailureMonitor:
         if uid not in self._skip:
             return next_release
         self._skip.discard(uid)
-        if next_release > now:
+        if next_release > now or task.period <= 0:
             return next_release
         period = task.period
         skipped = (now - next_release) // period + 1
@@ -214,23 +258,26 @@ class FailureMonitor:
         old = self._deadline_timers.pop(uid, None)
         if old is not None:
             self.sim.cancel_scheduled(old)
-        release = task.release_time
+        seq = task.release_seq
         # +1: timers fire before processes run, so a cycle completing
         # exactly at its deadline must not be flagged; a release so late
         # that its deadline has already blown fires as soon as possible
         when = max(task.abs_deadline + 1, self.sim.now)
+        self._deadline_at[uid] = when
         self._deadline_timers[uid] = self.sim.schedule_at(
-            when, lambda: self._deadline_expired(task, release),
+            when, lambda: self._deadline_expired(task, seq),
         )
 
-    def _deadline_expired(self, task, release):
+    def _deadline_expired(self, task, seq):
         uid = task.uid
         self._deadline_timers.pop(uid, None)
-        if task.release_time != release or task.killed:
-            return  # stale: a newer cycle re-armed (or will), or reaped
+        self._deadline_at.pop(uid, None)
+        if task.release_seq != seq or task.killed:
+            return  # stale: a newer release re-armed (or will), or reaped
         if task.state in _COMPLETED_STATES:
             return  # cycle completed in time
         self._missed.add(uid)
+        self.miss_counts[uid] = self.miss_counts.get(uid, 0) + 1
         task.stats.deadline_misses += 1
         self.metrics.deadline_misses += 1
         policy = self.policies.get(uid, "log")
@@ -241,16 +288,17 @@ class FailureMonitor:
         self._count(task, "deadline_miss")
         self._apply(task, policy, "deadline_miss")
 
-    def _budget_expired(self, task, release):
+    def _budget_expired(self, task, seq):
         uid = task.uid
         self._budget_timers.pop(uid, None)
-        if task.release_time != release or task.killed:
+        if task.release_seq != seq or task.killed:
             return
         if self._dispatcher.running is not task or task.run_start is None:
             return  # stale: the task yielded at this same instant
         if uid in self._overrun:
             return
         self._overrun.add(uid)
+        self.overrun_counts[uid] = self.overrun_counts.get(uid, 0) + 1
         self.metrics.budget_overruns += 1
         policy = self.policies.get(uid, "log")
         self.trace.record(
@@ -259,6 +307,36 @@ class FailureMonitor:
         )
         self._count(task, "budget_overrun")
         self._apply(task, policy, "budget_overrun")
+        if self.mc is not None:
+            self.mc.on_overrun(task)
+
+    def rebudget(self, task, budget):
+        """Re-set ``task``'s execution budget mid-run (MC mode switches).
+
+        The new budget applies to the *current* cycle: a running task's
+        watchdog is re-armed against what it has consumed so far. When
+        consumption already exceeds the new (smaller) budget, the cycle
+        finishes unwatched — flagging it now would re-trigger the mode
+        raise that is being recovered from; the next release arms fresh.
+        """
+        uid = task.uid
+        budget = int(budget)
+        if budget <= 0:
+            raise RTOSError(f"budget must be positive, got {budget}")
+        self.budgets[uid] = budget
+        used = self.budget_used.get(uid, 0)
+        running = (
+            self._dispatcher.running is task and task.run_start is not None
+        )
+        if running:
+            start = self._charge_from.get(uid, task.run_start)
+            used += self.sim.now - start
+        self._overrun.discard(uid)
+        timer = self._budget_timers.pop(uid, None)
+        if timer is not None:
+            self.sim.cancel_scheduled(timer)
+        if running and used < budget:
+            self._arm_budget(task, budget - used)
 
     # ------------------------------------------------------------------
     # policy application
@@ -293,3 +371,39 @@ class FailureMonitor:
         if not releases:
             return 0.0
         return self.metrics.deadline_misses / releases
+
+    def snapshot(self):
+        """Per-task watchdog state as a deterministic dict.
+
+        One entry per task this monitor has seen (watched or merely
+        release-counted), keyed by task name in creation order: the
+        configured policy and budget, the armed deadline-watchdog fire
+        time (``None`` when disarmed), execution time consumed in the
+        current cycle, eager miss/overrun counts, and the pending
+        skip/overrun/missed flags. Consumed by
+        ``python -m repro.obs report`` for bundled-model runs.
+        """
+        seen = (
+            set(self.policies) | set(self.releases) | set(self.budgets)
+        )
+        tasks = {}
+        for task in self.model.tasks:
+            uid = task.uid
+            if uid not in seen:
+                continue
+            tasks[task.name] = {
+                "policy": self.policies.get(uid),
+                "releases": self.releases.get(uid, 0),
+                "deadline_misses": self.miss_counts.get(uid, 0),
+                "budget_overruns": self.overrun_counts.get(uid, 0),
+                "armed_deadline": self._deadline_at.get(uid),
+                "budget": self.budgets.get(uid),
+                "budget_used": self.budget_used.get(uid, 0),
+                "missed": uid in self._missed,
+                "overrun": uid in self._overrun,
+                "skip_pending": uid in self._skip,
+            }
+        return {
+            "tasks": tasks,
+            "miss_rate": round(self.miss_rate(), 6),
+        }

@@ -25,8 +25,10 @@ The bundled models are the paper's running example (Figure 3) —
 ``fig3-spec`` (the unscheduled specification model) — plus the span
 demos of :mod:`repro.apps.inversion`: ``pi-demo`` (the seeded
 priority-inversion scenario; ``pi-demo-pip`` is the same system healed
-by priority inheritance) and ``fault-demo`` (an overloaded, watched,
-fault-injected task set).
+by priority inheritance), ``fault-demo`` (an overloaded, watched,
+fault-injected task set) and ``mc-demo`` (a mixed-criticality set
+cycling through overrun-triggered mode raises and hysteresis
+recoveries).
 """
 
 import argparse
@@ -38,7 +40,8 @@ from repro.obs.ctf import write_ctf
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.sinks import JsonlSink, TeeSink, load_jsonl
 
-MODELS = ("fig3-arch", "fig3-spec", "pi-demo", "pi-demo-pip", "fault-demo")
+MODELS = ("fig3-arch", "fig3-spec", "pi-demo", "pi-demo-pip", "fault-demo",
+          "mc-demo")
 
 
 def _run_model(model, trace=None, registry=None, profile=False):
@@ -55,6 +58,10 @@ def _run_model(model, trace=None, registry=None, profile=False):
         )
     if model == "fault-demo":
         return inversion.run_fault_demo(
+            trace=trace, registry=registry, profile=profile
+        )
+    if model == "mc-demo":
+        return inversion.run_mc_demo(
             trace=trace, registry=registry, profile=profile
         )
     return fig3.run_architecture(
@@ -156,6 +163,7 @@ def cmd_report(args):
     from repro.obs.report import build_report, format_report
     from repro.obs.sinks import iter_jsonl
 
+    monitor = mc = None
     if args.input is not None:
         try:
             records = list(iter_jsonl(args.input, strict=args.strict))
@@ -171,7 +179,9 @@ def cmd_report(args):
     else:
         result = _run_model(args.model)
         records = result.trace.records
-    report = build_report(records, top=args.top)
+        monitor = result.os.monitor if result.os is not None else None
+        mc = result.os.mc if result.os is not None else None
+    report = build_report(records, top=args.top, monitor=monitor, mc=mc)
     if args.json:
         print(json.dumps(report, indent=2, sort_keys=True))
     else:

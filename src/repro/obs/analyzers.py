@@ -29,6 +29,9 @@ million-record runs and farm workloads at fixed memory.
 :class:`MissSummary`
     per-task job outcome census (completed / missed / killed / open /
     skipped cycles).
+:class:`ModeTracker`
+    mixed-criticality mode history — every raise/recover transition
+    with its trigger, plus the per-task degraded-release census.
 """
 
 import heapq
@@ -39,6 +42,7 @@ __all__ = [
     "LatencyAnalyzer",
     "LatencyDigest",
     "MissSummary",
+    "ModeTracker",
     "WorstCaseTracker",
 ]
 
@@ -417,3 +421,47 @@ class MissSummary(SpanAnalyzer):
                         "skipped_cycles")
         }
         return {"tasks": rows, "totals": totals}
+
+
+class ModeTracker(SpanAnalyzer):
+    """Mixed-criticality mode history from ``mode`` trace records.
+
+    Collects every raise/recover transition (time, direction, new
+    level, previous level, triggering task) plus a per-task census of
+    degraded releases. Empty on MC-unarmed runs — the text report then
+    skips the section.
+    """
+
+    def __init__(self):
+        self.transitions = []
+        self.degraded = {}
+
+    def on_mode(self, actor, kind, time, data):
+        if kind in ("raise", "recover"):
+            self.transitions.append({
+                "time": time,
+                "kind": kind,
+                "level": data.get("level"),
+                "prev": data.get("prev"),
+                "trigger": data.get("trigger"),
+            })
+        elif kind == "degrade":
+            row = self.degraded.setdefault(
+                actor, {"releases": 0, "policy": data.get("policy")}
+            )
+            row["releases"] += 1
+
+    def as_dict(self):
+        return {
+            "raises": sum(
+                1 for t in self.transitions if t["kind"] == "raise"
+            ),
+            "recoveries": sum(
+                1 for t in self.transitions if t["kind"] == "recover"
+            ),
+            "transitions": list(self.transitions),
+            "degraded": {
+                task: dict(self.degraded[task])
+                for task in sorted(self.degraded)
+            },
+        }

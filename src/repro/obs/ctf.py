@@ -13,6 +13,8 @@ JSON array-of-events dialect, loadable by Perfetto's legacy importer and
 * ``irq`` records -> instant events on the "irq" group;
 * ``fault`` records (injections, deadline misses, budget overruns) ->
   instant events on the "fault" group;
+* ``mode`` records (criticality raises/recoveries, degraded releases) ->
+  instant events on the "mode" group;
 * ``user``/``chan``/other records -> instant events on the "app" group;
 * a derived **counter track** (``ph: "C"``, name ``running``) stepping
   +1/-1 at every segment boundary — CPU/actor occupancy over time;
@@ -41,6 +43,7 @@ OS_PID = 2
 IRQ_PID = 3
 APP_PID = 4
 FAULT_PID = 5
+MODE_PID = 6
 
 _GROUP_NAMES = {
     EXEC_PID: "exec",
@@ -48,10 +51,13 @@ _GROUP_NAMES = {
     IRQ_PID: "irq",
     APP_PID: "app",
     FAULT_PID: "fault",
+    MODE_PID: "mode",
 }
 
 #: trace category -> process group for instant events
-_INSTANT_PID = {"sched": OS_PID, "irq": IRQ_PID, "fault": FAULT_PID}
+_INSTANT_PID = {
+    "sched": OS_PID, "irq": IRQ_PID, "fault": FAULT_PID, "mode": MODE_PID,
+}
 
 
 def to_ctf(trace, time_unit="ns", flows=True):

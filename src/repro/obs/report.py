@@ -20,6 +20,7 @@ from repro.obs.analyzers import (
     InversionDetector,
     LatencyAnalyzer,
     MissSummary,
+    ModeTracker,
     WorstCaseTracker,
 )
 from repro.obs.spans import SpanBuilder
@@ -27,20 +28,29 @@ from repro.obs.spans import SpanBuilder
 __all__ = ["build_report", "format_report"]
 
 
-def build_report(records, top=10):
-    """Build the run-health report dict from a trace-record iterable."""
+def build_report(records, top=10, monitor=None, mc=None):
+    """Build the run-health report dict from a trace-record iterable.
+
+    ``monitor`` (a :class:`~repro.faults.detect.FailureMonitor`) and
+    ``mc`` (a :class:`~repro.rtos.mc.MCController`) are optional live
+    handles from the run that produced ``records``; their ``snapshot``
+    dicts join the report as ``"watchdogs"`` / ``"mc"`` — the CLI
+    passes them for bundled-model runs, recorded-trace analysis leaves
+    them out.
+    """
     latency = LatencyAnalyzer()
     inversions = InversionDetector(top=top)
     worst = WorstCaseTracker()
     misses = MissSummary()
-    builder = SpanBuilder(latency, inversions, worst, misses)
+    modes = ModeTracker()
+    builder = SpanBuilder(latency, inversions, worst, misses, modes)
     emit = builder.emit
     now = None
     for record in records:
         emit(record)
         now = record.time
     builder.finish(now)
-    return {
+    report = {
         "records": builder.emitted,
         "end_time": now,
         "tasks": builder.tasks,
@@ -49,7 +59,13 @@ def build_report(records, top=10):
         "inversions": inversions.incidents,
         "worst_case": worst.as_dict(),
         "misses": misses.as_dict(),
+        "modes": modes.as_dict(),
     }
+    if monitor is not None:
+        report["watchdogs"] = monitor.snapshot()
+    if mc is not None:
+        report["mc"] = mc.snapshot()
+    return report
 
 
 def _fmt(value):
@@ -125,6 +141,56 @@ def format_report(report):
         )
     else:
         lines.append("  (no jobs)")
+
+    modes = report.get("modes")
+    if modes and (modes["transitions"] or modes["degraded"]):
+        lines += [
+            "",
+            f"criticality modes: {modes['raises']} raises, "
+            f"{modes['recoveries']} recoveries",
+        ]
+        for entry in modes["transitions"]:
+            trigger = (
+                f" (trigger {entry['trigger']})" if entry["trigger"] else ""
+            )
+            lines.append(
+                f"  t={entry['time']} {entry['kind']} "
+                f"{entry['prev']} -> {entry['level']}{trigger}"
+            )
+        for task, row in sorted(modes["degraded"].items()):
+            lines.append(
+                f"  {task}: {row['releases']} releases degraded "
+                f"({row['policy']})"
+            )
+
+    watchdogs = report.get("watchdogs")
+    if watchdogs and watchdogs["tasks"]:
+        lines += ["", f"watchdogs (miss rate {watchdogs['miss_rate']})"]
+        rows = [
+            (task, _fmt(row["policy"]), str(row["releases"]),
+             str(row["deadline_misses"]), str(row["budget_overruns"]),
+             _fmt(row["budget"]), str(row["budget_used"]))
+            for task, row in watchdogs["tasks"].items()
+        ]
+        lines += _table(
+            ("task", "policy", "releases", "misses", "overruns",
+             "budget", "used"),
+            rows,
+        )
+
+    mc = report.get("mc")
+    if mc:
+        lines += [
+            "",
+            f"mixed-criticality: mode {mc['mode']} "
+            f"(levels {'/'.join(mc['levels'])}, degrade {mc['degrade']})",
+        ]
+        for task, row in sorted(mc["tasks"].items()):
+            wcet = "/".join(str(w) for w in row["wcet_levels"])
+            degraded = " [degraded]" if row["degraded"] else ""
+            lines.append(
+                f"  {task}: {row['criticality']} wcet {wcet}{degraded}"
+            )
 
     incidents = report["inversions"]
     lines += ["", f"priority-inversion incidents: {len(incidents)}"]

@@ -111,6 +111,7 @@ class JobSpan:
     blocked_time: int
     chain: tuple            #: bounded causal chain (witness)
     chain_dropped: int      #: entries beyond CHAIN_LIMIT that were dropped
+    mode: object = None     #: criticality mode at release (None: MC unarmed)
 
     @property
     def response(self):
@@ -133,6 +134,7 @@ class JobSpan:
             "blocked_time": self.blocked_time,
             "chain": [list(entry) for entry in self.chain],
             "chain_dropped": self.chain_dropped,
+            "mode": self.mode,
         }
 
 
@@ -161,6 +163,9 @@ class SpanAnalyzer:
 
     def on_fault(self, task, kind, time, data):
         """A fault-category record (watchdog flag or injected fault)."""
+
+    def on_mode(self, actor, kind, time, data):
+        """A mode-category record (criticality raise/recover/degrade)."""
 
     def on_finish(self, now):
         """End of stream (after still-open spans were flushed)."""
@@ -205,6 +210,7 @@ class SpanBuilder(TraceSink):
         self._task_os = {}     # task name -> os actor
         self._enrolled = {}    # event name -> set of blocked task names
         self._attrib = {}      # task name -> (time, kind, source) kill cause
+        self._mode = None      # current criticality mode (None: MC unarmed)
         self._emitted = 0
         self._finished = False
 
@@ -234,6 +240,8 @@ class SpanBuilder(TraceSink):
             self._on_exec(record)
         elif category == "fault":
             self._on_fault(record)
+        elif category == "mode":
+            self._on_mode(record)
         # irq/chan/user records carry no span structure
 
     def finish(self, now=None):
@@ -496,6 +504,14 @@ class SpanBuilder(TraceSink):
         for analyzer in self.analyzers:
             analyzer.on_fault(name, info, record.time, record.data)
 
+    def _on_mode(self, record):
+        info = record.info
+        if info in ("raise", "recover"):
+            # jobs released from here on carry the new criticality mode
+            self._mode = record.data.get("level")
+        for analyzer in self.analyzers:
+            analyzer.on_mode(record.actor, info, record.time, record.data)
+
     # -- span bookkeeping --------------------------------------------------
 
     def _new_job(self, state, release):
@@ -503,7 +519,7 @@ class SpanBuilder(TraceSink):
             task=state.name, release=release, first_dispatch=None,
             end=None, outcome="open", missed=False, exec_time=0,
             segments=0, preemptions=0, blocked_time=0, chain=(),
-            chain_dropped=0,
+            chain_dropped=0, mode=self._mode,
         )
 
     def _open_job(self, state, release):

@@ -19,6 +19,9 @@ class RTOSMetrics:
         "policy_kills",
         "cycles_skipped",
         "faults_injected",
+        "mode_raises",
+        "mode_recoveries",
+        "jobs_degraded",
         "busy_time",
         "overhead_time",
     )
@@ -45,6 +48,12 @@ class RTOSMetrics:
         self.cycles_skipped = 0
         #: faults an armed injector applied to this model
         self.faults_injected = 0
+        #: criticality-mode raises triggered by HI-task overruns (MC)
+        self.mode_raises = 0
+        #: hysteresis recoveries back toward the base mode (MC)
+        self.mode_recoveries = 0
+        #: LO-task releases suppressed/stretched while degraded (MC)
+        self.jobs_degraded = 0
         #: accumulated simulated time with a task occupying the CPU
         self.busy_time = 0
         #: simulated time spent in modeled kernel overhead (context

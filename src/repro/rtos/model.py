@@ -53,7 +53,7 @@ task is re-dispatched. Used by the accuracy ablation benches.
 from repro.kernel.channel import Channel
 from repro.rtos.dispatch import Dispatcher
 from repro.rtos.eventmgr import EventManager
-from repro.rtos.errors import TaskKilled
+from repro.rtos.errors import RTOSError, TaskKilled
 from repro.rtos.metrics import RTOSMetrics
 from repro.rtos.sched import make_scheduler
 from repro.rtos.taskmgr import TaskManager
@@ -119,6 +119,8 @@ class RTOSModel(Channel):
         #: (task_watch); both default to detached = zero-cost hooks
         self.faults = None
         self.monitor = None
+        #: mixed-criticality controller (mc_configure); unarmed = None
+        self.mc = None
         if registry is not None:
             self.observe(registry)
 
@@ -207,6 +209,56 @@ class RTOSModel(Channel):
         self._tasks.condemn(tid)
 
     # ------------------------------------------------------------------
+    # mixed-criticality modes (see repro.rtos.mc)
+    # ------------------------------------------------------------------
+
+    def mc_configure(self, levels=None, degrade="drop", skip_factor=2,
+                     elastic_factor=2, recovery_window=None,
+                     component_budgets=None, watch_policy="log"):
+        """Arm the mixed-criticality mode controller of this model.
+
+        Creates a :class:`~repro.rtos.mc.MCController` over the ordered
+        criticality lattice ``levels`` (default ``("LO", "HI")``). Tasks
+        enroll via ``task_create(criticality=..., wcet=[lo, hi])`` or
+        :meth:`MCController.register`; an enrolled above-base task
+        exceeding its current-mode budget raises the system mode,
+        re-budgets the HI tasks, reconfigures hierarchical server
+        budgets per ``component_budgets`` and degrades below-mode tasks
+        by the ``degrade`` policy (``"drop"``, ``"skip"`` or
+        ``"elastic"``). ``recovery_window`` arms hysteresis recovery:
+        that much overrun-free time steps the mode back down one level.
+        Returns the controller. Unarmed models pay only ``is None``
+        guards, so golden traces stay byte-identical.
+        """
+        if self.mc is not None:
+            raise RTOSError("mixed-criticality modes already configured")
+        from repro.rtos.mc import DEFAULT_LEVELS, MCController
+
+        self.mc = MCController(
+            self, levels=DEFAULT_LEVELS if levels is None else levels,
+            degrade=degrade, skip_factor=skip_factor,
+            elastic_factor=elastic_factor, recovery_window=recovery_window,
+            component_budgets=component_budgets, watch_policy=watch_policy,
+        )
+        self._tasks.mc = self.mc
+        if self.monitor is not None:
+            self.monitor.mc = self.mc
+        return self.mc
+
+    def mc_mode(self):
+        """Current criticality mode name (``None`` when MC is unarmed)."""
+        return self.mc.mode if self.mc is not None else None
+
+    def on_mode_change(self, callback):
+        """Register ``callback(old, new, now, trigger_task)`` for mode
+        switches; lazily arms MC with defaults when not yet configured.
+        Returns the callback (usable as a decorator).
+        """
+        if self.mc is None:
+            self.mc_configure()
+        return self.mc.on_mode_change(callback)
+
+    # ------------------------------------------------------------------
     # span sources (see repro.obs.spans)
     # ------------------------------------------------------------------
 
@@ -241,6 +293,8 @@ class RTOSModel(Channel):
         self.metrics.reset()
         if self.monitor is not None:
             self.monitor.reset()
+        if self.mc is not None:
+            self.mc.reset()
 
     def start(self, sched_alg=None):
         """Start multi-task scheduling, optionally selecting the policy.
@@ -267,7 +321,8 @@ class RTOSModel(Channel):
     # task management
     # ------------------------------------------------------------------
 
-    def task_create(self, name, tasktype, period, wcet, priority=None, rel_deadline=None):
+    def task_create(self, name, tasktype, period, wcet, priority=None,
+                    rel_deadline=None, criticality=None):
         """Allocate a task control block; returns the task handle.
 
         ``tasktype`` is :data:`~repro.rtos.task.PERIODIC` or
@@ -276,9 +331,28 @@ class RTOSModel(Channel):
         during refinement, so it is optional here and defaults to
         :data:`~repro.rtos.task.DEFAULT_PRIORITY`. ``rel_deadline``
         overrides the implicit deadline (= period) used by EDF.
+
+        Mixed-criticality extension: ``criticality`` names the task's
+        level in the MC lattice and ``wcet`` may be a *sequence* of
+        per-level budgets (``wcet=[lo, hi]``, non-decreasing); either
+        enrolls the task with the model's
+        :class:`~repro.rtos.mc.MCController` (armed with defaults when
+        :meth:`mc_configure` was not called first). The scalar ``wcet``
+        of the TCB is then the base-level budget.
         """
-        return self._tasks.create(name, tasktype, period, wcet, priority,
+        wcet_levels = None
+        if isinstance(wcet, (list, tuple)):
+            wcet_levels = tuple(int(w) for w in wcet)
+            if not wcet_levels:
+                raise RTOSError(f"task {name!r}: empty wcet vector")
+            wcet = wcet_levels[0]
+        task = self._tasks.create(name, tasktype, period, wcet, priority,
                                   rel_deadline)
+        if criticality is not None or wcet_levels is not None:
+            if self.mc is None:
+                self.mc_configure()
+            self.mc.register(task, criticality, wcet_levels)
+        return task
 
     def task_activate(self, tid):
         """Activate a task (generator).

@@ -428,6 +428,47 @@ class HierarchicalScheduler(Scheduler):
             # scheduling point (bounded overrun, like t4 -> t4')
             dispatcher.resched_from_outside()
 
+    def reconfigure_budget(self, comp, budget):
+        """Re-set ``comp``'s per-window budget mid-run (MC mode switches).
+
+        Settles the in-flight charge, swaps the budget and re-arms the
+        exhaustion timer against the remaining allowance of the current
+        window. Shrinking below what the window already consumed
+        throttles the component at this scheduling point (per the PE's
+        preemption mode), exactly as if the old budget had just
+        depleted. ``budget=None`` makes the component unbounded.
+        """
+        if isinstance(comp, str):
+            comp = self.component(comp)
+        now = self._sim.now if self._sim is not None else 0
+        comp._settle(now)
+        self._cancel(comp, "_exhaust_timer")
+        if budget is None:
+            comp.budget = None
+            self._cancel(comp, "_replenish_timer")
+            comp._replenish_at = None
+            if self._dispatcher is not None:
+                self._dispatcher.resched_from_outside()
+            return
+        budget = int(budget)
+        if budget <= 0 or comp.period is None or budget > comp.period:
+            raise ValueError(
+                f"component {comp.name!r}: budget {budget!r} must be in "
+                f"1..period ({comp.period})"
+            )
+        comp.budget = budget
+        if comp._run_task is not None:
+            left = comp.remaining(now)
+            if left <= 0:
+                self._exhausted(comp)
+            else:
+                comp._exhaust_timer = self._sim.schedule_after(
+                    left, lambda: self._exhausted(comp)
+                )
+        elif self._dispatcher is not None:
+            # a grown budget can un-throttle the component right away
+            self._dispatcher.resched_from_outside()
+
     def _ensure_replenish(self, comp, now):
         if self._sim is None or not comp.bounded:
             return

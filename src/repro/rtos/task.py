@@ -78,6 +78,7 @@ class Task:
         "process",
         "ready_seq",
         "release_time",
+        "release_seq",
         "abs_deadline",
         "activation_time",
         "run_start",
@@ -92,6 +93,8 @@ class Task:
         "join_target",
         "base_priority",
         "pi_locks",
+        "criticality",
+        "wcet_levels",
     )
 
     def __init__(self, name, tasktype, period, wcet, priority, rel_deadline=None,
@@ -124,6 +127,11 @@ class Task:
         self.ready_seq = 0
         #: release time of the current periodic instance
         self.release_time = 0
+        #: monotonically increasing release id: bumped on every
+        #: ``_set_release``, so watchdog timers can detect staleness even
+        #: across same-instant or fast-forwarded re-releases (release
+        #: *times* are not unique under skip-cycle / overrun releases)
+        self.release_seq = 0
         #: absolute deadline of the current instance (EDF)
         self.abs_deadline = None
         self.activation_time = None
@@ -152,6 +160,10 @@ class Task:
         #: priority-inheritance mutexes currently held; unlock recomputes
         #: the inherited priority over the waiters of the remaining ones
         self.pi_locks = []
+        #: mixed-criticality level name (``None`` outside MC models) and
+        #: per-level execution budgets, managed by ``repro.rtos.mc``
+        self.criticality = None
+        self.wcet_levels = None
 
     # -- scheduler helpers --------------------------------------------------
 

@@ -25,7 +25,8 @@ class TaskManager:
     """Task lifecycle service of one PE's RTOS model."""
 
     __slots__ = ("sim", "trace", "metrics", "name", "dispatcher", "events",
-                 "tasks", "by_process", "obs", "monitor", "spans", "_uid_seq")
+                 "tasks", "by_process", "obs", "monitor", "spans", "mc",
+                 "_uid_seq")
 
     def __init__(self, sim, trace, metrics, name, dispatcher):
         self.sim = sim
@@ -48,6 +49,10 @@ class TaskManager:
         #: completion/overrun-release records and create metadata the
         #: span builder needs; None keeps traces byte-identical
         self.spans = None
+        #: optional MC controller (RTOSModel.mc_configure), same guard:
+        #: intercepts periodic releases to degrade LO tasks in raised
+        #: criticality modes
+        self.mc = None
 
     def _observe_response(self, task, response):
         """Record one response time in both stat layers."""
@@ -156,6 +161,8 @@ class TaskManager:
             next_release = task.release_time + task.period
             if monitor is not None:
                 next_release = monitor.adjust_release(task, now, next_release)
+            if self.mc is not None:
+                next_release = self.mc.adjust_release(task, now, next_release)
             if next_release <= now:
                 # overrun: the next instance is already due
                 release = task.release_time
@@ -365,6 +372,7 @@ class TaskManager:
 
     def _set_release(self, task, release_time):
         task.release_time = release_time
+        task.release_seq += 1
         task.worked_since_release = False
         if task.is_periodic:
             deadline = task.rel_deadline if task.rel_deadline is not None else task.period
@@ -377,6 +385,10 @@ class TaskManager:
     def _periodic_release(self, task, release_time):
         """Timer callback releasing the next instance of a periodic task."""
         if task.killed or task.state is not TaskState.IDLE_PERIOD:
+            return
+        if self.mc is not None and self.mc.suppress_release(task, release_time):
+            # degraded in a raised criticality mode: the MC controller
+            # swallowed this release and keeps the release chain alive
             return
         self._set_release(task, release_time)
         self.dispatcher.release_to_ready(task)

@@ -1,0 +1,192 @@
+"""Mixed-criticality certificates and their simulation cross-check.
+
+AMC-rtb (fixed priority) and EDF-VD (dynamic priority) are *sufficient*
+tests: certified ⇒ no HI-task deadline miss no matter when the mode
+switch happens. The cross-validation harness drives every HI task at
+its pessimistic budget and checks exactly that against the armed
+:class:`~repro.rtos.mc.MCController` — plus the unprotected baseline,
+which must demonstrably miss for at least one certified set (the
+shielding witness).
+"""
+
+import pytest
+
+from repro.analysis.crossval import (
+    cross_validate_mc,
+    generate_mc_matrix,
+    run_mc_matrix,
+    simulate_mc,
+)
+from repro.analysis.schedulability import (
+    MCTaskSpec,
+    check_amc_rtb,
+    check_edf_vd,
+)
+
+
+def _classic_set():
+    """A hand-sized AMC example: certified under drop degradation."""
+    return [
+        MCTaskSpec("lo1", period=100, wcet_lo=10, priority=1),
+        MCTaskSpec("hi1", period=200, wcet_lo=30, wcet_hi=80,
+                   criticality="HI", priority=2),
+        MCTaskSpec("lo2", period=100, wcet_lo=10, priority=3),
+    ]
+
+
+# ----------------------------------------------------------------------
+# MCTaskSpec validation
+# ----------------------------------------------------------------------
+
+def test_spec_defaults_and_utilization():
+    lo = MCTaskSpec("t", period=100, wcet_lo=20)
+    assert lo.wcet_hi == 20          # LO tasks get no HI allowance
+    assert lo.deadline == 100
+    assert lo.utilization("LO") == 0.2
+    hi = MCTaskSpec("h", period=100, wcet_lo=20, wcet_hi=50,
+                    criticality="HI")
+    assert hi.is_hi
+    assert hi.utilization("HI") == 0.5
+
+
+@pytest.mark.parametrize("kwargs", [
+    dict(period=0, wcet_lo=1),
+    dict(period=10, wcet_lo=0),
+    dict(period=10, wcet_lo=5, wcet_hi=3, criticality="HI"),
+    dict(period=10, wcet_lo=1, criticality="MEDIUM"),
+    dict(period=10, wcet_lo=1, deadline=20),
+])
+def test_spec_validation(kwargs):
+    with pytest.raises(ValueError):
+        MCTaskSpec("bad", **kwargs)
+
+
+# ----------------------------------------------------------------------
+# AMC-rtb
+# ----------------------------------------------------------------------
+
+def test_amc_rtb_certifies_the_classic_set():
+    verdict = check_amc_rtb(_classic_set())
+    assert verdict.schedulable
+    hi = next(tv for tv in verdict.tasks if tv.task == "hi1")
+    # LO-mode response: 30 + one lo1 release = 40
+    assert hi.response_lo == 40
+    # switch bound: 80 (HI budget) + carry-over lo1 interference
+    assert hi.response_switch is not None
+    assert hi.response_switch <= 200
+
+
+def test_amc_rtb_rejects_overloaded_hi_mode():
+    tasks = [
+        MCTaskSpec("lo", period=100, wcet_lo=10, priority=1),
+        MCTaskSpec("hi", period=100, wcet_lo=30, wcet_hi=120,
+                   criticality="HI", priority=2),
+    ]
+    verdict = check_amc_rtb(tasks)
+    assert not verdict.schedulable
+    hi = next(tv for tv in verdict.tasks if tv.task == "hi")
+    assert not hi.schedulable
+
+
+def test_amc_rtb_lo_period_scale_is_more_pessimistic():
+    """skip/elastic leave LO interference running at half rate — the
+    policy-aware bound must never certify more than classical drop."""
+    tasks = [
+        MCTaskSpec("lo", period=50, wcet_lo=20, priority=1),
+        MCTaskSpec("hi", period=200, wcet_lo=40, wcet_hi=110,
+                   criticality="HI", priority=2),
+    ]
+    drop = check_amc_rtb(tasks, lo_period_scale=None)
+    slowed = check_amc_rtb(tasks, lo_period_scale=2)
+    assert drop.schedulable
+    hi_drop = next(tv for tv in drop.tasks if tv.task == "hi")
+    hi_slow = next(tv for tv in slowed.tasks if tv.task == "hi")
+    if slowed.schedulable:
+        assert hi_slow.response_switch >= hi_drop.response_switch
+    else:
+        assert not hi_slow.schedulable
+
+
+def test_amc_rtb_requires_priorities():
+    with pytest.raises(ValueError, match="priority"):
+        check_amc_rtb([MCTaskSpec("t", period=10, wcet_lo=1)])
+    with pytest.raises(ValueError, match="lo_period_scale"):
+        check_amc_rtb(_classic_set(), lo_period_scale=0.5)
+
+
+# ----------------------------------------------------------------------
+# EDF-VD
+# ----------------------------------------------------------------------
+
+def test_edf_vd_plain_edf_when_total_fits():
+    verdict = check_edf_vd(_classic_set())
+    assert verdict.schedulable
+    assert verdict.x_factor == 1.0   # U_LO^LO + U_HI^HI = 0.6 <= 1
+
+
+def test_edf_vd_scales_virtual_deadlines():
+    tasks = [
+        MCTaskSpec("lo", period=10, wcet_lo=4, priority=1),
+        MCTaskSpec("hi", period=10, wcet_lo=3, wcet_hi=7,
+                   criticality="HI", priority=2),
+    ]
+    verdict = check_edf_vd(tasks)
+    # U_LO^LO=.4, U_HI^LO=.3, U_HI^HI=.7: x = .3/.6 = .5 and
+    # x*U_LO^LO + U_HI^HI = .9 <= 1, so EDF-VD certifies with x < 1
+    assert verdict.schedulable
+    assert 0 < verdict.x_factor < 1
+
+
+def test_edf_vd_rejects_hi_overload():
+    tasks = [
+        MCTaskSpec("hi", period=10, wcet_lo=5, wcet_hi=11,
+                   criticality="HI"),
+    ]
+    assert not check_edf_vd(tasks).schedulable
+
+
+def test_edf_vd_rejects_lo_mode_overload():
+    tasks = [
+        MCTaskSpec("lo", period=10, wcet_lo=8),
+        MCTaskSpec("hi", period=10, wcet_lo=3, wcet_hi=3,
+                   criticality="HI"),
+    ]
+    assert not check_edf_vd(tasks).schedulable
+
+
+# ----------------------------------------------------------------------
+# cross-validation
+# ----------------------------------------------------------------------
+
+def test_simulate_mc_armed_vs_baseline():
+    tasks = _classic_set()
+    armed = simulate_mc(tasks)
+    assert armed["__mc__"]["mode"] == "HI"
+    assert armed["__mc__"]["mode_raises"] >= 1
+    assert armed["hi1"]["misses"] == 0
+    baseline = simulate_mc(tasks, with_mc=False)
+    assert baseline["__mc__"]["mode"] is None
+    assert baseline["__mc__"]["mode_raises"] == 0
+
+
+@pytest.mark.parametrize("degrade", ["drop", "skip", "elastic"])
+def test_certified_implies_no_hi_miss(degrade):
+    row = cross_validate_mc(_classic_set(), degrade=degrade)
+    assert row["consistent"], row["violations"]
+    if row["certified_hi"]:
+        assert all(
+            row["mc_misses"][name] == 0 for name in row["certified_hi"]
+        )
+
+
+def test_mc_matrix_is_deterministic_and_consistent():
+    first = generate_mc_matrix(count=6, seed=7)
+    second = generate_mc_matrix(count=6, seed=7)
+    assert [[t.name for t in s] for s in first] == \
+        [[t.name for t in s] for s in second]
+    report = run_mc_matrix(count=6, seed=7, degrade="drop")
+    assert report["consistent"], report["violations"]
+    assert report["certified"] >= 1
+    # the witness: shielding (not slack) saves certified HI tasks
+    assert report["shielded"] >= 1
+    assert report["uncertified_with_misses"] >= 1

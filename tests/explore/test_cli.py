@@ -72,3 +72,36 @@ def test_replay_without_violation_fails_expectation(tmp_path, capsys):
         "--model", "pingpong", "--replay", str(clean),
         "--expect-violation",
     ]) == 2
+
+
+def test_expect_clean_exit_codes(capsys):
+    # clean + complete exploration: the certification gate passes
+    assert main(["--model", "mc3", "--expect-clean"]) == 0
+    # any violation fails the gate
+    assert main(["--model", "lostirq", "--expect-clean"]) == 2
+    # an incomplete exploration cannot claim exhaustiveness
+    assert main(["--model", "mc3", "--expect-clean", "--max-runs", "2"]) == 3
+
+
+def test_expect_clean_on_replay(tmp_path, capsys):
+    clean = tmp_path / "clean.json"
+    from repro.explore import save_schedule
+
+    save_schedule(clean, [], model="pingpong")
+    assert main([
+        "--model", "pingpong", "--replay", str(clean), "--expect-clean",
+    ]) == 0
+    capsys.readouterr()
+    bug = tmp_path / "bug.json"
+    assert main([
+        "--model", "lostirq", "--schedule-out", str(bug),
+        "--expect-violation",
+    ]) == 0
+    assert main([
+        "--model", "lostirq", "--replay", str(bug), "--expect-clean",
+    ]) == 2
+
+
+def test_expectation_flags_are_mutually_exclusive():
+    with pytest.raises(SystemExit):
+        main(["--model", "mc3", "--expect-clean", "--expect-violation"])

@@ -1,0 +1,365 @@
+"""Mixed-criticality mode controller tests (:mod:`repro.rtos.mc`).
+
+The scenario shared by most tests: two LO tasks (period 100, wcet 10)
+under a HI task (period 200, ``wcet=[30, 80]``) whose second job
+deliberately executes 80 — blowing the LO-mode budget of 30 at t=251.
+The controller must raise the mode, re-budget the HI task, degrade the
+LO tasks by the configured policy, and (with a recovery window) step
+back down after an overrun-free window. Everything is deterministic
+and must be identical on both kernel backends.
+"""
+
+import pytest
+
+from repro.kernel import Simulator, WaitFor
+from repro.rtos import PERIODIC, Component, HierarchicalScheduler, RTOSModel
+from repro.rtos.errors import RTOSError
+from repro.rtos.mc import DEFAULT_LEVELS, MCController
+
+BACKENDS = ("reference", "fast")
+
+
+def run_mc(backend="reference", degrade="drop", recovery_window=None,
+           horizon=1_000, trace=False, **mc_kwargs):
+    """The canonical overrun scenario; returns (os_, tasks, cycles, events)."""
+    sim = Simulator(backend=backend)
+    sim.trace.enabled = trace
+    os_ = RTOSModel(sim, sched="priority", preemption="immediate")
+    os_.mc_configure(degrade=degrade, recovery_window=recovery_window,
+                     **mc_kwargs)
+    events = []
+    os_.on_mode_change(lambda old, new, now, trig: events.append(
+        (now, old, new, trig.name if trig is not None else None)))
+    lo1 = os_.task_create("lo1", PERIODIC, 100, 10, priority=1,
+                          criticality="LO")
+    lo2 = os_.task_create("lo2", PERIODIC, 100, 10, priority=2,
+                          criticality="LO")
+    hi = os_.task_create("hi", PERIODIC, 200, [30, 80], priority=3,
+                         criticality="HI")
+    cycles = {"lo1": 0, "lo2": 0, "hi": 0}
+
+    def lo_body(name):
+        while True:
+            yield from os_.time_wait(10)
+            cycles[name] += 1
+            yield from os_.task_endcycle()
+
+    def hi_body():
+        n = 0
+        while True:
+            n += 1
+            # job 2 is the overrun: 80 > the LO-mode budget of 30
+            yield from os_.time_wait(80 if n == 2 else 30)
+            cycles["hi"] += 1
+            yield from os_.task_endcycle()
+
+    sim.spawn(os_.task_body(lo1, lo_body("lo1")), name="lo1")
+    sim.spawn(os_.task_body(lo2, lo_body("lo2")), name="lo2")
+    sim.spawn(os_.task_body(hi, hi_body()), name="hi")
+
+    def boot():
+        yield WaitFor(0)
+        os_.start()
+
+    sim.spawn(boot(), name="boot")
+    sim.run(until=horizon)
+    return os_, (lo1, lo2, hi), cycles, events
+
+
+# ----------------------------------------------------------------------
+# mode raising and degradation policies
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_overrun_raises_mode_and_shields_hi(backend):
+    os_, (lo1, lo2, hi), cycles, events = run_mc(backend, degrade="drop")
+    # the second HI job blows its LO budget at t = 200 + 10 + 10 + 31
+    assert events == [(251, "LO", "HI", "hi")]
+    assert os_.mc_mode() == "HI"
+    assert os_.metrics.mode_raises == 1
+    assert os_.metrics.mode_recoveries == 0
+    monitor = os_.monitor
+    # exactly one overrun sensed, and the HI task was re-budgeted to 80
+    assert monitor.overrun_counts.get(hi.uid, 0) == 1
+    assert monitor.budgets[hi.uid] == 80
+    # the raise shields the HI task: zero deadline misses end to end
+    assert monitor.miss_counts.get(hi.uid, 0) == 0
+    assert cycles["hi"] == 5
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("degrade,lo_cycles,degraded", [
+    ("drop", 3, 16),      # every LO release after the raise is swallowed
+    ("skip", 6, 8),       # every 2nd release still runs (skip_factor=2)
+    ("elastic", 7, 8),    # spacing stretched to period * 2
+])
+def test_degradation_policies(backend, degrade, lo_cycles, degraded):
+    os_, _, cycles, events = run_mc(backend, degrade=degrade)
+    assert events == [(251, "LO", "HI", "hi")]
+    assert cycles["lo1"] == lo_cycles
+    assert cycles["lo2"] == lo_cycles
+    assert cycles["hi"] == 5
+    assert os_.metrics.jobs_degraded == degraded
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_recovery_hysteresis(backend):
+    os_, (lo1, lo2, hi), cycles, events = run_mc(
+        backend, degrade="drop", recovery_window=400
+    )
+    # raise at 251, then 400 overrun-free time units step the mode back
+    assert events == [(251, "LO", "HI", "hi"), (651, "HI", "LO", None)]
+    assert os_.mc_mode() == "LO"
+    assert os_.metrics.mode_raises == 1
+    assert os_.metrics.mode_recoveries == 1
+    # recovery restores the optimistic budget...
+    assert os_.monitor.budgets[hi.uid] == 30
+    # ...and the LO tasks resume on the original period grid
+    assert cycles["lo1"] == 6
+    assert os_.monitor.miss_counts.get(hi.uid, 0) == 0
+
+
+def test_sticky_without_recovery_window():
+    os_, _, _, events = run_mc(recovery_window=None, horizon=2_000)
+    assert len(events) == 1  # one raise, never steps back down
+    assert os_.mc_mode() == "HI"
+
+
+def test_backends_agree_on_mode_trace():
+    def mode_records(backend):
+        os_, _, _, _ = run_mc(backend, degrade="drop", recovery_window=400,
+                              trace=True)
+        return [
+            (r.time, r.actor, r.info, dict(r.data))
+            for r in os_.sim.trace if r.category == "mode"
+        ]
+
+    reference = mode_records("reference")
+    assert reference == mode_records("fast")
+    kinds = [info for _, _, info, _ in reference]
+    assert "raise" in kinds and "recover" in kinds and "degrade" in kinds
+
+
+# ----------------------------------------------------------------------
+# configuration surface and validation
+# ----------------------------------------------------------------------
+
+def test_unarmed_model_reports_no_mode():
+    sim = Simulator()
+    os_ = RTOSModel(sim)
+    assert os_.mc is None
+    assert os_.mc_mode() is None
+    assert os_._tasks.mc is None
+
+
+def test_task_create_wcet_vector_arms_mc_lazily():
+    sim = Simulator()
+    os_ = RTOSModel(sim)
+    task = os_.task_create("hi", PERIODIC, 200, [30, 80], criticality="HI")
+    assert os_.mc is not None
+    assert task.criticality == "HI"
+    assert task.wcet_levels == (30, 80)
+    assert task.wcet == 30  # the TCB scalar is the base-level budget
+    # above-base tasks get the budget watchdog at the current-mode level
+    assert os_.monitor.budgets[task.uid] == 30
+
+
+def test_short_wcet_vector_pads_with_last_entry():
+    sim = Simulator()
+    os_ = RTOSModel(sim)
+    os_.mc_configure(levels=("LO", "MID", "HI"))
+    task = os_.task_create("t", PERIODIC, 100, [5, 9], criticality="HI")
+    assert task.wcet_levels == (5, 9, 9)
+
+
+def test_configure_twice_raises():
+    sim = Simulator()
+    os_ = RTOSModel(sim)
+    os_.mc_configure()
+    with pytest.raises(RTOSError, match="already configured"):
+        os_.mc_configure()
+
+
+@pytest.mark.parametrize("kwargs,match", [
+    (dict(levels=("ONLY",)), "at least two"),
+    (dict(levels=("A", "A")), "duplicate"),
+    (dict(degrade="explode"), "unknown degradation policy"),
+    (dict(skip_factor=1), "skip_factor"),
+    (dict(elastic_factor=1), "elastic_factor"),
+    (dict(recovery_window=0), "recovery_window"),
+    (dict(component_budgets={"XX": {}}), "unknown levels"),
+])
+def test_bad_configuration_rejected(kwargs, match):
+    sim = Simulator()
+    os_ = RTOSModel(sim)
+    with pytest.raises(RTOSError, match=match):
+        os_.mc_configure(**kwargs)
+
+
+def test_decreasing_wcet_vector_rejected():
+    sim = Simulator()
+    os_ = RTOSModel(sim)
+    with pytest.raises(RTOSError, match="non-decreasing"):
+        os_.task_create("t", PERIODIC, 100, [80, 30], criticality="HI")
+
+
+def test_unknown_criticality_rejected():
+    sim = Simulator()
+    os_ = RTOSModel(sim)
+    with pytest.raises(RTOSError, match="unknown criticality"):
+        os_.task_create("t", PERIODIC, 100, 10, criticality="ULTRA")
+
+
+def test_default_lattice_is_lo_hi():
+    assert DEFAULT_LEVELS == ("LO", "HI")
+    sim = Simulator()
+    os_ = RTOSModel(sim)
+    mc = os_.mc_configure()
+    assert mc.levels == DEFAULT_LEVELS
+    assert mc.mode == "LO"
+    assert "MCController" in repr(mc)
+
+
+def test_snapshot_shape():
+    os_, (lo1, lo2, hi), _, _ = run_mc(degrade="skip")
+    snap = os_.mc.snapshot()
+    assert snap["mode"] == "HI"
+    assert snap["degrade"] == "skip"
+    assert snap["mode_raises"] == 1
+    assert snap["tasks"]["hi"]["criticality"] == "HI"
+    assert snap["tasks"]["hi"]["wcet_levels"] == [30, 80]
+    assert snap["tasks"]["lo1"]["degraded"] is True
+    assert snap["tasks"]["hi"]["degraded"] is False
+
+
+def test_init_resets_mode_and_counters():
+    os_, _, _, _ = run_mc(degrade="drop")
+    assert os_.mc.mode_index == 1
+    os_.init()
+    assert os_.mc.mode == "LO"
+    assert all(i.attempts == 0 for i in os_.mc._by_uid.values())
+
+
+# ----------------------------------------------------------------------
+# multi-level lattices and component reconfiguration
+# ----------------------------------------------------------------------
+
+def test_three_level_lattice_raises_stepwise():
+    """A MID overrun raises to MID only; a HI overrun tops out at HI."""
+    sim = Simulator()
+    sim.trace.enabled = False
+    os_ = RTOSModel(sim, sched="priority", preemption="immediate")
+    os_.mc_configure(levels=("LO", "MID", "HI"), degrade="drop")
+    lo = os_.task_create("lo", PERIODIC, 100, 10, priority=1,
+                         criticality="LO")
+    mid = os_.task_create("mid", PERIODIC, 200, [20, 50, 50], priority=2,
+                          criticality="MID")
+    hi = os_.task_create("hi", PERIODIC, 400, [30, 30, 90], priority=3,
+                         criticality="HI")
+    modes = []
+    os_.on_mode_change(lambda old, new, now, trig: modes.append((now, new)))
+
+    def body(task, plan):
+        def gen():
+            n = 0
+            while True:
+                yield from os_.time_wait(plan(n))
+                n += 1
+                yield from os_.task_endcycle()
+        sim.spawn(os_.task_body(task, gen()), name=task.name)
+
+    body(lo, lambda n: 10)
+    body(mid, lambda n: 50 if n == 1 else 20)   # overruns LO budget 20
+    body(hi, lambda n: 90 if n == 2 else 30)    # overruns MID budget 30
+
+    def boot():
+        yield WaitFor(0)
+        os_.start()
+
+    sim.spawn(boot(), name="boot")
+    sim.run(until=2_000)
+    assert [new for _, new in modes] == ["MID", "HI"]
+    assert os_.mc_mode() == "HI"
+    # at HI the MID task is degraded too
+    assert os_.mc.degraded(mid) and os_.mc.degraded(lo)
+    assert not os_.mc.degraded(hi)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_component_budget_reconfiguration(backend):
+    """A mode raise re-provisions hierarchical server budgets."""
+    sim = Simulator(backend=backend)
+    sim.trace.enabled = False
+    crit = Component("crit", budget=30, period=100, priority=0,
+                     policy="priority")
+    bulk = Component("bulk", budget=60, period=100, priority=1,
+                     policy="priority")
+    sched = HierarchicalScheduler([crit, bulk], top="priority")
+    os_ = RTOSModel(sim, sched=sched, preemption="immediate")
+    os_.mc_configure(
+        degrade="drop",
+        component_budgets={
+            "HI": {"crit": 80, "bulk": 10},
+            "LO": {"crit": 30, "bulk": 60},
+        },
+    )
+    hi = os_.task_create("hi", PERIODIC, 200, [20, 70], priority=1,
+                         criticality="HI")
+    lo = os_.task_create("lo", PERIODIC, 100, 10, priority=1,
+                         criticality="LO")
+    sched.assign(hi, crit)
+    sched.assign(lo, bulk)
+
+    def hi_body():
+        n = 0
+        while True:
+            n += 1
+            yield from os_.time_wait(70 if n == 2 else 20)
+            yield from os_.task_endcycle()
+
+    def lo_body():
+        while True:
+            yield from os_.time_wait(10)
+            yield from os_.task_endcycle()
+
+    sim.spawn(os_.task_body(hi, hi_body()), name="hi")
+    sim.spawn(os_.task_body(lo, lo_body()), name="lo")
+
+    def boot():
+        yield WaitFor(0)
+        os_.start()
+
+    sim.spawn(boot(), name="boot")
+    sim.run(until=1_500)
+    assert os_.mc_mode() == "HI"
+    # the HI-mode table was applied to the live servers
+    assert crit.budget == 80
+    assert bulk.budget == 10
+
+
+def test_component_budgets_require_hierarchical_scheduler():
+    sim = Simulator()
+    os_ = RTOSModel(sim, sched="priority")
+    mc = os_.mc_configure(component_budgets={"HI": {"crit": 80}})
+    os_.task_create("hi", PERIODIC, 200, [20, 70], criticality="HI")
+    mc.mode_index = 0
+    with pytest.raises(RTOSError, match="hierarchical"):
+        mc._switch(1, None)
+
+
+def test_register_requires_positive_budgets():
+    sim = Simulator()
+    os_ = RTOSModel(sim)
+    mc = os_.mc_configure()
+    task = os_.task_create("t", PERIODIC, 100, 10)
+    with pytest.raises(RTOSError, match="positive"):
+        mc.register(task, "HI", (0, 5))
+
+
+def test_controller_requires_model():
+    sim = Simulator()
+    os_ = RTOSModel(sim)
+    mc = MCController(os_)
+    assert mc.level_index("LO") == 0
+    with pytest.raises(RTOSError, match="unknown criticality"):
+        mc.level_index("NOPE")
